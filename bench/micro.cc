@@ -1,0 +1,217 @@
+// Micro-benchmarks (google-benchmark) for the primitives whose constants
+// drive the §3.5 cost model: distance functions, phonetic codes, key
+// construction, the window-scan comparison, union-find closure, and the
+// external sorter.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "core/multipass.h"
+#include "core/sorted_neighborhood.h"
+#include "core/union_find.h"
+#include "gen/generator.h"
+#include "keys/standard_keys.h"
+#include "rules/employee_theory.h"
+#include "sort/external_sort.h"
+#include "text/edit_distance.h"
+#include "text/keyboard_distance.h"
+#include "text/phonetic.h"
+#include "text/normalize.h"
+#include "util/random.h"
+
+namespace mergepurge {
+namespace {
+
+std::vector<std::string> RandomNames(size_t count, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t len = 5 + rng.NextBounded(10);
+    std::string s;
+    for (size_t j = 0; j < len; ++j) {
+      s += static_cast<char>('A' + rng.NextBounded(26));
+    }
+    names.push_back(std::move(s));
+  }
+  return names;
+}
+
+const GeneratedDatabase& SharedDatabase() {
+  static const GeneratedDatabase* db = [] {
+    GeneratorConfig config;
+    config.num_records = 20000;
+    config.duplicate_selection_rate = 0.5;
+    config.seed = 42;
+    auto generated = DatabaseGenerator(config).Generate();
+    auto* out = new GeneratedDatabase(std::move(*generated));
+    ConditionEmployeeDataset(&out->dataset);
+    return out;
+  }();
+  return *db;
+}
+
+void BM_EditDistance(benchmark::State& state) {
+  auto names = RandomNames(1024, 1);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        EditDistance(names[i % 1024], names[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_EditDistance);
+
+void BM_DamerauDistance(benchmark::State& state) {
+  auto names = RandomNames(1024, 2);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        DamerauDistance(names[i % 1024], names[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_DamerauDistance);
+
+void BM_BoundedDamerau(benchmark::State& state) {
+  auto names = RandomNames(1024, 3);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BoundedDamerauDistance(
+        names[i % 1024], names[(i + 1) % 1024], state.range(0)));
+    ++i;
+  }
+}
+BENCHMARK(BM_BoundedDamerau)->Arg(1)->Arg(3);
+
+void BM_KeyboardDistance(benchmark::State& state) {
+  auto names = RandomNames(1024, 4);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        KeyboardDistance(names[i % 1024], names[(i + 1) % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_KeyboardDistance);
+
+void BM_Soundex(benchmark::State& state) {
+  auto names = RandomNames(1024, 5);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Soundex(names[i % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Soundex);
+
+void BM_Nysiis(benchmark::State& state) {
+  auto names = RandomNames(1024, 6);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Nysiis(names[i % 1024]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Nysiis);
+
+void BM_BuildKey(benchmark::State& state) {
+  const auto& db = SharedDatabase();
+  KeyBuilder builder(LastNameKey());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(builder.BuildKey(
+        db.dataset.record(static_cast<TupleId>(i % db.dataset.size()))));
+    ++i;
+  }
+}
+BENCHMARK(BM_BuildKey);
+
+// The merge-phase comparison: dominant constant of the cost model (alpha).
+void BM_TheoryComparison(benchmark::State& state) {
+  const auto& db = SharedDatabase();
+  EmployeeTheory theory;
+  size_t i = 0;
+  const size_t n = db.dataset.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        theory.Matches(db.dataset.record(static_cast<TupleId>(i % n)),
+                       db.dataset.record(static_cast<TupleId>((i + 1) % n))));
+    ++i;
+  }
+}
+BENCHMARK(BM_TheoryComparison);
+
+void BM_SortByKey(benchmark::State& state) {
+  const auto& db = SharedDatabase();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SortedNeighborhood::SortByKey(db.dataset, LastNameKey()));
+  }
+}
+BENCHMARK(BM_SortByKey)->Unit(benchmark::kMillisecond);
+
+void BM_FullSnmPass(benchmark::State& state) {
+  const auto& db = SharedDatabase();
+  EmployeeTheory theory;
+  SortedNeighborhood snm(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    auto result = snm.Run(db.dataset, LastNameKey(), theory);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullSnmPass)->Arg(2)->Arg(10)->Arg(30)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  Rng rng(9);
+  PairSet pairs;
+  const size_t n = 100000;
+  for (size_t i = 0; i < n; ++i) {
+    pairs.Add(static_cast<TupleId>(rng.NextBounded(n)),
+              static_cast<TupleId>(rng.NextBounded(n)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TransitiveClosure(pairs, n));
+  }
+}
+BENCHMARK(BM_TransitiveClosure)->Unit(benchmark::kMillisecond);
+
+void BM_UnionFind(benchmark::State& state) {
+  Rng rng(10);
+  const size_t n = 1 << 16;
+  std::vector<std::pair<uint32_t, uint32_t>> ops;
+  for (size_t i = 0; i < n; ++i) {
+    ops.emplace_back(static_cast<uint32_t>(rng.NextBounded(n)),
+                     static_cast<uint32_t>(rng.NextBounded(n)));
+  }
+  for (auto _ : state) {
+    UnionFind uf(n);
+    for (const auto& [a, b] : ops) uf.Union(a, b);
+    benchmark::DoNotOptimize(uf.NumSets());
+  }
+}
+BENCHMARK(BM_UnionFind)->Unit(benchmark::kMillisecond);
+
+void BM_ExternalSort(benchmark::State& state) {
+  const auto& db = SharedDatabase();
+  ExternalSortOptions options;
+  options.memory_records = static_cast<size_t>(state.range(0));
+  options.fan_in = 16;
+  options.temp_dir = "/tmp";
+  ExternalSorter sorter(options);
+  for (auto _ : state) {
+    auto order = sorter.Sort(db.dataset, LastNameKey(), nullptr);
+    benchmark::DoNotOptimize(order);
+  }
+}
+BENCHMARK(BM_ExternalSort)->Arg(2000)->Arg(1000000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace mergepurge
+
+BENCHMARK_MAIN();

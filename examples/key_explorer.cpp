@@ -1,0 +1,71 @@
+// Key exploration tooling — the paper's §2.4: "the choice of keys for
+// sorting ... is a knowledge intensive activity that must be explored
+// prior to running a merge/purge process." The analyzer reports, per
+// candidate key, how far apart true duplicate pairs land in that key's
+// sorted order — i.e. the recall CEILING of any single pass — and why
+// combining complementary keys via the closure is the winning move.
+//
+//   ./build/examples/key_explorer [--records=8000]
+
+#include <cstdio>
+
+#include "eval/experiment.h"
+#include "eval/key_quality.h"
+#include "eval/table_printer.h"
+#include "gen/generator.h"
+#include "keys/standard_keys.h"
+#include "text/normalize.h"
+#include "util/string_util.h"
+
+using namespace mergepurge;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (!args.status().ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 1;
+  }
+  GeneratorConfig config;
+  config.num_records = static_cast<size_t>(args.GetInt("records", 8000));
+  config.duplicate_selection_rate = 0.5;
+  config.seed = 42;
+  auto db = DatabaseGenerator(config).Generate();
+  if (!db.ok()) {
+    std::fprintf(stderr, "generate: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  ConditionEmployeeDataset(&db->dataset);
+  std::printf("database: %zu records, %llu true duplicate pairs\n\n",
+              db->dataset.size(),
+              static_cast<unsigned long long>(db->truth.NumTruePairs()));
+
+  std::vector<KeySpec> candidates = StandardThreeKeys();
+  candidates.push_back(PhoneticLastNameKey());
+
+  TablePrinter table({"key", "adjacent", "median gap", "p90 gap",
+                      "ceiling w=10", "ceiling w=50", "unreachable(>50)"});
+  for (const KeySpec& key : candidates) {
+    auto report = AnalyzeKeyQuality(db->dataset, db->truth, key);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow(
+        {report->key_name,
+         StringPrintf("%.1f%%", 100.0 *
+                                    static_cast<double>(
+                                        report->adjacent_pairs) /
+                                    static_cast<double>(report->true_pairs)),
+         FormatCount(report->median_gap), FormatCount(report->p90_gap),
+         FormatPercent(report->coverage_percent[2]),
+         FormatPercent(report->coverage_percent[4]),
+         FormatPercent(100.0 * report->far_fraction)});
+  }
+  table.Print();
+  std::printf(
+      "\nreading: 'ceiling w=10' is the best recall ANY theory could get\n"
+      "from one pass with window 10 under that key; the pairs in\n"
+      "'unreachable' are why the multi-pass closure over complementary\n"
+      "keys wins (each key reaches a different subset).\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Mailing-list deduplication via CSV files — the paper's motivating
+// scenario: several purchased subscription lists are concatenated,
+// merged, and purged so a household receives one copy of a mailing.
+//
+// The example fabricates three "purchased lists" as CSV files (sharing
+// many households, written with different conventions), then loads them,
+// concatenates, deduplicates and writes the purged list.
+//
+//   ./build/examples/mailing_list_dedup [--dir=/tmp]
+
+#include <cstdio>
+#include <string>
+
+#include "core/merge_purge.h"
+#include "eval/experiment.h"
+#include "gen/generator.h"
+#include "io/csv.h"
+#include "keys/standard_keys.h"
+#include "rules/employee_theory.h"
+
+using namespace mergepurge;
+
+namespace {
+
+// Splits a generated database into three overlapping "source lists".
+void WriteSourceLists(const Dataset& all, const std::string& dir) {
+  Schema schema = all.schema();
+  Dataset lists[3] = {Dataset(schema), Dataset(schema), Dataset(schema)};
+  for (size_t t = 0; t < all.size(); ++t) {
+    lists[t % 3].Append(all.record(static_cast<TupleId>(t)));
+    // Every 7th record also appears on a second list (cross-list overlap).
+    if (t % 7 == 0) lists[(t + 1) % 3].Append(all.record(static_cast<TupleId>(t)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    std::string path = dir + "/list_" + std::to_string(i) + ".csv";
+    Status s = WriteCsvFile(lists[i], path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "write %s: %s\n", path.c_str(),
+                   s.ToString().c_str());
+      std::exit(1);
+    }
+    std::printf("wrote %-28s (%zu records)\n", path.c_str(), lists[i].size());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (!args.status().ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 1;
+  }
+  const std::string dir = args.GetString("dir", "/tmp");
+
+  // Fabricate the three purchased lists.
+  GeneratorConfig gen_config;
+  gen_config.num_records = 5000;
+  gen_config.duplicate_selection_rate = 0.4;
+  gen_config.seed = 7;
+  auto db = DatabaseGenerator(gen_config).Generate();
+  if (!db.ok()) {
+    std::fprintf(stderr, "generate: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  WriteSourceLists(db->dataset, dir);
+
+  // --- The actual merge/purge pipeline over CSV sources. ---
+  Schema schema = employee::MakeSchema();
+  Dataset combined(schema);
+  for (int i = 0; i < 3; ++i) {
+    std::string path = dir + "/list_" + std::to_string(i) + ".csv";
+    Result<Dataset> list = ReadCsvFile(schema, path);
+    if (!list.ok()) {
+      std::fprintf(stderr, "read %s: %s\n", path.c_str(),
+                   list.status().ToString().c_str());
+      return 1;
+    }
+    Status s = combined.Concatenate(*list);
+    if (!s.ok()) {
+      std::fprintf(stderr, "concat: %s\n", s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("concatenated input: %zu records\n", combined.size());
+
+  MergePurgeOptions options;
+  options.keys = StandardThreeKeys();
+  options.window = 10;
+  options.spell_correct_city = true;  // Condition city names (paper §3.2).
+  MergePurgeEngine engine(options);
+  EmployeeTheory theory;
+  auto result = engine.Run(combined, theory);
+  if (!result.ok()) {
+    std::fprintf(stderr, "run: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  Dataset purged = result->Purge(combined);
+  std::string out_path = dir + "/mailing_list_deduped.csv";
+  Status s = WriteCsvFile(purged, out_path);
+  if (!s.ok()) {
+    std::fprintf(stderr, "write: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("deduplicated: %zu -> %zu records (saved %.1f%% of mailings)\n",
+              combined.size(), purged.size(),
+              100.0 * (1.0 - static_cast<double>(purged.size()) /
+                                 static_cast<double>(combined.size())));
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

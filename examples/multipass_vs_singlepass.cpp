@@ -1,0 +1,81 @@
+// Demonstrates the paper's central claim (§2.4, §3.3): several cheap
+// passes with different keys and a small window, combined by transitive
+// closure, dominate one expensive pass with a large window.
+//
+//   ./build/examples/multipass_vs_singlepass [--records=15000]
+
+#include <cstdio>
+
+#include "core/multipass.h"
+#include "eval/experiment.h"
+#include "eval/metrics.h"
+#include "eval/table_printer.h"
+#include "gen/generator.h"
+#include "keys/standard_keys.h"
+#include "rules/employee_theory.h"
+#include "text/normalize.h"
+
+using namespace mergepurge;
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (!args.status().ok()) {
+    std::fprintf(stderr, "%s\n", args.status().ToString().c_str());
+    return 1;
+  }
+
+  GeneratorConfig config;
+  config.num_records = static_cast<size_t>(args.GetInt("records", 15000));
+  config.duplicate_selection_rate = 0.5;
+  config.max_duplicates_per_record = 5;
+  config.seed = 11;
+  auto db = DatabaseGenerator(config).Generate();
+  if (!db.ok()) {
+    std::fprintf(stderr, "generate: %s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  ConditionEmployeeDataset(&db->dataset);
+  std::printf("database: %zu records, %llu true duplicate pairs\n\n",
+              db->dataset.size(),
+              static_cast<unsigned long long>(db->truth.NumTruePairs()));
+
+  EmployeeTheory theory;
+  TablePrinter table({"strategy", "window", "recall", "false-pos", "time(s)"});
+
+  // Single passes with increasingly large windows (the expensive route).
+  for (size_t window : {10, 20, 40, 80}) {
+    auto pass = SortedNeighborhood(window).Run(db->dataset, LastNameKey(),
+                                               theory);
+    if (!pass.ok()) {
+      std::fprintf(stderr, "%s\n", pass.status().ToString().c_str());
+      return 1;
+    }
+    AccuracyReport report =
+        EvaluatePairSet(pass->pairs, db->dataset.size(), db->truth);
+    table.AddRow({"single-pass (last-name)", std::to_string(window),
+                  FormatPercent(report.recall_percent),
+                  FormatPercent(report.false_positive_percent),
+                  FormatDouble(pass->total_seconds)});
+  }
+
+  // Multi-pass with a small window (the cheap route).
+  MultiPass mp(MultiPass::Method::kSortedNeighborhood, 10);
+  auto result = mp.Run(db->dataset, StandardThreeKeys(), theory);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  AccuracyReport report = EvaluateComponents(result->component_of,
+                                             db->truth);
+  table.AddRow({"multi-pass (3 keys + closure)", "10",
+                FormatPercent(report.recall_percent),
+                FormatPercent(report.false_positive_percent),
+                FormatDouble(result->total_seconds)});
+
+  table.Print();
+  std::printf(
+      "\nThe moral (paper §1): \"several distinct 'cheap' passes over the "
+      "data\nproduces more accurate results than one 'expensive' pass over "
+      "the data.\"\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+#include "cluster/histogram.h"
+
+#include <cctype>
+
+namespace mergepurge {
+
+namespace {
+
+size_t CharIndex(char c) {
+  unsigned char uc = static_cast<unsigned char>(c);
+  if (std::isdigit(uc)) {
+    return 1 + static_cast<size_t>(uc - '0');
+  }
+  if (std::isalpha(uc)) {
+    return 11 + static_cast<size_t>(std::toupper(uc) - 'A');
+  }
+  return 0;
+}
+
+size_t PowAlphabet(size_t depth) {
+  size_t out = 1;
+  for (size_t i = 0; i < depth; ++i) out *= Histogram::kAlphabet;
+  return out;
+}
+
+}  // namespace
+
+Histogram::Histogram(size_t depth)
+    : depth_(depth < 1 ? 1 : (depth > 4 ? 4 : depth)),
+      counts_(PowAlphabet(depth_), 0) {}
+
+size_t Histogram::BinOf(std::string_view key) const {
+  size_t bin = 0;
+  for (size_t i = 0; i < depth_; ++i) {
+    size_t digit = i < key.size() ? CharIndex(key[i]) : 0;
+    bin = bin * kAlphabet + digit;
+  }
+  return bin;
+}
+
+void Histogram::Add(std::string_view key) {
+  ++counts_[BinOf(key)];
+  ++total_count_;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,60 @@
+// Frequency histogram over key prefixes (paper §2.2.1).
+//
+// "For instance, from a directory database we may compute the distribution
+// of the first three letters of every name. ... That is, we have a cluster
+// space of 27x27x27 bins (26 letters plus the space)."
+//
+// The histogram maps a key's first `depth` characters into bins and the
+// bin counts drive the equi-depth partitioner. We extend the paper's
+// 27-symbol alphabet (letters + other) with the ten digits — keys whose
+// principal field is an address start with a street NUMBER, and folding
+// all digits into one symbol would funnel the entire database into a
+// single hot bin (exactly the skew §2.2.1 warns about).
+
+#ifndef MERGEPURGE_CLUSTER_HISTOGRAM_H_
+#define MERGEPURGE_CLUSTER_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace mergepurge {
+
+class Histogram {
+ public:
+  // 26 letters + 10 digits + everything else.
+  static constexpr size_t kAlphabet = 37;
+
+  // depth in [1, 4]: number of leading key characters considered. The
+  // paper's example is depth 3 (27^3 = 19683 bins). Out-of-range depths
+  // are clamped.
+  explicit Histogram(size_t depth = 3);
+
+  size_t depth() const { return depth_; }
+  size_t num_bins() const { return counts_.size(); }
+
+  // Bin index of a key: its first `depth` characters, each mapped
+  // 0-9 -> 1..10, A-Z -> 11..36 (case-insensitive), anything else -> 0,
+  // radix-37 combined. Strings shorter than `depth` are padded with
+  // "other". The mapping is monotone in the upper-cased key prefix (ASCII
+  // orders digits before letters), so a contiguous bin range corresponds
+  // to a contiguous key range.
+  size_t BinOf(std::string_view key) const;
+
+  // Counts one key.
+  void Add(std::string_view key);
+
+  uint64_t count(size_t bin) const { return counts_[bin]; }
+  uint64_t total() const { return total_count_; }
+
+  const std::vector<uint64_t>& counts() const { return counts_; }
+
+ private:
+  size_t depth_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_count_ = 0;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_CLUSTER_HISTOGRAM_H_

@@ -1,0 +1,67 @@
+#include "cluster/partitioner.h"
+
+#include <string>
+
+namespace mergepurge {
+
+KeyPartitioner::KeyPartitioner(Histogram bins,
+                               std::vector<uint32_t> bin_to_cluster,
+                               size_t num_clusters)
+    : histogram_depth_bin_(std::move(bins)),
+      bin_to_cluster_(std::move(bin_to_cluster)),
+      num_clusters_(num_clusters) {}
+
+Result<KeyPartitioner> KeyPartitioner::FromHistogram(
+    const Histogram& histogram, size_t num_clusters) {
+  if (num_clusters == 0) {
+    return Status::InvalidArgument("num_clusters must be >= 1");
+  }
+  if (histogram.total() == 0) {
+    return Status::InvalidArgument("histogram is empty");
+  }
+  if (num_clusters > histogram.num_bins()) {
+    num_clusters = histogram.num_bins();
+  }
+
+  const uint64_t total = histogram.total();
+  const size_t num_bins = histogram.num_bins();
+  std::vector<uint32_t> bin_to_cluster(num_bins, 0);
+
+  // Greedy equi-depth cut: close the current subrange once its mass
+  // reaches the remaining-average target. Recomputing the target from the
+  // *remaining* mass keeps late clusters from starving when early bins are
+  // heavy (skew, hot spots).
+  uint32_t cluster = 0;
+  uint64_t mass_in_cluster = 0;
+  uint64_t mass_remaining = total;
+  for (size_t bin = 0; bin < num_bins; ++bin) {
+    bin_to_cluster[bin] = cluster;
+    mass_in_cluster += histogram.count(bin);
+    uint64_t clusters_left = num_clusters - cluster;
+    uint64_t target = (mass_remaining + clusters_left - 1) / clusters_left;
+    if (mass_in_cluster >= target &&
+        cluster + 1 < static_cast<uint32_t>(num_clusters)) {
+      mass_remaining -= mass_in_cluster;
+      mass_in_cluster = 0;
+      ++cluster;
+    }
+  }
+
+  return KeyPartitioner(Histogram(histogram.depth()),
+                        std::move(bin_to_cluster), num_clusters);
+}
+
+Histogram BuildHistogram(const std::vector<std::string>& keys, size_t depth,
+                         size_t sample_size, Rng* rng) {
+  Histogram histogram(depth);
+  if (sample_size == 0 || sample_size >= keys.size()) {
+    for (const std::string& key : keys) histogram.Add(key);
+    return histogram;
+  }
+  for (size_t i = 0; i < sample_size; ++i) {
+    histogram.Add(keys[rng->NextBounded(keys.size())]);
+  }
+  return histogram;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,62 @@
+// Equi-depth partitioning of histogram bins into clusters (paper §2.2.1).
+//
+// "Given a frequency distribution histogram with B bins for that field
+// (C <= B), we want to divide those B bins into C subranges. ... for each
+// of the C subranges we must expect the sum of the frequencies over the
+// subrange to be close to 1/C."
+//
+// The partitioner greedily walks the bins accumulating mass and cuts a new
+// subrange whenever the running sum reaches total/C; the resulting
+// bin->cluster map is monotone, so each cluster covers a contiguous key
+// range and the per-cluster sort preserves global neighborhood structure
+// inside the cluster.
+
+#ifndef MERGEPURGE_CLUSTER_PARTITIONER_H_
+#define MERGEPURGE_CLUSTER_PARTITIONER_H_
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "cluster/histogram.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+class KeyPartitioner {
+ public:
+  // Builds a partitioner splitting the histogram's mass into (at most)
+  // num_clusters equi-depth subranges. num_clusters must be >= 1; the
+  // histogram must have counted at least one key.
+  static Result<KeyPartitioner> FromHistogram(const Histogram& histogram,
+                                              size_t num_clusters);
+
+  // Cluster of a key: bin lookup + table index (the paper's "complexity of
+  // this mapping is, at worst, log B"; ours is O(depth) + O(1)).
+  size_t ClusterOf(std::string_view key) const {
+    return bin_to_cluster_[histogram_depth_bin_.BinOf(key)];
+  }
+
+  size_t num_clusters() const { return num_clusters_; }
+
+ private:
+  KeyPartitioner(Histogram bins, std::vector<uint32_t> bin_to_cluster,
+                 size_t num_clusters);
+
+  // An empty histogram reused only for BinOf (cheap, no counts needed).
+  Histogram histogram_depth_bin_;
+  std::vector<uint32_t> bin_to_cluster_;
+  size_t num_clusters_;
+};
+
+// Builds a histogram from a sample of `keys`. sample_size == 0 means use
+// every key ("If we do not have access to such a list, we can randomly
+// sample the name field of our database to have an approximation of the
+// distribution", §2.2.1).
+Histogram BuildHistogram(const std::vector<std::string>& keys, size_t depth,
+                         size_t sample_size, Rng* rng);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_CLUSTER_PARTITIONER_H_

@@ -1,0 +1,50 @@
+#include "core/blocking.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/timer.h"
+
+namespace mergepurge {
+
+Result<PassResult> BlockingMethod::Run(const Dataset& dataset,
+                                       const KeySpec& key,
+                                       const EquationalTheory& theory) const {
+  KeyBuilder builder(key.FixedWidth(block_key_prefix_));
+  MERGEPURGE_RETURN_NOT_OK(builder.Validate(dataset.schema()));
+
+  PassResult result;
+  result.key_name = key.name + "+blocking";
+  Timer total;
+
+  // Group by exact blocking key.
+  Timer phase;
+  std::unordered_map<std::string, std::vector<TupleId>> blocks;
+  for (size_t t = 0; t < dataset.size(); ++t) {
+    blocks[builder.BuildKey(dataset.record(static_cast<TupleId>(t)))]
+        .push_back(static_cast<TupleId>(t));
+  }
+  result.create_keys_seconds = phase.ElapsedSeconds();
+
+  // All pairs within each block.
+  phase.Restart();
+  last_largest_block_ = 0;
+  for (const auto& [block_key, members] : blocks) {
+    last_largest_block_ = std::max(last_largest_block_, members.size());
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        ++result.comparisons;
+        if (theory.Matches(dataset.record(members[i]),
+                           dataset.record(members[j]))) {
+          ++result.matches;
+          result.pairs.Add(members[i], members[j]);
+        }
+      }
+    }
+  }
+  result.scan_seconds = phase.ElapsedSeconds();
+  result.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace mergepurge

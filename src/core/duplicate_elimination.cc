@@ -1,0 +1,42 @@
+#include "core/duplicate_elimination.h"
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "util/timer.h"
+
+namespace mergepurge {
+
+PassResult ExactDuplicateElimination::Run(const Dataset& dataset) const {
+  PassResult result;
+  result.key_name = "exact-duplicate-elimination";
+  Timer total;
+
+  // Sort tuple ids by full record content (lexicographic over fields).
+  Timer phase;
+  std::vector<TupleId> order(dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&dataset](TupleId a, TupleId b) {
+              const auto& fa = dataset.record(a).fields();
+              const auto& fb = dataset.record(b).fields();
+              if (fa != fb) return fa < fb;
+              return a < b;
+            });
+  result.sort_seconds = phase.ElapsedSeconds();
+
+  phase.Restart();
+  for (size_t i = 1; i < order.size(); ++i) {
+    ++result.comparisons;
+    if (dataset.record(order[i - 1]) == dataset.record(order[i])) {
+      ++result.matches;
+      result.pairs.Add(order[i - 1], order[i]);
+    }
+  }
+  result.scan_seconds = phase.ElapsedSeconds();
+  result.total_seconds = total.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace mergepurge

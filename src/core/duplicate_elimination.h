@@ -1,0 +1,26 @@
+// Classical exact-duplicate elimination (Bitton & DeWitt, TODS 1983): sort
+// the whole records lexicographically and collapse adjacent exact
+// duplicates. The paper positions the sorted-neighborhood method as a
+// generalization of this algorithm to approximate matching; it is included
+// as the classical baseline — it finds only byte-identical records, which
+// on corrupted data is a small fraction of the true duplicates.
+
+#ifndef MERGEPURGE_CORE_DUPLICATE_ELIMINATION_H_
+#define MERGEPURGE_CORE_DUPLICATE_ELIMINATION_H_
+
+#include "core/sorted_neighborhood.h"
+#include "record/dataset.h"
+
+namespace mergepurge {
+
+class ExactDuplicateElimination {
+ public:
+  // Emits a pair for every two byte-identical records (grouped, so a
+  // k-duplicate group contributes k-1 chained pairs; closure restores the
+  // full group).
+  PassResult Run(const Dataset& dataset) const;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_CORE_DUPLICATE_ELIMINATION_H_

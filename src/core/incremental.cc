@@ -1,0 +1,132 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "text/normalize.h"
+
+namespace mergepurge {
+
+IncrementalMergePurge::IncrementalMergePurge(MergePurgeOptions options)
+    : options_(std::move(options)) {
+  for (const KeySpec& spec : options_.keys) {
+    KeyState state;
+    state.spec = spec;
+    key_states_.push_back(std::move(state));
+  }
+}
+
+Result<uint64_t> IncrementalMergePurge::AddBatch(
+    const Dataset& batch, const EquationalTheory& theory) {
+  if (options_.keys.empty()) {
+    return Status::InvalidArgument("no keys configured");
+  }
+  if (options_.window < 2) {
+    return Status::InvalidArgument("window must be >= 2");
+  }
+  if (!all_.empty() && !(all_.schema() == batch.schema())) {
+    return Status::InvalidArgument("batch schema differs from previous");
+  }
+  if (options_.condition_records &&
+      !(batch.schema() == employee::MakeSchema())) {
+    return Status::InvalidArgument(
+        "condition_records=true requires the employee schema");
+  }
+
+  // Condition a private copy of the batch, then append to the store.
+  Dataset conditioned;
+  const Dataset* incoming = &batch;
+  if (options_.condition_records) {
+    conditioned = batch;
+    ConditionEmployeeDataset(&conditioned);
+    incoming = &conditioned;
+  }
+  const TupleId first_new = static_cast<TupleId>(all_.size());
+  if (all_.empty()) all_ = Dataset(batch.schema());
+  for (const Record& r : incoming->records()) all_.Append(r);
+  const TupleId end_new = static_cast<TupleId>(all_.size());
+  closure_.Grow(all_.size());
+
+  const size_t w = options_.window;
+  uint64_t new_pairs = 0;
+
+  for (KeyState& state : key_states_) {
+    KeyBuilder builder(state.spec);
+    MERGEPURGE_RETURN_NOT_OK(builder.Validate(all_.schema()));
+
+    // Key + sort the new tuple ids.
+    state.keys.resize(all_.size());
+    std::vector<TupleId> fresh;
+    fresh.reserve(end_new - first_new);
+    for (TupleId t = first_new; t < end_new; ++t) {
+      state.keys[t] = builder.BuildKey(all_.record(t));
+      fresh.push_back(t);
+    }
+    std::sort(fresh.begin(), fresh.end(),
+              [&state](TupleId a, TupleId b) {
+                int cmp = state.keys[a].compare(state.keys[b]);
+                if (cmp != 0) return cmp < 0;
+                return a < b;
+              });
+
+    // Linear merge into the existing order; is_new marks fresh positions.
+    std::vector<TupleId> merged;
+    merged.reserve(state.order.size() + fresh.size());
+    std::vector<char> is_new;
+    is_new.reserve(merged.capacity());
+    size_t i = 0;
+    size_t j = 0;
+    while (i < state.order.size() && j < fresh.size()) {
+      int cmp = state.keys[state.order[i]].compare(state.keys[fresh[j]]);
+      bool take_old = cmp < 0 || (cmp == 0 && state.order[i] < fresh[j]);
+      merged.push_back(take_old ? state.order[i] : fresh[j]);
+      is_new.push_back(take_old ? 0 : 1);
+      take_old ? ++i : ++j;
+    }
+    for (; i < state.order.size(); ++i) {
+      merged.push_back(state.order[i]);
+      is_new.push_back(0);
+    }
+    for (; j < fresh.size(); ++j) {
+      merged.push_back(fresh[j]);
+      is_new.push_back(1);
+    }
+
+    // Window-scan only the disturbed neighborhoods: every in-window pair
+    // involving at least one new record.
+    for (size_t p = 0; p < merged.size(); ++p) {
+      if (!is_new[p]) continue;
+      const size_t lo = p >= w - 1 ? p - (w - 1) : 0;
+      for (size_t q = lo; q < p; ++q) {
+        // New-new pairs are scanned once (q < p); new-old always.
+        if (theory.Matches(all_.record(merged[q]),
+                           all_.record(merged[p]))) {
+          if (pairs_.Add(merged[q], merged[p])) ++new_pairs;
+          closure_.Union(merged[q], merged[p]);
+        }
+      }
+      const size_t hi = std::min(merged.size(), p + w);
+      for (size_t q = p + 1; q < hi; ++q) {
+        if (is_new[q]) continue;  // Handled from q's own loop.
+        if (theory.Matches(all_.record(merged[p]),
+                           all_.record(merged[q]))) {
+          if (pairs_.Add(merged[p], merged[q])) ++new_pairs;
+          closure_.Union(merged[p], merged[q]);
+        }
+      }
+    }
+    state.order = std::move(merged);
+  }
+  return new_pairs;
+}
+
+std::vector<uint32_t> IncrementalMergePurge::ComponentLabels() const {
+  return closure_.ComponentLabels();
+}
+
+Dataset IncrementalMergePurge::Purge() const {
+  MergePurgeResult result;
+  result.component_of = ComponentLabels();
+  return result.Purge(all_);
+}
+
+}  // namespace mergepurge

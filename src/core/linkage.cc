@@ -1,0 +1,67 @@
+#include "core/linkage.h"
+
+#include <algorithm>
+
+#include "text/normalize.h"
+
+namespace mergepurge {
+
+LinkageEngine::LinkageEngine(MergePurgeOptions options)
+    : options_(std::move(options)) {}
+
+Result<LinkageResult> LinkageEngine::Run(
+    const Dataset& left, const Dataset& right,
+    const EquationalTheory& theory) const {
+  if (options_.keys.empty()) {
+    return Status::InvalidArgument("MergePurgeOptions.keys is empty");
+  }
+  if (options_.window < 2) {
+    return Status::InvalidArgument("window must be >= 2");
+  }
+  if (!(left.schema() == right.schema())) {
+    return Status::InvalidArgument("sources have different schemas");
+  }
+
+  // Concatenate: left tuples keep their ids, right tuples are shifted.
+  Dataset combined = left;
+  MERGEPURGE_RETURN_NOT_OK(combined.Concatenate(right));
+  if (options_.condition_records) {
+    if (!(combined.schema() == employee::MakeSchema())) {
+      return Status::InvalidArgument(
+          "condition_records=true requires the employee schema");
+    }
+    ConditionEmployeeDataset(&combined);
+  }
+
+  MultiPass::Method method =
+      options_.method == MergePurgeOptions::Method::kSortedNeighborhood
+          ? MultiPass::Method::kSortedNeighborhood
+          : MultiPass::Method::kClustering;
+  MultiPass multipass(method, options_.window, options_.clustering);
+  Result<MultiPassResult> detail =
+      multipass.Run(combined, options_.keys, theory);
+  if (!detail.ok()) return detail.status();
+
+  LinkageResult result;
+  result.left_size = left.size();
+  result.right_size = right.size();
+  result.detail = std::move(*detail);
+
+  // Filter to cross-boundary pairs (pairs are normalized lo < hi, so lo is
+  // the left-side tuple when the pair crosses).
+  const TupleId boundary = static_cast<TupleId>(left.size());
+  PairSet cross;
+  for (const PassResult& pass : result.detail.passes) {
+    pass.pairs.ForEach([&](TupleId a, TupleId b) {
+      TupleId lo = std::min(a, b);
+      TupleId hi = std::max(a, b);
+      if (lo < boundary && hi >= boundary) cross.Add(lo, hi);
+    });
+  }
+  for (const auto& [lo, hi] : cross.ToSortedVector()) {
+    result.links.emplace_back(lo, hi - boundary);
+  }
+  return result;
+}
+
+}  // namespace mergepurge

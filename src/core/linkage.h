@@ -1,0 +1,50 @@
+// Cross-source record linkage: the variant of merge/purge where only
+// matches BETWEEN two sources matter (e.g., linking a new purchased list
+// against the house file) and within-source duplicates are out of scope.
+// Implemented by concatenating the sources, running the normal multi-pass
+// process, and filtering the discovered pairs to those that cross the
+// source boundary BEFORE the closure — so within-source matches cannot
+// bridge two cross-source entities transitively unless the cross-source
+// evidence itself exists.
+
+#ifndef MERGEPURGE_CORE_LINKAGE_H_
+#define MERGEPURGE_CORE_LINKAGE_H_
+
+#include <vector>
+
+#include "core/merge_purge.h"
+#include "record/dataset.h"
+#include "rules/equational_theory.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+struct LinkageResult {
+  // One entry per discovered link: (tuple id in left, tuple id in right),
+  // ids LOCAL to each source dataset.
+  std::vector<std::pair<TupleId, TupleId>> links;
+
+  // Per-pass detail from the underlying multi-pass run (tuple ids are in
+  // the concatenated space: left tuples first, then right).
+  MultiPassResult detail;
+
+  size_t left_size = 0;
+  size_t right_size = 0;
+};
+
+class LinkageEngine {
+ public:
+  // Same options as MergePurgeEngine (method, keys, window, conditioning).
+  explicit LinkageEngine(MergePurgeOptions options);
+
+  // Finds links between records of `left` and `right` (same schema).
+  Result<LinkageResult> Run(const Dataset& left, const Dataset& right,
+                            const EquationalTheory& theory) const;
+
+ private:
+  MergePurgeOptions options_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_CORE_LINKAGE_H_

@@ -1,0 +1,55 @@
+#include "core/multipass.h"
+
+#include <unordered_set>
+
+#include "util/timer.h"
+
+namespace mergepurge {
+
+std::vector<uint32_t> TransitiveClosure(
+    const std::vector<const PairSet*>& pair_sets, size_t n) {
+  UnionFind uf(n);
+  for (const PairSet* pairs : pair_sets) {
+    pairs->ForEach([&uf](TupleId a, TupleId b) { uf.Union(a, b); });
+  }
+  return uf.ComponentLabels();
+}
+
+std::vector<uint32_t> TransitiveClosure(const PairSet& pairs, size_t n) {
+  return TransitiveClosure(std::vector<const PairSet*>{&pairs}, n);
+}
+
+Result<MultiPassResult> MultiPass::Run(
+    const Dataset& dataset, const std::vector<KeySpec>& keys,
+    const EquationalTheory& theory) const {
+  if (keys.empty()) {
+    return Status::InvalidArgument("multi-pass requires at least one key");
+  }
+
+  MultiPassResult result;
+  for (const KeySpec& key : keys) {
+    Result<PassResult> pass =
+        method_ == Method::kSortedNeighborhood
+            ? SortedNeighborhood(window_).Run(dataset, key, theory)
+            : ClusteringMethod(clustering_options_).Run(dataset, key, theory);
+    if (!pass.ok()) return pass.status();
+    result.total_seconds += pass->total_seconds;
+    result.passes.push_back(std::move(*pass));
+  }
+
+  Timer closure_timer;
+  PairSet all_pairs;
+  std::vector<const PairSet*> pair_sets;
+  pair_sets.reserve(result.passes.size());
+  for (const PassResult& pass : result.passes) {
+    all_pairs.Merge(pass.pairs);
+    pair_sets.push_back(&pass.pairs);
+  }
+  result.union_pair_count = all_pairs.size();
+  result.component_of = TransitiveClosure(pair_sets, dataset.size());
+  result.closure_seconds = closure_timer.ElapsedSeconds();
+  result.total_seconds += result.closure_seconds;
+  return result;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,67 @@
+// MultiPass: "execute several independent runs of the sorted neighborhood
+// method, each time using a different key and a relatively small window
+// ... then apply the transitive closure to those pairs of records. The
+// results will be a union of all pairs discovered by all independent runs,
+// with no duplicates, plus all those pairs that can be inferred by
+// transitivity of equality." (paper §2.4)
+
+#ifndef MERGEPURGE_CORE_MULTIPASS_H_
+#define MERGEPURGE_CORE_MULTIPASS_H_
+
+#include <vector>
+
+#include "core/clustering_method.h"
+#include "core/sorted_neighborhood.h"
+#include "core/union_find.h"
+#include "keys/key_builder.h"
+#include "record/dataset.h"
+#include "rules/equational_theory.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+// Computes the transitive closure of the given pair sets over n tuples and
+// returns per-tuple component labels (tuples in the same component are
+// declared the same entity).
+std::vector<uint32_t> TransitiveClosure(
+    const std::vector<const PairSet*>& pair_sets, size_t n);
+
+// Convenience for a single pair set.
+std::vector<uint32_t> TransitiveClosure(const PairSet& pairs, size_t n);
+
+struct MultiPassResult {
+  std::vector<PassResult> passes;        // One per key, in input order.
+  std::vector<uint32_t> component_of;    // Closure over all passes' pairs.
+  double closure_seconds = 0.0;
+  double total_seconds = 0.0;            // Sum of pass times + closure.
+
+  // Number of distinct pairs across all passes before closure.
+  uint64_t union_pair_count = 0;
+};
+
+class MultiPass {
+ public:
+  enum class Method { kSortedNeighborhood, kClustering };
+
+  MultiPass(Method method, size_t window,
+            ClusteringOptions clustering_options = ClusteringOptions())
+      : method_(method),
+        window_(window),
+        clustering_options_(clustering_options) {
+    clustering_options_.window = window;
+  }
+
+  // Runs one pass per key and closes over the union of the results.
+  Result<MultiPassResult> Run(const Dataset& dataset,
+                              const std::vector<KeySpec>& keys,
+                              const EquationalTheory& theory) const;
+
+ private:
+  Method method_;
+  size_t window_;
+  ClusteringOptions clustering_options_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_CORE_MULTIPASS_H_

@@ -1,0 +1,28 @@
+#include "core/naive_all_pairs.h"
+
+#include "util/timer.h"
+
+namespace mergepurge {
+
+PassResult NaiveAllPairs::Run(const Dataset& dataset,
+                              const EquationalTheory& theory) const {
+  PassResult result;
+  result.key_name = "all-pairs";
+  Timer total;
+  const size_t n = dataset.size();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      ++result.comparisons;
+      if (theory.Matches(dataset.record(static_cast<TupleId>(i)),
+                         dataset.record(static_cast<TupleId>(j)))) {
+        ++result.matches;
+        result.pairs.Add(static_cast<TupleId>(i), static_cast<TupleId>(j));
+      }
+    }
+  }
+  result.scan_seconds = total.ElapsedSeconds();
+  result.total_seconds = result.scan_seconds;
+  return result;
+}
+
+}  // namespace mergepurge

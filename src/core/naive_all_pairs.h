@@ -1,0 +1,25 @@
+// NaiveAllPairs: the quadratic baseline — compare every pair of records.
+// "We presume a pure quadratic time process (i.e., comparing each pair of
+// records) is infeasible" (paper §2.1) for production sizes; it remains
+// the accuracy gold standard for the theory on small databases and anchors
+// the benchmarks' recall ceilings.
+
+#ifndef MERGEPURGE_CORE_NAIVE_ALL_PAIRS_H_
+#define MERGEPURGE_CORE_NAIVE_ALL_PAIRS_H_
+
+#include "core/sorted_neighborhood.h"
+#include "record/dataset.h"
+#include "rules/equational_theory.h"
+
+namespace mergepurge {
+
+class NaiveAllPairs {
+ public:
+  // Compares all N*(N-1)/2 pairs. Only sensible for small datasets.
+  PassResult Run(const Dataset& dataset,
+                 const EquationalTheory& theory) const;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_CORE_NAIVE_ALL_PAIRS_H_

@@ -1,0 +1,33 @@
+#include "core/pair_set.h"
+
+#include <algorithm>
+
+namespace mergepurge {
+
+bool PairSet::Add(TupleId a, TupleId b) {
+  if (a == b) return false;
+  return packed_.insert(Pack(a, b)).second;
+}
+
+bool PairSet::Contains(TupleId a, TupleId b) const {
+  if (a == b) return false;
+  return packed_.count(Pack(a, b)) != 0;
+}
+
+void PairSet::Merge(const PairSet& other) {
+  packed_.insert(other.packed_.begin(), other.packed_.end());
+}
+
+std::vector<std::pair<TupleId, TupleId>> PairSet::ToSortedVector() const {
+  std::vector<uint64_t> packed(packed_.begin(), packed_.end());
+  std::sort(packed.begin(), packed.end());
+  std::vector<std::pair<TupleId, TupleId>> out;
+  out.reserve(packed.size());
+  for (uint64_t p : packed) {
+    out.emplace_back(static_cast<TupleId>(p >> 32),
+                     static_cast<TupleId>(p & 0xffffffffu));
+  }
+  return out;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,61 @@
+// PairSet: a deduplicated set of unordered tuple-id pairs — the output of
+// a merge pass ("each independent run will produce a set of pairs of
+// records which can be merged", paper §2.4). Pairs are stored as packed
+// 64-bit keys (lo id in the high word) in a hash set.
+
+#ifndef MERGEPURGE_CORE_PAIR_SET_H_
+#define MERGEPURGE_CORE_PAIR_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "record/record.h"
+
+namespace mergepurge {
+
+class PairSet {
+ public:
+  PairSet() = default;
+
+  // Adds the unordered pair {a, b}; ignores self-pairs. Returns true if
+  // the pair was new.
+  bool Add(TupleId a, TupleId b);
+
+  bool Contains(TupleId a, TupleId b) const;
+
+  size_t size() const { return packed_.size(); }
+  bool empty() const { return packed_.empty(); }
+
+  // Inserts every pair of `other`.
+  void Merge(const PairSet& other);
+
+  // Materializes (lo, hi) pairs, sorted for deterministic iteration.
+  std::vector<std::pair<TupleId, TupleId>> ToSortedVector() const;
+
+  // Applies fn(lo, hi) to each pair in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (uint64_t packed : packed_) {
+      fn(static_cast<TupleId>(packed >> 32),
+         static_cast<TupleId>(packed & 0xffffffffu));
+    }
+  }
+
+  void Reserve(size_t n) { packed_.reserve(n); }
+
+ private:
+  static uint64_t Pack(TupleId a, TupleId b) {
+    TupleId lo = a < b ? a : b;
+    TupleId hi = a < b ? b : a;
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  }
+
+  std::unordered_set<uint64_t> packed_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_CORE_PAIR_SET_H_

@@ -1,0 +1,74 @@
+// SortedNeighborhood: one pass of the sorted-neighborhood method
+// (paper §2.2): create keys -> sort -> window scan.
+
+#ifndef MERGEPURGE_CORE_SORTED_NEIGHBORHOOD_H_
+#define MERGEPURGE_CORE_SORTED_NEIGHBORHOOD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pair_set.h"
+#include "core/window_scanner.h"
+#include "keys/key_builder.h"
+#include "record/dataset.h"
+#include "rules/equational_theory.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+// The outcome and phase timings of one merge pass (either method).
+struct PassResult {
+  std::string key_name;
+  PairSet pairs;
+  uint64_t comparisons = 0;
+  uint64_t matches = 0;
+  double create_keys_seconds = 0.0;
+  double sort_seconds = 0.0;   // SNM: full sort; clustering: per-cluster sorts.
+  double cluster_seconds = 0.0;  // Clustering method only.
+  double scan_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+struct SnmOptions {
+  size_t window = 10;
+
+  // When > 0, the sort phase runs through the external k-way merge sorter
+  // with at most this many (key, tid) entries in memory — the paper's
+  // I/O-bound regime (§2.2: "for very large databases the dominant cost
+  // will be disk I/O"). 0 = in-memory sort.
+  size_t external_sort_memory = 0;
+
+  // Merge fan-in for the external sort (paper used 16).
+  size_t external_sort_fan_in = 16;
+
+  // Run-file directory for the external sort.
+  std::string temp_dir = "/tmp";
+};
+
+class SortedNeighborhood {
+ public:
+  explicit SortedNeighborhood(size_t window) { options_.window = window; }
+  explicit SortedNeighborhood(SnmOptions options)
+      : options_(std::move(options)) {}
+
+  size_t window() const { return options_.window; }
+  const SnmOptions& options() const { return options_; }
+
+  // Runs one full pass with `key` over `dataset`. window >= 2 required.
+  Result<PassResult> Run(const Dataset& dataset, const KeySpec& key,
+                         const EquationalTheory& theory) const;
+
+  // Sorts tuple ids of `dataset` by the key (ties broken by tuple id for
+  // determinism). Exposed for the parallel implementation and tests.
+  static std::vector<TupleId> SortByKey(const Dataset& dataset,
+                                        const KeySpec& key);
+
+ private:
+  SnmOptions options_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_CORE_SORTED_NEIGHBORHOOD_H_

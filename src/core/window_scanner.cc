@@ -1,0 +1,36 @@
+#include "core/window_scanner.h"
+
+namespace mergepurge {
+
+ScanStats WindowScanner::Scan(const Dataset& dataset,
+                              const std::vector<TupleId>& order,
+                              const EquationalTheory& theory,
+                              PairSet* pairs) const {
+  return ScanRange(dataset, order, 0, order.size(), theory, pairs);
+}
+
+ScanStats WindowScanner::ScanRange(const Dataset& dataset,
+                                   const std::vector<TupleId>& order,
+                                   size_t begin, size_t end,
+                                   const EquationalTheory& theory,
+                                   PairSet* pairs) const {
+  ScanStats stats;
+  if (window_ < 2 || begin >= end) return stats;
+  for (size_t i = begin + 1; i < end; ++i) {
+    const TupleId entering = order[i];
+    const Record& new_record = dataset.record(entering);
+    const size_t window_start =
+        (i - begin >= window_ - 1) ? i - (window_ - 1) : begin;
+    for (size_t j = window_start; j < i; ++j) {
+      ++stats.comparisons;
+      const TupleId other = order[j];
+      if (theory.Matches(dataset.record(other), new_record)) {
+        ++stats.matches;
+        pairs->Add(other, entering);
+      }
+    }
+  }
+  return stats;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,52 @@
+// WindowScanner: the merge phase of the sorted-neighborhood method
+// (paper §2.2, figure 1). "Move a fixed size window through the sequential
+// list of records limiting the comparisons for matching records to those
+// records in the window. If the size of the window is w records, then
+// every new record entering the window is compared with the previous w-1
+// records to find 'matching' records."
+
+#ifndef MERGEPURGE_CORE_WINDOW_SCANNER_H_
+#define MERGEPURGE_CORE_WINDOW_SCANNER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/pair_set.h"
+#include "record/dataset.h"
+#include "rules/equational_theory.h"
+
+namespace mergepurge {
+
+struct ScanStats {
+  uint64_t comparisons = 0;
+  uint64_t matches = 0;
+};
+
+class WindowScanner {
+ public:
+  // window must be >= 2 (a window of 1 compares nothing).
+  explicit WindowScanner(size_t window) : window_(window) {}
+
+  size_t window() const { return window_; }
+
+  // Scans `order` (tuple ids in sorted sequence) over `dataset`, applying
+  // `theory` to each in-window pair; matching pairs are added to `pairs`.
+  ScanStats Scan(const Dataset& dataset, const std::vector<TupleId>& order,
+                 const EquationalTheory& theory, PairSet* pairs) const;
+
+  // Scans a contiguous sub-range [begin, end) of `order`; used by the
+  // parallel implementation, where fragments overlap by window-1 records
+  // so the fragmentation is invisible (paper figure 5).
+  ScanStats ScanRange(const Dataset& dataset,
+                      const std::vector<TupleId>& order, size_t begin,
+                      size_t end, const EquationalTheory& theory,
+                      PairSet* pairs) const;
+
+ private:
+  size_t window_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_CORE_WINDOW_SCANNER_H_

@@ -1,0 +1,68 @@
+#include "eval/key_quality.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/sorted_neighborhood.h"
+
+namespace mergepurge {
+
+Result<KeyQualityReport> AnalyzeKeyQuality(const Dataset& dataset,
+                                           const GroundTruth& truth,
+                                           const KeySpec& key,
+                                           std::vector<uint64_t> windows) {
+  KeyBuilder builder(key);
+  MERGEPURGE_RETURN_NOT_OK(builder.Validate(dataset.schema()));
+
+  KeyQualityReport report;
+  report.key_name = key.name;
+
+  // Position of each tuple in the key's sorted order.
+  std::vector<TupleId> order = SortedNeighborhood::SortByKey(dataset, key);
+  std::vector<uint64_t> position(dataset.size());
+  for (size_t p = 0; p < order.size(); ++p) position[order[p]] = p;
+
+  // Gap of every true pair: group tuples by origin, then all in-group
+  // pairs.
+  std::unordered_map<uint32_t, std::vector<TupleId>> groups;
+  for (size_t t = 0; t < dataset.size(); ++t) {
+    groups[truth.origin_of(static_cast<TupleId>(t))].push_back(
+        static_cast<TupleId>(t));
+  }
+  std::vector<uint64_t> gaps;
+  for (const auto& [origin, members] : groups) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        uint64_t pi = position[members[i]];
+        uint64_t pj = position[members[j]];
+        gaps.push_back(pi > pj ? pi - pj : pj - pi);
+      }
+    }
+  }
+  report.true_pairs = gaps.size();
+  if (gaps.empty()) return report;
+
+  std::sort(gaps.begin(), gaps.end());
+  report.adjacent_pairs = static_cast<uint64_t>(
+      std::upper_bound(gaps.begin(), gaps.end(), 1) - gaps.begin());
+  report.median_gap = gaps[gaps.size() / 2];
+  report.p90_gap = gaps[gaps.size() * 9 / 10];
+  report.max_gap = gaps.back();
+  report.far_fraction =
+      static_cast<double>(gaps.end() -
+                          std::upper_bound(gaps.begin(), gaps.end(), 50)) /
+      static_cast<double>(gaps.size());
+
+  for (uint64_t w : windows) {
+    uint64_t reachable = static_cast<uint64_t>(
+        std::upper_bound(gaps.begin(), gaps.end(), w > 0 ? w - 1 : 0) -
+        gaps.begin());
+    report.coverage_windows.push_back(w);
+    report.coverage_percent.push_back(
+        100.0 * static_cast<double>(reachable) /
+        static_cast<double>(gaps.size()));
+  }
+  return report;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,58 @@
+// Key-quality analysis (paper §2.4: "the choice of keys for sorting,
+// their order, and the extraction of relevant information from a key
+// field is a knowledge intensive activity that must be explored prior to
+// running a merge/purge process").
+//
+// Given a dataset with ground truth and a key spec, the analyzer sorts by
+// the key and measures, for every true duplicate pair, the DISTANCE
+// between its two records in the sorted order. The distribution answers
+// the operational questions directly:
+//   * coverage_at(w): the recall CEILING of a single SNM pass with window
+//     w under this key (pairs farther apart than w-1 cannot be compared);
+//   * median/p90 gap: how large a window this key would need;
+//   * far_fraction: the share of pairs this key can never catch cheaply —
+//     the reason multi-pass with complementary keys wins.
+
+#ifndef MERGEPURGE_EVAL_KEY_QUALITY_H_
+#define MERGEPURGE_EVAL_KEY_QUALITY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/generator.h"
+#include "keys/key_builder.h"
+#include "record/dataset.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+struct KeyQualityReport {
+  std::string key_name;
+  uint64_t true_pairs = 0;
+
+  // Sorted-order gap distribution over true pairs.
+  uint64_t adjacent_pairs = 0;   // Gap == 1.
+  uint64_t median_gap = 0;
+  uint64_t p90_gap = 0;
+  uint64_t max_gap = 0;
+
+  // Fraction of true pairs with gap > 50 (incurable by any practical
+  // window; the paper's w sweep stopped at 50).
+  double far_fraction = 0.0;
+
+  // Recall ceiling of a single pass with window w: fraction of true pairs
+  // with gap <= w - 1. `coverage_windows` lists the probed w values
+  // aligned with `coverage_percent`.
+  std::vector<uint64_t> coverage_windows;
+  std::vector<double> coverage_percent;
+};
+
+// Analyzes `key` over the dataset + truth. Probes coverage at the given
+// windows (default {2, 5, 10, 20, 50}).
+Result<KeyQualityReport> AnalyzeKeyQuality(
+    const Dataset& dataset, const GroundTruth& truth, const KeySpec& key,
+    std::vector<uint64_t> windows = {2, 5, 10, 20, 50});
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_EVAL_KEY_QUALITY_H_

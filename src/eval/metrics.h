@@ -1,0 +1,45 @@
+// Accuracy metrics against generator ground truth.
+//
+// All evaluation is equivalence-class based: a run's output (a pair set or
+// the multi-pass closure) is first closed transitively, then every pair of
+// tuples sharing a component is a "detected duplicated pair". Against the
+// ground truth this yields the paper's two curves:
+//   * recall_percent — "percent of correctly detected duplicated pairs"
+//     (figure 2a): detected true pairs / total true pairs;
+//   * false_positive_percent — "percent of incorrectly detected duplicated
+//     pairs" (figure 2b): detected false pairs / total true pairs.
+
+#ifndef MERGEPURGE_EVAL_METRICS_H_
+#define MERGEPURGE_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/pair_set.h"
+#include "gen/generator.h"
+
+namespace mergepurge {
+
+struct AccuracyReport {
+  uint64_t true_pairs = 0;       // Ground-truth duplicate pairs.
+  uint64_t found_pairs = 0;      // Pairs implied by the found components.
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+
+  double recall_percent = 0.0;
+  double false_positive_percent = 0.0;  // FP / true_pairs * 100.
+  double precision_percent = 0.0;       // TP / found_pairs * 100.
+};
+
+// Evaluates per-tuple component labels (e.g. MultiPassResult.component_of).
+AccuracyReport EvaluateComponents(const std::vector<uint32_t>& component_of,
+                                  const GroundTruth& truth);
+
+// Closes `pairs` over n tuples, then evaluates the components.
+AccuracyReport EvaluatePairSet(const PairSet& pairs, size_t n,
+                               const GroundTruth& truth);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_EVAL_METRICS_H_

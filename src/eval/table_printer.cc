@@ -1,0 +1,66 @@
+#include "eval/table_printer.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) out += "  ";
+      out += cells[c];
+      out.append(widths[c] - cells[c].size(), ' ');
+    }
+    // Trim trailing padding.
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+
+  append_row(headers_);
+  std::vector<std::string> rule;
+  for (size_t width : widths) rule.push_back(std::string(width, '-'));
+  append_row(rule);
+  for (const auto& row : rows_) append_row(row);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  std::string text = ToString();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fflush(stdout);
+}
+
+std::string FormatDouble(double value, int decimals) {
+  return StringPrintf("%.*f", decimals, value);
+}
+
+std::string FormatPercent(double value) {
+  return StringPrintf("%.2f%%", value);
+}
+
+std::string FormatCount(uint64_t value) {
+  return StringPrintf("%llu", static_cast<unsigned long long>(value));
+}
+
+}  // namespace mergepurge

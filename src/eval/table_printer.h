@@ -1,0 +1,36 @@
+// Aligned plain-text tables for the benchmark harnesses (each figure bench
+// prints the paper's series as one of these tables).
+
+#ifndef MERGEPURGE_EVAL_TABLE_PRINTER_H_
+#define MERGEPURGE_EVAL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace mergepurge {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  // Rows shorter than the header are padded with empty cells.
+  void AddRow(std::vector<std::string> cells);
+
+  std::string ToString() const;
+
+  // Writes ToString() to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Number formatting helpers for table cells.
+std::string FormatDouble(double value, int decimals = 2);
+std::string FormatPercent(double value);
+std::string FormatCount(uint64_t value);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_EVAL_TABLE_PRINTER_H_

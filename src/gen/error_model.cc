@@ -1,0 +1,139 @@
+#include "gen/error_model.h"
+
+#include <cctype>
+
+#include "text/keyboard_distance.h"
+
+namespace mergepurge {
+
+ErrorModel::ErrorModel(TypoFrequencies frequencies, double adjacent_key_bias)
+    : frequencies_(frequencies), adjacent_key_bias_(adjacent_key_bias) {}
+
+int ErrorModel::SampleTypoCount(double severity, Rng* rng) const {
+  if (severity < 0.0) severity = 0.0;
+  // Geometric-style tail: P(>=k+1 | >=k) grows with severity but is capped
+  // so fields never dissolve into noise entirely.
+  double continue_prob = 0.20 * severity;
+  if (continue_prob > 0.6) continue_prob = 0.6;
+  int count = 1;
+  while (count < 6 && rng->NextBernoulli(continue_prob)) ++count;
+  return count;
+}
+
+ErrorModel::TypoType ErrorModel::SampleType(Rng* rng) const {
+  size_t pick = rng->NextWeighted(
+      {frequencies_.substitution, frequencies_.deletion,
+       frequencies_.insertion, frequencies_.transposition});
+  switch (pick) {
+    case 0:
+      return TypoType::kSubstitution;
+    case 1:
+      return TypoType::kDeletion;
+    case 2:
+      return TypoType::kInsertion;
+    default:
+      return TypoType::kTransposition;
+  }
+}
+
+char ErrorModel::RandomCharLike(char context, Rng* rng) const {
+  if (std::isdigit(static_cast<unsigned char>(context))) {
+    return static_cast<char>('0' + rng->NextBounded(10));
+  }
+  return static_cast<char>('A' + rng->NextBounded(26));
+}
+
+char ErrorModel::SubstituteChar(char original, Rng* rng) const {
+  // Digits stay digits (an SSN or zip with a letter would be rejected at
+  // data entry); the adjacent-key effect becomes the neighbouring digit.
+  if (std::isdigit(static_cast<unsigned char>(original))) {
+    if (rng->NextBernoulli(adjacent_key_bias_)) {
+      char lo = original == '0' ? '1' : static_cast<char>(original - 1);
+      char hi = original == '9' ? '8' : static_cast<char>(original + 1);
+      return rng->NextBernoulli(0.5) ? lo : hi;
+    }
+    char replacement = static_cast<char>('0' + rng->NextBounded(10));
+    while (replacement == original) {
+      replacement = static_cast<char>('0' + rng->NextBounded(10));
+    }
+    return replacement;
+  }
+  // Typists usually hit a neighbouring key.
+  if (rng->NextBernoulli(adjacent_key_bias_)) {
+    char neighbor = NeighborKey(
+        original, static_cast<unsigned>(rng->NextBounded(8)));
+    if (neighbor != original) {
+      if (std::isupper(static_cast<unsigned char>(original))) {
+        neighbor = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(neighbor)));
+      }
+      return neighbor;
+    }
+  }
+  char replacement = RandomCharLike(original, rng);
+  // Guarantee the substitution changes the character.
+  while (replacement == original) replacement = RandomCharLike(original, rng);
+  return replacement;
+}
+
+std::string ErrorModel::InjectOneTypo(std::string_view s, Rng* rng) const {
+  std::string out(s);
+  if (out.empty()) {
+    // Insertion is the only typo applicable to an empty field.
+    out += static_cast<char>('A' + rng->NextBounded(26));
+    return out;
+  }
+  TypoType type = SampleType(rng);
+  size_t pos = rng->NextBounded(out.size());
+  switch (type) {
+    case TypoType::kSubstitution:
+      out[pos] = SubstituteChar(out[pos], rng);
+      break;
+    case TypoType::kDeletion:
+      out.erase(pos, 1);
+      break;
+    case TypoType::kInsertion: {
+      char c = RandomCharLike(out[pos], rng);
+      out.insert(out.begin() + static_cast<long>(pos), c);
+      break;
+    }
+    case TypoType::kTransposition:
+      if (out.size() >= 2) {
+        if (pos == out.size() - 1) --pos;
+        if (out[pos] != out[pos + 1]) {
+          std::swap(out[pos], out[pos + 1]);
+        } else {
+          // Transposing equal characters is a no-op; substitute instead so
+          // the corruption always takes effect.
+          out[pos] = SubstituteChar(out[pos], rng);
+        }
+      } else {
+        out[pos] = SubstituteChar(out[pos], rng);
+      }
+      break;
+  }
+  return out;
+}
+
+std::string ErrorModel::InjectTypos(std::string_view s, int count,
+                                    Rng* rng) const {
+  std::string out(s);
+  for (int i = 0; i < count; ++i) out = InjectOneTypo(out, rng);
+  return out;
+}
+
+std::string ErrorModel::TransposeDigits(std::string_view digits,
+                                        Rng* rng) const {
+  std::string out(digits);
+  if (out.size() < 2) return out;
+  size_t pos = rng->NextBounded(out.size() - 1);
+  // Find a position where the swap is visible.
+  for (size_t tries = 0; tries < out.size() && out[pos] == out[pos + 1];
+       ++tries) {
+    pos = rng->NextBounded(out.size() - 1);
+  }
+  std::swap(out[pos], out[pos + 1]);
+  return out;
+}
+
+}  // namespace mergepurge

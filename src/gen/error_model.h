@@ -1,0 +1,64 @@
+// Typographical error model for the database generator.
+//
+// Error-type frequencies follow the spelling-correction literature the
+// paper cites (Kukich, ACM Computing Surveys 24(4), 1992): the vast
+// majority of misspellings are single errors, split across substitution,
+// deletion, insertion and adjacent transposition; typed substitutions are
+// strongly biased toward QWERTY-adjacent keys.
+
+#ifndef MERGEPURGE_GEN_ERROR_MODEL_H_
+#define MERGEPURGE_GEN_ERROR_MODEL_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/random.h"
+
+namespace mergepurge {
+
+// Relative frequencies of the four primitive typo operations. Values are
+// weights (normalized internally).
+struct TypoFrequencies {
+  double substitution = 0.40;
+  double deletion = 0.25;
+  double insertion = 0.20;
+  double transposition = 0.15;
+};
+
+class ErrorModel {
+ public:
+  explicit ErrorModel(TypoFrequencies frequencies = TypoFrequencies(),
+                      double adjacent_key_bias = 0.65);
+
+  // Samples how many typos a corrupted field receives. Severity 1.0 yields
+  // the literature's distribution (~80% single error, ~15% double, ~5%
+  // triple); higher severity shifts mass to more errors. Always >= 1.
+  int SampleTypoCount(double severity, Rng* rng) const;
+
+  // Applies `count` random typos. Alphabetic input yields alphabetic
+  // noise; digit positions get digit noise, so SSNs/zips stay digit
+  // strings.
+  std::string InjectTypos(std::string_view s, int count, Rng* rng) const;
+
+  // Applies exactly one typo of a sampled type.
+  std::string InjectOneTypo(std::string_view s, Rng* rng) const;
+
+  // Transposes two adjacent digits of a digit string (the paper's
+  // "193456782 vs 913456782" SSN error). Position is random; strings
+  // shorter than 2 are returned unchanged.
+  std::string TransposeDigits(std::string_view digits, Rng* rng) const;
+
+ private:
+  enum class TypoType { kSubstitution, kDeletion, kInsertion, kTransposition };
+
+  TypoType SampleType(Rng* rng) const;
+  char RandomCharLike(char context, Rng* rng) const;
+  char SubstituteChar(char original, Rng* rng) const;
+
+  TypoFrequencies frequencies_;
+  double adjacent_key_bias_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_GEN_ERROR_MODEL_H_

@@ -1,0 +1,265 @@
+#include "gen/generator.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "gen/names_data.h"
+#include "gen/places_data.h"
+#include "text/nicknames.h"
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+GroundTruth::GroundTruth(std::vector<uint32_t> origin_of)
+    : origin_of_(std::move(origin_of)) {
+  std::unordered_map<uint32_t, uint64_t> cluster_sizes;
+  for (uint32_t origin : origin_of_) ++cluster_sizes[origin];
+  for (const auto& [origin, size] : cluster_sizes) {
+    num_true_pairs_ += size * (size - 1) / 2;
+    num_duplicate_tuples_ += size - 1;
+  }
+}
+
+DatabaseGenerator::DatabaseGenerator(GeneratorConfig config)
+    : config_(config), error_model_() {}
+
+namespace {
+
+// Street types cycled through address generation.
+constexpr const char* kStreetTypes[] = {"ST", "AVE", "RD", "DR", "LN",
+                                        "BLVD", "CT", "PL"};
+
+std::string RandomNicknameVariant(std::string_view first_name, Rng* rng) {
+  // Walk the default nickname groups: pick another variant that shares the
+  // canonical form. The table maps variant -> canonical, so we search for a
+  // different variant with the same canonical by probing known diminutive
+  // transformations first, then fall back to the canonical itself.
+  const NicknameTable& table = NicknameTable::Default();
+  std::string canonical = table.Canonicalize(first_name);
+  if (!EqualsIgnoreCase(canonical, first_name)) {
+    // The name itself is a variant: use the canonical form.
+    return canonical;
+  }
+  // The name is canonical. Derive a plausible diminutive deterministically:
+  // prefix truncation is the most common English diminutive ("DAN", "ROB").
+  if (first_name.size() > 4) {
+    size_t keep = 3 + rng->NextBounded(2);
+    return std::string(first_name.substr(0, keep));
+  }
+  return std::string(first_name);
+}
+
+}  // namespace
+
+Record DatabaseGenerator::MakeOriginal(uint64_t ordinal, Rng* rng) const {
+  Record r;
+  // SSN: 9 digits; ordinal-based prefix keeps originals distinct, low
+  // digits randomized so sorting by SSN is not generation order.
+  std::string ssn = StringPrintf("%09llu",
+                                 static_cast<unsigned long long>(
+                                     (ordinal * 2654435761ull +
+                                      rng->NextBounded(997)) %
+                                     1000000000ull));
+  r.set_field(employee::kSsn, std::move(ssn));
+  r.set_field(employee::kFirstName,
+              FirstNameAt(rng->NextBounded(NumFirstNames())));
+  if (rng->NextBernoulli(config_.empty_initial_prob)) {
+    r.set_field(employee::kInitial, "");
+  } else {
+    r.set_field(employee::kInitial,
+                std::string(1, static_cast<char>('A' + rng->NextBounded(26))));
+  }
+  r.set_field(employee::kLastName,
+              SurnameAt(rng->NextBounded(NumSurnames())));
+
+  std::string address =
+      StringPrintf("%llu %s %s",
+                   static_cast<unsigned long long>(1 + rng->NextBounded(9999)),
+                   StreetNameAt(rng->NextBounded(NumStreetNames())).c_str(),
+                   kStreetTypes[rng->NextBounded(8)]);
+  r.set_field(employee::kAddress, std::move(address));
+  if (rng->NextBernoulli(config_.empty_apartment_prob)) {
+    r.set_field(employee::kApartment, "");
+  } else {
+    r.set_field(employee::kApartment,
+                StringPrintf("APT %llu", static_cast<unsigned long long>(
+                                             1 + rng->NextBounded(99))));
+  }
+
+  Place place = PlaceAt(rng->NextBounded(NumPlaces()));
+  r.set_field(employee::kCity, place.city);
+  r.set_field(employee::kState, place.state);
+  r.set_field(employee::kZip,
+              StringPrintf("%05llu", static_cast<unsigned long long>(
+                                         place.zip_base)));
+  return r;
+}
+
+Record DatabaseGenerator::MakeDuplicate(const Record& original,
+                                        Rng* rng) const {
+  Record dup = original;
+
+  // --- Gross, field-replacing errors first. ---
+  if (rng->NextBernoulli(config_.ssn_transpose_prob)) {
+    dup.set_field(employee::kSsn,
+                  error_model_.TransposeDigits(dup.field(employee::kSsn),
+                                               rng));
+  }
+  if (rng->NextBernoulli(config_.last_name_change_prob)) {
+    // Marriage / alias: a completely different surname.
+    dup.set_field(employee::kLastName,
+                  SurnameAt(rng->NextBounded(NumSurnames())));
+  }
+  if (rng->NextBernoulli(config_.address_change_prob)) {
+    // The person moved: new street address and apartment, same city with
+    // probability 1/2 (local move) else a new place entirely.
+    dup.set_field(
+        employee::kAddress,
+        StringPrintf("%llu %s %s",
+                     static_cast<unsigned long long>(
+                         1 + rng->NextBounded(9999)),
+                     StreetNameAt(rng->NextBounded(NumStreetNames())).c_str(),
+                     kStreetTypes[rng->NextBounded(8)]));
+    dup.set_field(employee::kApartment, "");
+    if (rng->NextBernoulli(0.5)) {
+      Place place = PlaceAt(rng->NextBounded(NumPlaces()));
+      dup.set_field(employee::kCity, place.city);
+      dup.set_field(employee::kState, place.state);
+      dup.set_field(employee::kZip,
+                    StringPrintf("%05llu", static_cast<unsigned long long>(
+                                               place.zip_base)));
+    }
+  }
+  if (rng->NextBernoulli(config_.nickname_prob)) {
+    dup.set_field(employee::kFirstName,
+                  RandomNicknameVariant(dup.field(employee::kFirstName),
+                                        rng));
+  }
+  if (rng->NextBernoulli(config_.initial_flip_prob)) {
+    if (dup.field(employee::kInitial).empty()) {
+      dup.set_field(employee::kInitial,
+                    std::string(1, static_cast<char>(
+                                       'A' + rng->NextBounded(26))));
+    } else {
+      dup.set_field(employee::kInitial, "");
+    }
+  }
+  if (rng->NextBernoulli(config_.missing_field_prob)) {
+    // Blank out one of the optional fields.
+    static constexpr FieldId kOptional[] = {employee::kInitial,
+                                            employee::kApartment,
+                                            employee::kZip};
+    dup.set_field(kOptional[rng->NextBounded(3)], "");
+  }
+
+  // --- Per-field typographical noise. ---
+  static constexpr FieldId kTypoFields[] = {
+      employee::kSsn,     employee::kFirstName, employee::kLastName,
+      employee::kAddress, employee::kCity,      employee::kZip,
+  };
+  for (FieldId field : kTypoFields) {
+    if (dup.field(field).empty()) continue;
+    if (!rng->NextBernoulli(config_.field_corruption_prob)) continue;
+    int typos = error_model_.SampleTypoCount(config_.error_severity, rng);
+    dup.set_field(field,
+                  error_model_.InjectTypos(dup.field(field), typos, rng));
+  }
+  return dup;
+}
+
+Record DatabaseGenerator::MakeFamilyMember(const Record& relative,
+                                           uint64_t ordinal,
+                                           Rng* rng) const {
+  // Start from a fresh person (own SSN, initial, first name)...
+  Record member = MakeOriginal(ordinal, rng);
+  // ...living in the relative's household with the same surname.
+  member.set_field(employee::kLastName,
+                   std::string(relative.field(employee::kLastName)));
+  member.set_field(employee::kAddress,
+                   std::string(relative.field(employee::kAddress)));
+  member.set_field(employee::kApartment,
+                   std::string(relative.field(employee::kApartment)));
+  member.set_field(employee::kCity,
+                   std::string(relative.field(employee::kCity)));
+  member.set_field(employee::kState,
+                   std::string(relative.field(employee::kState)));
+  member.set_field(employee::kZip,
+                   std::string(relative.field(employee::kZip)));
+  if (rng->NextBernoulli(config_.family_similar_name_prob)) {
+    // A spouse or sibling with a similar-sounding name (MICHAEL/MICHAELA,
+    // JOHN/JOHNNA): derive by extending or trimming the partner's name.
+    std::string partner(relative.field(employee::kFirstName));
+    if (!partner.empty()) {
+      if (rng->NextBernoulli(0.5)) {
+        partner += (rng->NextBernoulli(0.5) ? "A" : "E");
+      } else if (partner.size() > 3) {
+        partner.pop_back();
+      }
+      member.set_field(employee::kFirstName, std::move(partner));
+    }
+  }
+  return member;
+}
+
+Result<GeneratedDatabase> DatabaseGenerator::Generate() const {
+  if (config_.num_records == 0) {
+    return Status::InvalidArgument("num_records must be > 0");
+  }
+  if (config_.duplicate_selection_rate < 0.0 ||
+      config_.duplicate_selection_rate > 1.0) {
+    return Status::InvalidArgument(
+        "duplicate_selection_rate must be in [0, 1]");
+  }
+  if (config_.max_duplicates_per_record < 0) {
+    return Status::InvalidArgument("max_duplicates_per_record must be >= 0");
+  }
+
+  Rng rng(config_.seed);
+  Rng original_rng = rng.Fork();
+  Rng duplicate_rng = rng.Fork();
+  Rng shuffle_rng = rng.Fork();
+
+  std::vector<Record> records;
+  std::vector<uint32_t> origin_of;
+
+  Record previous_original;
+  for (size_t i = 0; i < config_.num_records; ++i) {
+    Record original =
+        (i > 0 && original_rng.NextBernoulli(config_.family_prob))
+            ? MakeFamilyMember(previous_original, i, &original_rng)
+            : MakeOriginal(i, &original_rng);
+    bool selected =
+        original_rng.NextBernoulli(config_.duplicate_selection_rate);
+    int num_dups =
+        (selected && config_.max_duplicates_per_record > 0)
+            ? static_cast<int>(1 + duplicate_rng.NextBounded(
+                                       static_cast<uint64_t>(
+                                           config_.max_duplicates_per_record)))
+            : 0;
+    for (int d = 0; d < num_dups; ++d) {
+      records.push_back(MakeDuplicate(original, &duplicate_rng));
+      origin_of.push_back(static_cast<uint32_t>(i));
+    }
+    previous_original = original;
+    records.push_back(std::move(original));
+    origin_of.push_back(static_cast<uint32_t>(i));
+  }
+
+  if (config_.shuffle) {
+    // Fisher-Yates over records and provenance in lockstep.
+    for (size_t i = records.size(); i > 1; --i) {
+      size_t j = shuffle_rng.NextBounded(i);
+      std::swap(records[i - 1], records[j]);
+      std::swap(origin_of[i - 1], origin_of[j]);
+    }
+  }
+
+  GeneratedDatabase out;
+  out.dataset = Dataset(employee::MakeSchema());
+  out.dataset.Reserve(records.size());
+  for (Record& r : records) out.dataset.Append(std::move(r));
+  out.truth = GroundTruth(std::move(origin_of));
+  return out;
+}
+
+}  // namespace mergepurge

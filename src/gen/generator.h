@@ -1,0 +1,127 @@
+// Controlled synthetic database generation (paper §3.1).
+//
+// "All databases used to test the sorted neighborhood method and the
+// clustering method were generated automatically by a database generator
+// that allows us to perform controlled studies and to establish the
+// accuracy of the solution method."
+//
+// Parameters mirror the paper's: database size, the percentage of records
+// selected for duplication, the maximum number of duplicates per selected
+// record, and the amount (severity) of error introduced into duplicates.
+// The generator also produces the GroundTruth used by the accuracy metrics.
+
+#ifndef MERGEPURGE_GEN_GENERATOR_H_
+#define MERGEPURGE_GEN_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/error_model.h"
+#include "record/dataset.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+struct GeneratorConfig {
+  // Number of original (non-duplicate) records.
+  size_t num_records = 10000;
+
+  // Fraction of originals selected to receive duplicates (paper: 10%-50%).
+  double duplicate_selection_rate = 0.5;
+
+  // Each selected original receives between 1 and this many duplicates,
+  // uniformly (paper: "a maximum of 5 duplicates per selected record").
+  int max_duplicates_per_record = 5;
+
+  // Scales the number of typos per corrupted field (1.0 = literature
+  // distribution; see ErrorModel::SampleTypoCount).
+  double error_severity = 1.0;
+
+  // Per corruptible field, the probability a duplicate gets typos in it.
+  double field_corruption_prob = 0.35;
+
+  // Gross errors (paper: "range from small typographical changes, to
+  // complete change of last names and addresses").
+  double ssn_transpose_prob = 0.20;   // Transpose two adjacent SSN digits.
+  double last_name_change_prob = 0.04;  // Complete surname change.
+  double address_change_prob = 0.08;    // Complete move: address+apt change.
+  double nickname_prob = 0.15;          // First name replaced by a variant.
+  double missing_field_prob = 0.06;     // Blank out a non-key field.
+  double initial_flip_prob = 0.12;      // Initial appears/disappears/changes.
+
+  // Probability an original record has an empty middle initial / apartment.
+  double empty_initial_prob = 0.30;
+  double empty_apartment_prob = 0.60;
+
+  // Probability an original is a household member of the previous original:
+  // same surname and address but a DIFFERENT person (own SSN, own first
+  // name, often a similar-sounding one — the paper's "Michael Smith and
+  // Michele Smith could have the same address" example, §2.3). Households
+  // are what give the equational theory realistic false positives.
+  double family_prob = 0.05;
+
+  // Given a family member, probability the first name is derived from the
+  // partner's (MICHAEL -> MICHAELA) rather than drawn independently.
+  double family_similar_name_prob = 0.30;
+
+  // Shuffle the concatenated list so duplicates are not adjacent by
+  // construction (input order must not leak into accuracy).
+  bool shuffle = true;
+
+  uint64_t seed = 42;
+};
+
+// The per-tuple provenance of a generated database. Tuple t originates
+// from original record origin_of[t] (an id in [0, num_originals)); a pair
+// (a, b) is a true duplicate pair iff origin_of[a] == origin_of[b].
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  explicit GroundTruth(std::vector<uint32_t> origin_of);
+
+  size_t num_tuples() const { return origin_of_.size(); }
+  uint32_t origin_of(TupleId t) const { return origin_of_[t]; }
+
+  bool IsTruePair(TupleId a, TupleId b) const {
+    return a != b && origin_of_[a] == origin_of_[b];
+  }
+
+  // Number of unordered true duplicate pairs: sum over origin clusters of
+  // size k of k*(k-1)/2. This is the recall denominator.
+  uint64_t NumTruePairs() const { return num_true_pairs_; }
+
+  // Number of tuples that are duplicates (cluster size - 1 summed).
+  uint64_t NumDuplicateTuples() const { return num_duplicate_tuples_; }
+
+ private:
+  std::vector<uint32_t> origin_of_;
+  uint64_t num_true_pairs_ = 0;
+  uint64_t num_duplicate_tuples_ = 0;
+};
+
+struct GeneratedDatabase {
+  Dataset dataset;     // Employee schema; originals + duplicates, shuffled.
+  GroundTruth truth;
+};
+
+class DatabaseGenerator {
+ public:
+  explicit DatabaseGenerator(GeneratorConfig config);
+
+  // Generates the database. Deterministic in config.seed.
+  Result<GeneratedDatabase> Generate() const;
+
+ private:
+  Record MakeOriginal(uint64_t ordinal, Rng* rng) const;
+  Record MakeDuplicate(const Record& original, Rng* rng) const;
+  Record MakeFamilyMember(const Record& relative, uint64_t ordinal,
+                          Rng* rng) const;
+
+  GeneratorConfig config_;
+  ErrorModel error_model_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_GEN_GENERATOR_H_

@@ -1,0 +1,167 @@
+#include "gen/names_data.h"
+
+#include <array>
+
+namespace mergepurge {
+
+namespace {
+
+// Common US first names (census-style). Kept plain so nickname-table and
+// phonetic tests can reference familiar entries.
+constexpr const char* kFirstNames[] = {
+    "JAMES",     "JOHN",      "ROBERT",   "MICHAEL",  "WILLIAM",
+    "DAVID",     "RICHARD",   "CHARLES",  "JOSEPH",   "THOMAS",
+    "CHRISTOPHER", "DANIEL",  "PAUL",     "MARK",     "DONALD",
+    "GEORGE",    "KENNETH",   "STEVEN",   "EDWARD",   "BRIAN",
+    "RONALD",    "ANTHONY",   "KEVIN",    "JASON",    "MATTHEW",
+    "GARY",      "TIMOTHY",   "JOSE",     "LARRY",    "JEFFREY",
+    "FRANK",     "SCOTT",     "ERIC",     "STEPHEN",  "ANDREW",
+    "RAYMOND",   "GREGORY",   "JOSHUA",   "JERRY",    "DENNIS",
+    "WALTER",    "PATRICK",   "PETER",    "HAROLD",   "DOUGLAS",
+    "HENRY",     "CARL",      "ARTHUR",   "RYAN",     "ROGER",
+    "JOE",       "JUAN",      "JACK",     "ALBERT",   "JONATHAN",
+    "JUSTIN",    "TERRY",     "GERALD",   "KEITH",    "SAMUEL",
+    "WILLIE",    "RALPH",     "LAWRENCE", "NICHOLAS", "ROY",
+    "BENJAMIN",  "BRUCE",     "BRANDON",  "ADAM",     "HARRY",
+    "FRED",      "WAYNE",     "BILLY",    "STEVE",    "LOUIS",
+    "JEREMY",    "AARON",     "RANDY",    "HOWARD",   "EUGENE",
+    "CARLOS",    "RUSSELL",   "BOBBY",    "VICTOR",   "MARTIN",
+    "ERNEST",    "PHILLIP",   "TODD",     "JESSE",    "CRAIG",
+    "ALAN",      "SHAWN",     "CLARENCE", "SEAN",     "PHILIP",
+    "CHRIS",     "JOHNNY",    "EARL",     "JIMMY",    "ANTONIO",
+    "MARY",      "PATRICIA",  "LINDA",    "BARBARA",  "ELIZABETH",
+    "JENNIFER",  "MARIA",     "SUSAN",    "MARGARET", "DOROTHY",
+    "LISA",      "NANCY",     "KAREN",    "BETTY",    "HELEN",
+    "SANDRA",    "DONNA",     "CAROL",    "RUTH",     "SHARON",
+    "MICHELLE",  "LAURA",     "SARAH",    "KIMBERLY", "DEBORAH",
+    "JESSICA",   "SHIRLEY",   "CYNTHIA",  "ANGELA",   "MELISSA",
+    "BRENDA",    "AMY",       "ANNA",     "REBECCA",  "VIRGINIA",
+    "KATHLEEN",  "PAMELA",    "MARTHA",   "DEBRA",    "AMANDA",
+    "STEPHANIE", "CAROLYN",   "CHRISTINE", "MARIE",   "JANET",
+    "CATHERINE", "FRANCES",   "ANN",      "JOYCE",    "DIANE",
+    "ALICE",     "JULIE",     "HEATHER",  "TERESA",   "DORIS",
+    "GLORIA",    "EVELYN",    "JEAN",     "CHERYL",   "MILDRED",
+    "KATHERINE", "JOAN",      "ASHLEY",   "JUDITH",   "ROSE",
+    "JANICE",    "KELLY",     "NICOLE",   "JUDY",     "CHRISTINA",
+    "KATHY",     "THERESA",   "BEVERLY",  "DENISE",   "TAMMY",
+    "IRENE",     "JANE",      "LORI",     "RACHEL",   "MARILYN",
+    "ANDREA",    "KATHRYN",   "LOUISE",   "SARA",     "ANNE",
+    "JACQUELINE", "WANDA",    "BONNIE",   "JULIA",    "RUBY",
+    "LOIS",      "TINA",      "PHYLLIS",  "NORMA",    "PAULA",
+    "DIANA",     "ANNIE",     "LILLIAN",  "EMILY",    "ROBIN",
+};
+
+// Surname roots: common US surnames plus productive stems.
+constexpr const char* kSurnameRoots[] = {
+    "SMITH",    "JOHNSON",  "WILLIAMS", "BROWN",    "JONES",
+    "MILLER",   "DAVIS",    "GARCIA",   "RODRIGUEZ", "WILSON",
+    "MARTINEZ", "ANDERSON", "TAYLOR",   "THOMAS",   "HERNANDEZ",
+    "MOORE",    "MARTIN",   "JACKSON",  "THOMPSON", "WHITE",
+    "LOPEZ",    "LEE",      "GONZALEZ", "HARRIS",   "CLARK",
+    "LEWIS",    "ROBINSON", "WALKER",   "PEREZ",    "HALL",
+    "YOUNG",    "ALLEN",    "SANCHEZ",  "WRIGHT",   "KING",
+    "SCOTT",    "GREEN",    "BAKER",    "ADAMS",    "NELSON",
+    "HILL",     "RAMIREZ",  "CAMPBELL", "MITCHELL", "ROBERTS",
+    "CARTER",   "PHILLIPS", "EVANS",    "TURNER",   "TORRES",
+    "PARKER",   "COLLINS",  "EDWARDS",  "STEWART",  "FLORES",
+    "MORRIS",   "NGUYEN",   "MURPHY",   "RIVERA",   "COOK",
+    "ROGERS",   "MORGAN",   "PETERSON", "COOPER",   "REED",
+    "BAILEY",   "BELL",     "GOMEZ",    "KELLY",    "HOWARD",
+    "WARD",     "COX",      "DIAZ",     "RICHARDSON", "WOOD",
+    "WATSON",   "BROOKS",   "BENNETT",  "GRAY",     "JAMES",
+    "REYES",    "CRUZ",     "HUGHES",   "PRICE",    "MYERS",
+    "LONG",     "FOSTER",   "SANDERS",  "ROSS",     "MORALES",
+    "POWELL",   "SULLIVAN", "RUSSELL",  "ORTIZ",    "JENKINS",
+    "GUTIERREZ", "PERRY",   "BUTLER",   "BARNES",   "FISHER",
+    "HENDERSON", "COLEMAN", "SIMMONS",  "PATTERSON", "JORDAN",
+    "REYNOLDS", "HAMILTON", "GRAHAM",   "KIM",      "GONZALES",
+    "ALEXANDER", "RAMOS",   "WALLACE",  "GRIFFIN",  "WEST",
+    "COLE",     "HAYES",    "CHAVEZ",   "GIBSON",   "BRYANT",
+    "ELLIS",    "STEVENS",  "MURRAY",   "FORD",     "MARSHALL",
+    "OWENS",    "MCDONALD", "HARRISON", "RUIZ",     "KENNEDY",
+    "WELLS",    "ALVAREZ",  "WOODS",    "MENDOZA",  "CASTILLO",
+    "OLSON",    "WEBB",     "WASHINGTON", "TUCKER", "FREEMAN",
+    "BURNS",    "HENRY",    "VASQUEZ",  "SNYDER",   "SIMPSON",
+    "CRAWFORD", "JIMENEZ",  "PORTER",   "MASON",    "SHAW",
+    "GORDON",   "WAGNER",   "HUNTER",   "ROMERO",   "HICKS",
+    "DIXON",    "HUNT",     "PALMER",   "ROBERTSON", "BLACK",
+    "HOLMES",   "STONE",    "MEYER",    "BOYD",     "MILLS",
+    "WARREN",   "FOX",      "ROSE",     "RICE",     "MORENO",
+    "SCHMIDT",  "PATEL",    "FERGUSON", "NICHOLS",  "HERRERA",
+    "MEDINA",   "RYAN",     "FERNANDEZ", "WEAVER",  "DANIELS",
+    "STEPHENS", "GARDNER",  "PAYNE",    "KELLEY",   "DUNN",
+    "PIERCE",   "ARNOLD",   "TRAN",     "SPENCER",  "PETERS",
+    "HAWKINS",  "GRANT",    "HANSEN",   "CASTRO",   "HOFFMAN",
+    "HART",     "ELLIOTT",  "CUNNINGHAM", "KNIGHT", "BRADLEY",
+    "CARROLL",  "HUDSON",   "DUNCAN",   "ARMSTRONG", "BERRY",
+    "ANDREWS",  "JOHNSTON", "RAY",      "LANE",     "RILEY",
+    "CARPENTER", "PERKINS", "AGUILAR",  "SILVA",    "RICHARDS",
+    "WILLIS",   "MATTHEWS", "CHAPMAN",  "LAWRENCE", "GARZA",
+    "VARGAS",   "WATKINS",  "WHEELER",  "LARSON",   "CARLSON",
+    "HARPER",   "GEORGE",   "GREENE",   "BURKE",    "GUZMAN",
+    "MORRISON", "MUNOZ",    "JACOBS",   "OBRIEN",   "LAWSON",
+    "FRANKLIN", "LYNCH",    "BISHOP",   "CARR",     "SALAZAR",
+    "AUSTIN",   "MENDEZ",   "GILBERT",  "JENSEN",   "WILLIAMSON",
+    "MONTGOMERY", "HARVEY", "OCONNOR",  "HARMON",   "HANSON",
+    "WEBER",    "MCCOY",    "BARKER",   "BERG",     "STEIN",
+    "FELD",     "HOLT",     "LUND",     "BECK",     "NORD",
+};
+
+// Suffixes composed onto roots to expand the corpus. The empty suffix keeps
+// every root itself a member.
+constexpr const char* kSurnameSuffixes[] = {
+    "",      "SON",   "S",     "MAN",   "MANN",  "SEN",   "ER",
+    "TON",   "LEY",   "FIELD", "WOOD",  "FORD",  "BERG",  "STEIN",
+    "DALE",  "WELL",  "WORTH", "MORE",  "LAND",  "STROM", "QUIST",
+    "GREN",  "BY",    "WICK",  "HAM",   "COTT",  "BURN",  "SHAW",
+    "STONE", "BRIDGE", "BROOK", "GATE", "HURST", "MERE",  "THORPE",
+    "STAD",  "VIK",   "NESS",  "HOLM",  "LIND",  "BLAD",  "FELT",
+    "INS",   "KINS",  "ETT",   "ARD",   "OTT",   "ELL",   "OW",
+    "AY",
+};
+
+constexpr size_t kNumFirstNames =
+    sizeof(kFirstNames) / sizeof(kFirstNames[0]);
+constexpr size_t kNumSurnameRoots =
+    sizeof(kSurnameRoots) / sizeof(kSurnameRoots[0]);
+constexpr size_t kNumSurnameSuffixes =
+    sizeof(kSurnameSuffixes) / sizeof(kSurnameSuffixes[0]);
+
+// Composed portion: every root x every suffix.
+constexpr size_t kComposedSurnames = kNumSurnameRoots * kNumSurnameSuffixes;
+
+// Hyphenated portion on top, sized to push the corpus past 63,000:
+// root[i] + '-' + root[j] for a deterministic subset of (i, j).
+constexpr size_t kHyphenatedSurnames = 64000 - kComposedSurnames;
+
+}  // namespace
+
+size_t NumFirstNames() { return kNumFirstNames; }
+
+std::string FirstNameAt(size_t index) {
+  return kFirstNames[index % kNumFirstNames];
+}
+
+size_t NumSurnames() { return kComposedSurnames + kHyphenatedSurnames; }
+
+std::string SurnameAt(size_t index) {
+  index %= NumSurnames();
+  if (index < kComposedSurnames) {
+    size_t root = index / kNumSurnameSuffixes;
+    size_t suffix = index % kNumSurnameSuffixes;
+    std::string name = kSurnameRoots[root];
+    name += kSurnameSuffixes[suffix];
+    return name;
+  }
+  // Hyphenated double-barrelled names; stride the second index so pairs are
+  // spread across the root list rather than clustered.
+  size_t k = index - kComposedSurnames;
+  size_t first = k % kNumSurnameRoots;
+  size_t second = (k * 31 + 7) % kNumSurnameRoots;
+  std::string name = kSurnameRoots[first];
+  name += '-';
+  name += kSurnameRoots[second];
+  return name;
+}
+
+}  // namespace mergepurge

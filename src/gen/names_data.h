@@ -1,0 +1,33 @@
+// Name corpora for the database generator.
+//
+// The paper draws names "randomly from a list of 63000 real names". That
+// list is not available, so we substitute (see DESIGN.md §2): embedded
+// lists of common US first names and surname roots are expanded by
+// deterministic morphological composition (root + suffix, hyphenation)
+// into a virtual corpus of > 63,000 distinct surnames with realistic
+// lengths, shared prefixes and collision structure. Names are addressed by
+// index so the corpus never needs to be materialized.
+
+#ifndef MERGEPURGE_GEN_NAMES_DATA_H_
+#define MERGEPURGE_GEN_NAMES_DATA_H_
+
+#include <cstddef>
+#include <string>
+
+namespace mergepurge {
+
+// Number of distinct first names (male + female + neutral).
+size_t NumFirstNames();
+
+// Returns the first name at `index` (upper-case). index < NumFirstNames().
+std::string FirstNameAt(size_t index);
+
+// Number of distinct surnames in the virtual corpus (> 63,000).
+size_t NumSurnames();
+
+// Returns the surname at `index` (upper-case). index < NumSurnames().
+std::string SurnameAt(size_t index);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_GEN_NAMES_DATA_H_

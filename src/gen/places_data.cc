@@ -1,0 +1,215 @@
+#include "gen/places_data.h"
+
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+namespace {
+
+struct BaseCity {
+  const char* name;
+  const char* state;
+  int zip_prefix;  // Three-digit zip prefix typical for the area.
+};
+
+// Real US cities with their states and representative 3-digit zip prefixes.
+constexpr BaseCity kBaseCities[] = {
+    {"NEW YORK", "NY", 100},      {"BROOKLYN", "NY", 112},
+    {"BUFFALO", "NY", 142},       {"ROCHESTER", "NY", 146},
+    {"SYRACUSE", "NY", 132},      {"ALBANY", "NY", 122},
+    {"YONKERS", "NY", 107},       {"UTICA", "NY", 135},
+    {"LOS ANGELES", "CA", 900},   {"SAN DIEGO", "CA", 921},
+    {"SAN JOSE", "CA", 951},      {"SAN FRANCISCO", "CA", 941},
+    {"FRESNO", "CA", 937},        {"SACRAMENTO", "CA", 958},
+    {"OAKLAND", "CA", 946},       {"BAKERSFIELD", "CA", 933},
+    {"ANAHEIM", "CA", 928},       {"RIVERSIDE", "CA", 925},
+    {"STOCKTON", "CA", 952},      {"CHICAGO", "IL", 606},
+    {"AURORA", "IL", 605},        {"ROCKFORD", "IL", 611},
+    {"JOLIET", "IL", 604},        {"NAPERVILLE", "IL", 605},
+    {"SPRINGFIELD", "IL", 627},   {"PEORIA", "IL", 616},
+    {"HOUSTON", "TX", 770},       {"SAN ANTONIO", "TX", 782},
+    {"DALLAS", "TX", 752},        {"AUSTIN", "TX", 787},
+    {"FORT WORTH", "TX", 761},    {"EL PASO", "TX", 799},
+    {"ARLINGTON", "TX", 760},     {"CORPUS CHRISTI", "TX", 784},
+    {"PLANO", "TX", 750},         {"LAREDO", "TX", 780},
+    {"LUBBOCK", "TX", 794},       {"PHILADELPHIA", "PA", 191},
+    {"PITTSBURGH", "PA", 152},    {"ALLENTOWN", "PA", 181},
+    {"ERIE", "PA", 165},          {"READING", "PA", 196},
+    {"SCRANTON", "PA", 185},      {"PHOENIX", "AZ", 850},
+    {"TUCSON", "AZ", 857},        {"MESA", "AZ", 852},
+    {"CHANDLER", "AZ", 852},      {"GLENDALE", "AZ", 853},
+    {"SCOTTSDALE", "AZ", 852},    {"JACKSONVILLE", "FL", 322},
+    {"MIAMI", "FL", 331},         {"TAMPA", "FL", 336},
+    {"ORLANDO", "FL", 328},       {"ST PETERSBURG", "FL", 337},
+    {"HIALEAH", "FL", 330},       {"TALLAHASSEE", "FL", 323},
+    {"FORT LAUDERDALE", "FL", 333}, {"COLUMBUS", "OH", 432},
+    {"CLEVELAND", "OH", 441},     {"CINCINNATI", "OH", 452},
+    {"TOLEDO", "OH", 436},        {"AKRON", "OH", 443},
+    {"DAYTON", "OH", 454},        {"CHARLOTTE", "NC", 282},
+    {"RALEIGH", "NC", 276},       {"GREENSBORO", "NC", 274},
+    {"DURHAM", "NC", 277},        {"WINSTON SALEM", "NC", 271},
+    {"DETROIT", "MI", 482},       {"GRAND RAPIDS", "MI", 495},
+    {"WARREN", "MI", 480},        {"LANSING", "MI", 489},
+    {"FLINT", "MI", 485},         {"SEATTLE", "WA", 981},
+    {"SPOKANE", "WA", 992},       {"TACOMA", "WA", 984},
+    {"VANCOUVER", "WA", 986},     {"BELLEVUE", "WA", 980},
+    {"BOSTON", "MA", 21},         {"WORCESTER", "MA", 16},
+    {"SPRINGFIELD", "MA", 11},    {"LOWELL", "MA", 18},
+    {"CAMBRIDGE", "MA", 21},      {"DENVER", "CO", 802},
+    {"COLORADO SPRINGS", "CO", 809}, {"AURORA", "CO", 800},
+    {"LAKEWOOD", "CO", 802},      {"BALTIMORE", "MD", 212},
+    {"ROCKVILLE", "MD", 208},     {"FREDERICK", "MD", 217},
+    {"MILWAUKEE", "WI", 532},     {"MADISON", "WI", 537},
+    {"GREEN BAY", "WI", 543},     {"KENOSHA", "WI", 531},
+    {"MEMPHIS", "TN", 381},       {"NASHVILLE", "TN", 372},
+    {"KNOXVILLE", "TN", 379},     {"CHATTANOOGA", "TN", 374},
+    {"PORTLAND", "OR", 972},      {"SALEM", "OR", 973},
+    {"EUGENE", "OR", 974},        {"GRESHAM", "OR", 970},
+    {"OKLAHOMA CITY", "OK", 731}, {"TULSA", "OK", 741},
+    {"NORMAN", "OK", 730},        {"LAS VEGAS", "NV", 891},
+    {"RENO", "NV", 895},          {"HENDERSON", "NV", 890},
+    {"ALBUQUERQUE", "NM", 871},   {"SANTA FE", "NM", 875},
+    {"LAS CRUCES", "NM", 880},    {"KANSAS CITY", "MO", 641},
+    {"ST LOUIS", "MO", 631},      {"SPRINGFIELD", "MO", 658},
+    {"INDEPENDENCE", "MO", 640},  {"ATLANTA", "GA", 303},
+    {"COLUMBUS", "GA", 319},      {"AUGUSTA", "GA", 309},
+    {"SAVANNAH", "GA", 314},      {"MACON", "GA", 312},
+    {"VIRGINIA BEACH", "VA", 234}, {"NORFOLK", "VA", 235},
+    {"RICHMOND", "VA", 232},      {"ARLINGTON", "VA", 222},
+    {"NEWPORT NEWS", "VA", 236},  {"OMAHA", "NE", 681},
+    {"LINCOLN", "NE", 685},       {"MINNEAPOLIS", "MN", 554},
+    {"ST PAUL", "MN", 551},       {"DULUTH", "MN", 558},
+    {"ROCHESTER", "MN", 559},     {"NEW ORLEANS", "LA", 701},
+    {"BATON ROUGE", "LA", 708},   {"SHREVEPORT", "LA", 711},
+    {"LAFAYETTE", "LA", 705},     {"WICHITA", "KS", 672},
+    {"OVERLAND PARK", "KS", 662}, {"TOPEKA", "KS", 666},
+    {"LOUISVILLE", "KY", 402},    {"LEXINGTON", "KY", 405},
+    {"BOWLING GREEN", "KY", 421}, {"BIRMINGHAM", "AL", 352},
+    {"MONTGOMERY", "AL", 361},    {"MOBILE", "AL", 366},
+    {"HUNTSVILLE", "AL", 358},    {"SALT LAKE CITY", "UT", 841},
+    {"PROVO", "UT", 846},         {"OGDEN", "UT", 844},
+    {"HARTFORD", "CT", 61},       {"NEW HAVEN", "CT", 65},
+    {"BRIDGEPORT", "CT", 66},     {"STAMFORD", "CT", 69},
+    {"PROVIDENCE", "RI", 29},     {"WARWICK", "RI", 28},
+    {"NEWARK", "NJ", 71},         {"JERSEY CITY", "NJ", 73},
+    {"PATERSON", "NJ", 75},       {"TRENTON", "NJ", 86},
+    {"EDISON", "NJ", 88},         {"DES MOINES", "IA", 503},
+    {"CEDAR RAPIDS", "IA", 524},  {"DAVENPORT", "IA", 528},
+    {"JACKSON", "MS", 392},       {"GULFPORT", "MS", 395},
+    {"LITTLE ROCK", "AR", 722},   {"FAYETTEVILLE", "AR", 727},
+    {"BOISE", "ID", 837},         {"NAMPA", "ID", 836},
+    {"ANCHORAGE", "AK", 995},     {"FAIRBANKS", "AK", 997},
+    {"HONOLULU", "HI", 968},      {"HILO", "HI", 967},
+    {"CHARLESTON", "SC", 294},    {"COLUMBIA", "SC", 292},
+    {"SIOUX FALLS", "SD", 571},   {"RAPID CITY", "SD", 577},
+    {"FARGO", "ND", 581},         {"BISMARCK", "ND", 585},
+    {"BILLINGS", "MT", 591},      {"MISSOULA", "MT", 598},
+    {"CHEYENNE", "WY", 820},      {"CASPER", "WY", 826},
+    {"BURLINGTON", "VT", 54},     {"MONTPELIER", "VT", 56},
+    {"MANCHESTER", "NH", 31},     {"CONCORD", "NH", 33},
+    {"PORTLAND", "ME", 41},       {"BANGOR", "ME", 44},
+    {"WILMINGTON", "DE", 198},    {"DOVER", "DE", 199},
+    {"CHARLESTON", "WV", 253},    {"HUNTINGTON", "WV", 257},
+    {"WASHINGTON", "DC", 200},
+};
+
+// Composition patterns expanding the base list. %s is the base city name.
+constexpr const char* kCityPatterns[] = {
+    "%s",          "NORTH %s",    "SOUTH %s",    "EAST %s",
+    "WEST %s",     "NEW %s",      "LAKE %s",     "%s HEIGHTS",
+    "%s PARK",     "%s SPRINGS",  "%s FALLS",    "%s JUNCTION",
+    "PORT %s",     "FORT %s",     "%s VALLEY",   "%s GROVE",
+    "MOUNT %s",    "%s BEACH",    "%s HILLS",    "OLD %s",
+    "UPPER %s",    "LOWER %s",    "%s CENTER",   "%s RIDGE",
+    "GLEN %s",     "%s VILLE",    "SAINT %s",    "%s CREEK",
+    "GRAND %s",    "%s GARDENS",  "%s SHORES",   "BIG %s",
+    "LITTLE %s",   "%s MILLS",    "%s LANDING",  "CAPE %s",
+    "%s CROSSING", "%s STATION",  "HIGH %s",     "ROYAL %s",
+    "%s HARBOR",   "%s POINT",    "%s FOREST",   "%s PLAINS",
+    "%s COVE",     "SUN %s",      "%s CITY",     "%s TOWN",
+    "%s FERRY",    "%s BLUFF",    "%s PRAIRIE",  "%s MEADOWS",
+    "%s VISTA",    "BELLE %s",    "%s BEND",     "%s GAP",
+    "%s FORGE",    "%s DEPOT",    "TWIN %s",     "%s OAKS",
+    "%s PINES",    "%s RAPIDS",   "%s SUMMIT",   "%s CORNER",
+    "%s ESTATES",  "%s TERRACE",  "FAIR %s",     "%s WELLS",
+    "%s HOLLOW",   "%s CANYON",   "%s MESA",     "%s FLATS",
+    "%s RANCH",    "RIVER %s",    "STONE %s",    "%s RUN",
+    "%s FORK",     "%s MANOR",    "%s ACRES",    "SPRING %s",
+    "%s KNOLLS",   "%s WOODS",    "%s ISLAND",   "%s LAKESIDE",
+    "GREEN %s",    "%s GLADE",    "%s FIELD",    "MILL %s",
+    "%s HAVEN",    "%s CHAPEL",   "%s MOUND",    "%s BASIN",
+    "%s DALE",     "PLEASANT %s", "%s BROOK",    "CEDAR %s",
+    "OAK %s",      "PINE %s",     "ELM %s",      "MAPLE %s",
+};
+
+constexpr const char* kStreetNames[] = {
+    "MAIN",      "OAK",       "PINE",      "MAPLE",     "CEDAR",
+    "ELM",       "WASHINGTON", "LAKE",     "HILL",      "PARK",
+    "WALNUT",    "SPRING",    "NORTH",     "RIDGE",     "CHURCH",
+    "CHESTNUT",  "BROADWAY",  "SUNSET",    "RAILROAD",  "JEFFERSON",
+    "CENTER",    "HIGHLAND",  "FOREST",    "MILL",      "RIVER",
+    "FRANKLIN",  "SCHOOL",    "PROSPECT",  "MEADOW",    "GARDEN",
+    "LIBERTY",   "GROVE",     "COLLEGE",   "VALLEY",    "SPRUCE",
+    "WILLOW",    "LINCOLN",   "MADISON",   "JACKSON",   "ADAMS",
+    "MONROE",    "HARRISON",  "CHERRY",    "DOGWOOD",   "MAGNOLIA",
+    "LOCUST",    "POPLAR",    "SYCAMORE",  "HICKORY",   "ASPEN",
+    "BIRCH",     "LAUREL",    "HOLLY",     "JUNIPER",   "HAWTHORNE",
+    "COLUMBIA",  "VICTORIA",  "CAMBRIDGE", "OXFORD",    "WINDSOR",
+    "ESSEX",     "DEVON",     "BRISTOL",   "CANTERBURY", "DOVER",
+    "FAIRVIEW",  "LAKEVIEW",  "HILLCREST", "WOODLAND",  "RIVERSIDE",
+};
+
+constexpr size_t kNumBaseCities =
+    sizeof(kBaseCities) / sizeof(kBaseCities[0]);
+constexpr size_t kNumCityPatterns =
+    sizeof(kCityPatterns) / sizeof(kCityPatterns[0]);
+constexpr size_t kNumStreetNames =
+    sizeof(kStreetNames) / sizeof(kStreetNames[0]);
+
+std::string ApplyPattern(const char* pattern, const std::string& base) {
+  std::string out;
+  for (const char* p = pattern; *p != '\0'; ++p) {
+    if (*p == '%' && *(p + 1) == 's') {
+      out += base;
+      ++p;
+    } else {
+      out += *p;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+size_t NumPlaces() { return kNumBaseCities * kNumCityPatterns; }
+
+Place PlaceAt(size_t index) {
+  index %= NumPlaces();
+  size_t base = index % kNumBaseCities;
+  size_t pattern = index / kNumBaseCities;
+  const BaseCity& bc = kBaseCities[base];
+  Place place;
+  place.city = ApplyPattern(kCityPatterns[pattern], bc.name);
+  place.state = bc.state;
+  // Each (base, pattern) combination gets its own zip window inside the
+  // base city's 3-digit prefix; zips are 5 digits (leading zeros are added
+  // at formatting time for the New England prefixes).
+  place.zip_base =
+      bc.zip_prefix * 100 + static_cast<int>((pattern * 7) % 100);
+  return place;
+}
+
+std::vector<std::string> AllCityNames() {
+  std::vector<std::string> names;
+  names.reserve(NumPlaces());
+  for (size_t i = 0; i < NumPlaces(); ++i) names.push_back(PlaceAt(i).city);
+  return names;
+}
+
+size_t NumStreetNames() { return kNumStreetNames; }
+
+std::string StreetNameAt(size_t index) {
+  return kStreetNames[index % kNumStreetNames];
+}
+
+}  // namespace mergepurge

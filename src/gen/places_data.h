@@ -1,0 +1,40 @@
+// City / state / zip corpus for the database generator.
+//
+// The paper used publicly available lists of US cities, states and zip
+// codes (18,670 city names; the city corpus also feeds the spelling
+// corrector). We substitute an embedded list of real US cities expanded by
+// deterministic composition ("LAKE x", "x HEIGHTS", ...) to the same order
+// of magnitude, with a consistent state and zip range per city so that
+// records from the same place agree across fields.
+
+#ifndef MERGEPURGE_GEN_PLACES_DATA_H_
+#define MERGEPURGE_GEN_PLACES_DATA_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mergepurge {
+
+struct Place {
+  std::string city;
+  std::string state;  // Two-letter code.
+  int zip_base;       // First zip of the city's range; range spans 100.
+};
+
+// Number of distinct places (~18,670, matching the paper's city corpus).
+size_t NumPlaces();
+
+// Returns the place at `index`. index < NumPlaces(). Deterministic.
+Place PlaceAt(size_t index);
+
+// Materializes all distinct city names (the spelling-correction corpus).
+std::vector<std::string> AllCityNames();
+
+// Street-name components for address generation.
+size_t NumStreetNames();
+std::string StreetNameAt(size_t index);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_GEN_PLACES_DATA_H_

@@ -1,0 +1,144 @@
+#include "io/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      current += c;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      if (!current.empty()) {
+        return Status::ParseError("quote in the middle of an unquoted field");
+      }
+      in_quotes = true;
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+      ++i;
+      continue;
+    }
+    current += c;
+    ++i;
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted field");
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+std::string EscapeCsvField(std::string_view field) {
+  bool needs_quotes =
+      field.find_first_of(",\"\n") != std::string_view::npos ||
+      (!field.empty() &&
+       (field.front() == ' ' || field.back() == ' '));
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+namespace {
+
+void AppendCsvRow(const std::vector<std::string>& fields, std::string* out) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out->push_back(',');
+    out->append(EscapeCsvField(fields[i]));
+  }
+  out->push_back('\n');
+}
+
+Result<Dataset> ParseCsvBody(const Schema& schema, std::istream& in,
+                             const std::string& source_name) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::ParseError(source_name + ": missing header row");
+  }
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  Result<std::vector<std::string>> header = ParseCsvLine(line);
+  if (!header.ok()) return header.status();
+  if (*header != schema.field_names()) {
+    return Status::ParseError(source_name +
+                              ": header does not match schema");
+  }
+
+  Dataset dataset(schema);
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    Result<std::vector<std::string>> fields = ParseCsvLine(line);
+    if (!fields.ok()) {
+      return Status::ParseError(
+          StringPrintf("%s:%zu: %s", source_name.c_str(), line_number,
+                       fields.status().message().c_str()));
+    }
+    if (fields->size() != schema.num_fields()) {
+      return Status::ParseError(StringPrintf(
+          "%s:%zu: expected %zu fields, got %zu", source_name.c_str(),
+          line_number, schema.num_fields(), fields->size()));
+    }
+    dataset.Append(Record(std::move(*fields)));
+  }
+  return dataset;
+}
+
+}  // namespace
+
+std::string WriteCsvString(const Dataset& dataset) {
+  std::string out;
+  AppendCsvRow(dataset.schema().field_names(), &out);
+  for (const Record& r : dataset.records()) AppendCsvRow(r.fields(), &out);
+  return out;
+}
+
+Result<Dataset> ReadCsvString(const Schema& schema, std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return ParseCsvBody(schema, in, "<string>");
+}
+
+Status WriteCsvFile(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  std::string text = WriteCsvString(dataset);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<Dataset> ReadCsvFile(const Schema& schema, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  return ParseCsvBody(schema, in, path);
+}
+
+}  // namespace mergepurge

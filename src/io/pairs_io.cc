@@ -1,0 +1,73 @@
+#include "io/pairs_io.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "core/union_find.h"
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+namespace {
+constexpr char kMagic[] = "MPP1";
+}  // namespace
+
+Status WritePairSetFile(const PairSet& pairs, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  out << kMagic << '\n';
+  for (const auto& [lo, hi] : pairs.ToSortedVector()) {
+    out << lo << ' ' << hi << '\n';
+  }
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<PairSet> ReadPairSetFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::ParseError(path + ": not a pair-set file");
+  }
+  PairSet pairs;
+  size_t line_number = 1;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    uint32_t lo = 0;
+    uint32_t hi = 0;
+    if (std::sscanf(line.c_str(), "%" SCNu32 " %" SCNu32, &lo, &hi) != 2 ||
+        lo >= hi) {
+      return Status::ParseError(StringPrintf(
+          "%s:%zu: malformed pair line", path.c_str(), line_number));
+    }
+    pairs.Add(lo, hi);
+  }
+  return pairs;
+}
+
+Result<std::vector<uint32_t>> ClosureFromFiles(
+    const std::vector<std::string>& paths, size_t n) {
+  UnionFind closure(n);
+  for (const std::string& path : paths) {
+    Result<PairSet> pairs = ReadPairSetFile(path);
+    if (!pairs.ok()) return pairs.status();
+    bool out_of_range = false;
+    pairs->ForEach([&closure, n, &out_of_range](TupleId a, TupleId b) {
+      if (a >= n || b >= n) {
+        out_of_range = true;
+        return;
+      }
+      closure.Union(a, b);
+    });
+    if (out_of_range) {
+      return Status::OutOfRange(path +
+                                ": pair references a tuple id >= n");
+    }
+  }
+  return closure.ComponentLabels();
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,34 @@
+// Disk persistence for pair sets. The paper ran independent passes, stored
+// each result on disk, and computed the transitive closure over the stored
+// files (§4.1: "We ran all independent runs in turn and stored the results
+// on disk. We then computed the transitive closure over the results stored
+// on disk."). These helpers support the same pipelined operation: each
+// pass (possibly on a different machine or day) writes its pairs; the
+// closure step reads all files.
+//
+// File format: "MPP1\n" magic line, then one "lo hi\n" pair of decimal
+// tuple ids per line, sorted ascending (diff-friendly, deterministic).
+
+#ifndef MERGEPURGE_IO_PAIRS_IO_H_
+#define MERGEPURGE_IO_PAIRS_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "core/pair_set.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+Status WritePairSetFile(const PairSet& pairs, const std::string& path);
+
+Result<PairSet> ReadPairSetFile(const std::string& path);
+
+// Reads every file and returns per-tuple component labels of the
+// transitive closure over the union (n = number of tuples).
+Result<std::vector<uint32_t>> ClosureFromFiles(
+    const std::vector<std::string>& paths, size_t n);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_IO_PAIRS_IO_H_

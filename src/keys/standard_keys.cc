@@ -1,0 +1,56 @@
+#include "keys/standard_keys.h"
+
+#include "record/schema.h"
+
+namespace mergepurge {
+
+KeySpec LastNameKey() {
+  KeySpec spec;
+  spec.name = "last-name";
+  spec.components = {
+      KeyComponent::Full(employee::kLastName),
+      KeyComponent::FirstNonBlank(employee::kFirstName),
+      KeyComponent::DigitPrefix(employee::kSsn, 6),
+  };
+  return spec;
+}
+
+KeySpec FirstNameKey() {
+  KeySpec spec;
+  spec.name = "first-name";
+  spec.components = {
+      KeyComponent::Full(employee::kFirstName),
+      KeyComponent::FirstNonBlank(employee::kLastName),
+      KeyComponent::DigitPrefix(employee::kSsn, 6),
+  };
+  return spec;
+}
+
+KeySpec AddressKey() {
+  KeySpec spec;
+  spec.name = "address";
+  spec.components = {
+      KeyComponent::Full(employee::kAddress),
+      KeyComponent::Prefix(employee::kLastName, 4),
+      KeyComponent::Prefix(employee::kCity, 4),
+  };
+  return spec;
+}
+
+std::vector<KeySpec> StandardThreeKeys() {
+  return {LastNameKey(), FirstNameKey(), AddressKey()};
+}
+
+KeySpec PhoneticLastNameKey() {
+  KeySpec spec;
+  spec.name = "soundex-last-name";
+  spec.components = {
+      KeyComponent::SoundexCode(employee::kLastName),
+      KeyComponent::Full(employee::kLastName),
+      KeyComponent::FirstNonBlank(employee::kFirstName),
+      KeyComponent::DigitPrefix(employee::kSsn, 6),
+  };
+  return spec;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,42 @@
+// Fragmentation of a sorted record list for parallel window scanning
+// (paper §4.1, figure 5): processor i's fragment replicates the last w-1
+// records of processor i-1's fragment, so the fragmentation is invisible
+// to the window scan — the union of per-fragment scans equals the global
+// scan exactly (tested in tests/parallel_test.cc).
+
+#ifndef MERGEPURGE_PARALLEL_COORDINATOR_H_
+#define MERGEPURGE_PARALLEL_COORDINATOR_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mergepurge {
+
+// Half-open range [begin, end) of positions in the sorted order. `begin`
+// already includes the replicated band from the previous fragment.
+struct Fragment {
+  size_t begin = 0;
+  size_t end = 0;
+
+  size_t size() const { return end - begin; }
+};
+
+// Splits n positions into at most p fragments of near-equal size, each
+// extended backwards by w-1 replicated positions (except the first).
+// Returns fewer than p fragments when n is too small to populate them.
+std::vector<Fragment> MakeOverlappingFragments(size_t n, size_t p, size_t w);
+
+// The paper's memory-bounded variant: the coordinator streams blocks of at
+// most m records (again overlapping by w-1) and deals them round-robin to
+// p sites; site s processes blocks s, s+p, s+2p, ... Returns the per-site
+// block lists. m is clamped to at least 2*(w-1) so the fresh regions tile
+// the input (scanning the blocks independently then reproduces the global
+// window scan exactly).
+std::vector<std::vector<Fragment>> MakeBlockCyclicFragments(size_t n,
+                                                            size_t p,
+                                                            size_t m,
+                                                            size_t w);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_PARALLEL_COORDINATOR_H_

@@ -1,0 +1,127 @@
+#include "parallel/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mergepurge {
+
+namespace {
+
+double Log2N(size_t n) {
+  return n > 1 ? std::log2(static_cast<double>(n)) : 1.0;
+}
+
+}  // namespace
+
+SerialCostModel SerialCostModel::Fit(const PassResult& pass, size_t n) {
+  SerialCostModel model;
+  const double nd = static_cast<double>(n);
+  if (n > 1 && pass.sort_seconds > 0.0) {
+    // Sorting performs ~N log2 N comparisons; include key creation in the
+    // sort phase as the paper does ("the creation of the keys was
+    // integrated into the sorting phase").
+    model.c = (pass.sort_seconds + pass.create_keys_seconds) /
+              (nd * Log2N(n));
+  }
+  if (pass.comparisons > 0 && pass.scan_seconds > 0.0 && model.c > 0.0) {
+    double scan_cost_per_comparison =
+        pass.scan_seconds / static_cast<double>(pass.comparisons);
+    model.alpha = std::max(1.0, scan_cost_per_comparison / model.c);
+  }
+  return model;
+}
+
+double SerialCostModel::SinglePassSeconds(size_t n, size_t window) const {
+  const double nd = static_cast<double>(n);
+  return c * nd * Log2N(n) + alpha * c * static_cast<double>(window) * nd +
+         closure_sp_seconds;
+}
+
+double SerialCostModel::MultiPassSeconds(size_t n, size_t window,
+                                         size_t passes) const {
+  const double nd = static_cast<double>(n);
+  const double r = static_cast<double>(passes);
+  return c * r * nd * Log2N(n) +
+         alpha * c * r * static_cast<double>(window) * nd +
+         closure_mp_seconds;
+}
+
+double SerialCostModel::CrossoverWindow(size_t n, size_t w,
+                                        size_t passes) const {
+  const double nd = static_cast<double>(n);
+  const double r = static_cast<double>(passes);
+  double crossover = (r - 1.0) / alpha * Log2N(n) +
+                     r * static_cast<double>(w);
+  if (c > 0.0 && n > 0) {
+    crossover += (r - 1.0) / (alpha * c * nd) * closure_sp_seconds +
+                 1.0 / (alpha * c * nd) * closure_mp_seconds;
+  }
+  return crossover;
+}
+
+ClusterModelParams CalibrateLikePaper(const SerialCostModel& fitted,
+                                      size_t n, size_t window,
+                                      double imbalance) {
+  ClusterModelParams params;
+  params.c = fitted.c;
+  params.alpha = fitted.alpha;
+  params.imbalance = imbalance;
+  // Parallelizable per-record work of one pass at this window.
+  double per_record = fitted.c * Log2N(n) +
+                      fitted.alpha * fitted.c * static_cast<double>(window);
+  params.key_seconds_per_record = 0.01 * per_record;
+  params.io_seconds_per_record = 0.093 * per_record;
+  params.merge_seconds_per_record = 0.002 * per_record;
+  return params;
+}
+
+double SimulatedCluster::SnmPassSeconds(size_t n, size_t window,
+                                        size_t processors) const {
+  if (processors == 0) processors = 1;
+  const double nd = static_cast<double>(n);
+  const double p = static_cast<double>(processors);
+  const double local = nd / p;
+
+  // Coordinator reads and round-robins the database (serial), local sorts
+  // run in parallel, the coordinator P-way merges the sorted fragments
+  // (serial), then the banded window scan runs in parallel.
+  double broadcast = params_.io_seconds_per_record * nd;
+  double keying = params_.key_seconds_per_record * local;
+  double local_sort = params_.c * local * Log2N(static_cast<size_t>(local));
+  double merge =
+      processors > 1 ? params_.merge_seconds_per_record * nd : 0.0;
+  double scan =
+      params_.alpha * params_.c * static_cast<double>(window) * local;
+  return broadcast + keying + local_sort + merge + scan;
+}
+
+double SimulatedCluster::ClusteringPassSeconds(
+    size_t n, size_t window, size_t processors,
+    size_t clusters_per_processor) const {
+  if (processors == 0) processors = 1;
+  if (clusters_per_processor == 0) clusters_per_processor = 1;
+  const double nd = static_cast<double>(n);
+  const double p = static_cast<double>(processors);
+  const double local = nd / p;
+  const double cluster_records =
+      std::max(1.0, local / static_cast<double>(clusters_per_processor));
+
+  // Coordinator clusters and distributes (serial); workers sort each
+  // cluster (smaller logs than a global sort — the method's advantage) and
+  // scan; no coordinator merge is needed. LPT imbalance stretches the
+  // parallel portion.
+  double distribute = params_.io_seconds_per_record * nd;
+  double keying = params_.key_seconds_per_record * local;
+  double local_sort = params_.c * local *
+                      Log2N(static_cast<size_t>(cluster_records));
+  double scan =
+      params_.alpha * params_.c * static_cast<double>(window) * local;
+  return distribute + (keying + local_sort + scan) * params_.imbalance;
+}
+
+double SimulatedCluster::MultiPassSeconds(double slowest_pass_seconds,
+                                          double closure_seconds) const {
+  return slowest_pass_seconds + closure_seconds;
+}
+
+}  // namespace mergepurge

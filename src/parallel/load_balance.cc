@@ -1,0 +1,49 @@
+#include "parallel/load_balance.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <utility>
+
+namespace mergepurge {
+
+LoadBalanceResult LptAssign(const std::vector<uint64_t>& job_sizes,
+                            size_t processors) {
+  LoadBalanceResult result;
+  if (processors == 0) processors = 1;
+  result.assignment.assign(job_sizes.size(), 0);
+  result.loads.assign(processors, 0);
+
+  // Jobs in descending size order.
+  std::vector<size_t> order(job_sizes.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&job_sizes](size_t a, size_t b) {
+    if (job_sizes[a] != job_sizes[b]) return job_sizes[a] > job_sizes[b];
+    return a < b;
+  });
+
+  // Min-heap of (load, processor).
+  using HeapItem = std::pair<uint64_t, uint32_t>;
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (uint32_t p = 0; p < processors; ++p) heap.emplace(0, p);
+
+  for (size_t job : order) {
+    auto [load, p] = heap.top();
+    heap.pop();
+    result.assignment[job] = p;
+    result.loads[p] = load + job_sizes[job];
+    heap.emplace(result.loads[p], p);
+  }
+
+  uint64_t total =
+      std::accumulate(result.loads.begin(), result.loads.end(), uint64_t{0});
+  uint64_t max_load =
+      *std::max_element(result.loads.begin(), result.loads.end());
+  double average =
+      static_cast<double>(total) / static_cast<double>(processors);
+  result.imbalance =
+      average > 0.0 ? static_cast<double>(max_load) / average : 1.0;
+  return result;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,33 @@
+// LPT (longest processing time first) load balancing (paper §4.2, citing
+// Graham '69): "move the largest job in an overloaded processor to the
+// most underloaded processor, and repeat until a 'well' balanced load is
+// obtained." The classical greedy form — sort jobs by size descending and
+// always assign to the least-loaded processor — achieves the same 4/3
+// makespan bound and is what we implement.
+
+#ifndef MERGEPURGE_PARALLEL_LOAD_BALANCE_H_
+#define MERGEPURGE_PARALLEL_LOAD_BALANCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mergepurge {
+
+struct LoadBalanceResult {
+  // assignment[j] = processor of job j.
+  std::vector<uint32_t> assignment;
+  // Final per-processor loads.
+  std::vector<uint64_t> loads;
+  // max load / average load (1.0 = perfect balance).
+  double imbalance = 1.0;
+};
+
+// Assigns jobs (with the given sizes) to `processors` machines via LPT.
+// processors must be >= 1.
+LoadBalanceResult LptAssign(const std::vector<uint64_t>& job_sizes,
+                            size_t processors);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_PARALLEL_LOAD_BALANCE_H_

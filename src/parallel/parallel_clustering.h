@@ -1,0 +1,37 @@
+// Parallel clustering method (paper §4.2): the coordinator range-partitions
+// records into C clusters per processor via the key-prefix histogram,
+// clusters are LPT load-balanced across workers, and each worker sorts and
+// window-scans its clusters independently.
+
+#ifndef MERGEPURGE_PARALLEL_PARALLEL_CLUSTERING_H_
+#define MERGEPURGE_PARALLEL_PARALLEL_CLUSTERING_H_
+
+#include "core/clustering_method.h"
+#include "parallel/load_balance.h"
+#include "parallel/parallel_snm.h"
+#include "record/dataset.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+class ParallelClustering {
+ public:
+  // num_processors workers; options.num_clusters is interpreted as
+  // clusters PER PROCESSOR (the paper used 100 clusters per processor).
+  ParallelClustering(size_t num_processors, ClusteringOptions options);
+
+  Result<ParallelRunResult> Run(const Dataset& dataset, const KeySpec& key,
+                                const TheoryFactory& theory_factory) const;
+
+  // Load-balance report of the most recent Run.
+  const LoadBalanceResult& last_balance() const { return last_balance_; }
+
+ private:
+  size_t num_processors_;
+  ClusteringOptions options_;
+  mutable LoadBalanceResult last_balance_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_PARALLEL_PARALLEL_CLUSTERING_H_

@@ -1,0 +1,58 @@
+// Parallel sorted-neighborhood method (paper §4.1): sort, fragment the
+// sorted list with w-1 replicated bands, and window-scan the fragments on
+// worker threads. Produces exactly the same pair set as the serial method
+// (the bands make the fragmentation invisible).
+
+#ifndef MERGEPURGE_PARALLEL_PARALLEL_SNM_H_
+#define MERGEPURGE_PARALLEL_PARALLEL_SNM_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/pair_set.h"
+#include "keys/key_builder.h"
+#include "record/dataset.h"
+#include "rules/equational_theory.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+// Each worker thread needs its own theory instance (statistics counters are
+// not synchronized); the factory provides them.
+using TheoryFactory =
+    std::function<std::unique_ptr<EquationalTheory>()>;
+
+struct ParallelRunResult {
+  PairSet pairs;
+  uint64_t comparisons = 0;
+  double sort_seconds = 0.0;
+  double cluster_seconds = 0.0;  // Clustering variant only.
+  double scan_seconds = 0.0;     // Wall time of the parallel scan phase.
+  double total_seconds = 0.0;
+  // Per-worker busy time in the scan phase (for load-balance reporting).
+  std::vector<double> worker_busy_seconds;
+};
+
+class ParallelSnm {
+ public:
+  // num_processors worker threads; window as in the serial method.
+  // block_records > 0 selects the paper's memory-bounded block-cyclic
+  // distribution (§4.1: the coordinator streams blocks of M records,
+  // overlapping by w-1, round-robin to the sites); 0 selects one large
+  // banded fragment per processor. Both produce the serial pair set.
+  ParallelSnm(size_t num_processors, size_t window,
+              size_t block_records = 0);
+
+  Result<ParallelRunResult> Run(const Dataset& dataset, const KeySpec& key,
+                                const TheoryFactory& theory_factory) const;
+
+ private:
+  size_t num_processors_;
+  size_t window_;
+  size_t block_records_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_PARALLEL_PARALLEL_SNM_H_

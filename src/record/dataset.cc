@@ -1,0 +1,20 @@
+#include "record/dataset.h"
+
+namespace mergepurge {
+
+TupleId Dataset::Append(Record record) {
+  records_.push_back(std::move(record));
+  return static_cast<TupleId>(records_.size() - 1);
+}
+
+Status Dataset::Concatenate(const Dataset& other) {
+  if (!(schema_ == other.schema())) {
+    return Status::InvalidArgument(
+        "cannot concatenate datasets with different schemas");
+  }
+  records_.reserve(records_.size() + other.size());
+  for (const Record& r : other.records()) records_.push_back(r);
+  return Status::OK();
+}
+
+}  // namespace mergepurge

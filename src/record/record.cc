@@ -1,0 +1,14 @@
+#include "record/record.h"
+
+namespace mergepurge {
+
+std::string Record::DebugString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += '|';
+    out += fields_[i];
+  }
+  return out;
+}
+
+}  // namespace mergepurge

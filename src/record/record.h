@@ -1,0 +1,63 @@
+// Record: one tuple of string fields plus its tuple id.
+//
+// Fields are stored as owned strings; the domain (mailing-list records) is
+// short ASCII strings where SSO makes per-field std::string storage compact.
+// Tuple ids are assigned by the Dataset at append time and are stable for
+// the lifetime of the dataset; all pair output (PairSet, closure) is in
+// terms of tuple ids, matching the paper's "pairs of tuple id's, each at
+// most 30 bits".
+
+#ifndef MERGEPURGE_RECORD_RECORD_H_
+#define MERGEPURGE_RECORD_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "record/schema.h"
+
+namespace mergepurge {
+
+using TupleId = uint32_t;
+
+inline constexpr TupleId kInvalidTupleId = static_cast<TupleId>(-1);
+
+class Record {
+ public:
+  Record() = default;
+  explicit Record(std::vector<std::string> fields)
+      : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+
+  // Returns the field value, or an empty view if the field is absent
+  // (records may have trailing empty fields, per the paper's "some of which
+  // can be empty").
+  std::string_view field(FieldId id) const {
+    return id < fields_.size() ? std::string_view(fields_[id])
+                               : std::string_view();
+  }
+
+  void set_field(FieldId id, std::string value) {
+    if (id >= fields_.size()) fields_.resize(id + 1);
+    fields_[id] = std::move(value);
+  }
+
+  const std::vector<std::string>& fields() const { return fields_; }
+  std::vector<std::string>& mutable_fields() { return fields_; }
+
+  bool operator==(const Record& other) const {
+    return fields_ == other.fields_;
+  }
+
+  // Renders as pipe-separated fields, for debugging and test failure output.
+  std::string DebugString() const;
+
+ private:
+  std::vector<std::string> fields_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_RECORD_RECORD_H_

@@ -1,0 +1,38 @@
+#include "record/schema.h"
+
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+Schema::Schema(std::vector<std::string> field_names)
+    : field_names_(std::move(field_names)) {}
+
+FieldId Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < field_names_.size(); ++i) {
+    if (field_names_[i] == name) return i;
+  }
+  return kInvalidField;
+}
+
+Result<FieldId> Schema::RequireField(std::string_view name) const {
+  FieldId id = FieldIndex(name);
+  if (id == kInvalidField) {
+    return Status::NotFound(
+        StringPrintf("schema has no field named '%.*s'",
+                     static_cast<int>(name.size()), name.data()));
+  }
+  return id;
+}
+
+namespace employee {
+
+Schema MakeSchema() {
+  return Schema({"ssn", "first_name", "initial", "last_name", "address",
+                 "apartment", "city", "state", "zip"});
+}
+
+}  // namespace employee
+
+}  // namespace mergepurge

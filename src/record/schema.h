@@ -1,0 +1,70 @@
+// Schema: named, ordered fields of a record source.
+//
+// The merge/purge engine is schema-generic: key specs, rules and the
+// generator all address fields by index resolved through a Schema. The
+// paper's pedagogical "employee" schema (ssn, name, address fields) is
+// provided as a standard instance.
+
+#ifndef MERGEPURGE_RECORD_SCHEMA_H_
+#define MERGEPURGE_RECORD_SCHEMA_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mergepurge {
+
+// Index of a field within a schema / record.
+using FieldId = size_t;
+
+inline constexpr FieldId kInvalidField = static_cast<FieldId>(-1);
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<std::string> field_names);
+
+  size_t num_fields() const { return field_names_.size(); }
+  const std::string& field_name(FieldId id) const { return field_names_[id]; }
+  const std::vector<std::string>& field_names() const { return field_names_; }
+
+  // Returns kInvalidField if no field has this name (case-sensitive).
+  FieldId FieldIndex(std::string_view name) const;
+
+  // Like FieldIndex but returns an error naming the missing field.
+  Result<FieldId> RequireField(std::string_view name) const;
+
+  bool operator==(const Schema& other) const {
+    return field_names_ == other.field_names_;
+  }
+
+ private:
+  std::vector<std::string> field_names_;
+};
+
+// The employee schema used throughout the paper's experiments:
+// ssn, first_name, initial, last_name, address, apartment, city, state, zip.
+namespace employee {
+
+inline constexpr FieldId kSsn = 0;
+inline constexpr FieldId kFirstName = 1;
+inline constexpr FieldId kInitial = 2;
+inline constexpr FieldId kLastName = 3;
+inline constexpr FieldId kAddress = 4;
+inline constexpr FieldId kApartment = 5;
+inline constexpr FieldId kCity = 6;
+inline constexpr FieldId kState = 7;
+inline constexpr FieldId kZip = 8;
+inline constexpr size_t kNumFields = 9;
+
+// Returns the canonical employee schema (a fresh copy).
+Schema MakeSchema();
+
+}  // namespace employee
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_RECORD_SCHEMA_H_

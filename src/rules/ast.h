@@ -1,0 +1,95 @@
+// Abstract syntax tree for the merge/purge rule language.
+//
+// The language mirrors the structure of the paper's OPS5 rule base: a
+// program is an ordered list of rules; each rule has a boolean condition
+// over the two records under comparison (r1, r2); a pair matches when ANY
+// rule's condition holds (rules are disjuncts, as in a production system
+// where any rule may fire).
+//
+//   rule same-ssn-similar-name:
+//     if r1.ssn == r2.ssn
+//     and similarity(r1.last_name, r2.last_name) >= 0.8
+//     then match
+//
+// Conditions support and / or / not with the usual precedence (not > and >
+// or) and parentheses. Leaf conditions are comparisons (`expr op expr`) or
+// bare boolean expressions (`sounds_like(...)`). Value expressions are
+// strings, numbers or booleans; built-in functions expose the distance
+// library (similarity, edit_distance, soundex, ...).
+
+#ifndef MERGEPURGE_RULES_AST_H_
+#define MERGEPURGE_RULES_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "record/schema.h"
+
+namespace mergepurge {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+enum class ExprKind {
+  kStringLiteral,
+  kNumberLiteral,
+  kFieldRef,  // r1.field or r2.field
+  kFuncCall,
+};
+
+struct Expr {
+  ExprKind kind;
+
+  // kStringLiteral.
+  std::string string_value;
+  // kNumberLiteral.
+  double number_value = 0.0;
+  // kFieldRef: which record (1 or 2) and the field name; the field id is
+  // resolved at bind time.
+  int record_index = 0;
+  std::string field_name;
+  // kFuncCall.
+  std::string func_name;
+  std::vector<std::unique_ptr<Expr>> args;
+};
+
+enum class BoolKind {
+  kAnd,
+  kOr,
+  kNot,
+  kCompare,  // lhs op rhs
+  kBare,     // boolean-valued expression
+};
+
+struct BoolExpr {
+  BoolKind kind;
+  // kAnd / kOr: two or more children. kNot: one child.
+  std::vector<std::unique_ptr<BoolExpr>> children;
+  // kCompare / kBare.
+  std::unique_ptr<Expr> lhs;
+  CompareOp op = CompareOp::kEq;
+  std::unique_ptr<Expr> rhs;  // kCompare only.
+};
+
+struct Rule {
+  std::string name;
+  std::unique_ptr<BoolExpr> condition;
+  int source_line = 0;
+};
+
+// A purge-phase directive: `merge <field>: prefer <strategy>` (paper §5's
+// data-directed projections; see core/purge_policy.h for the strategies).
+struct MergeDirective {
+  std::string field_name;
+  std::string strategy_name;
+  int source_line = 0;
+};
+
+struct RuleProgramAst {
+  std::vector<Rule> rules;
+  std::vector<MergeDirective> merge_directives;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_RULES_AST_H_

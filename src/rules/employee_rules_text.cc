@@ -1,0 +1,294 @@
+#include "rules/employee_rules_text.h"
+
+namespace mergepurge {
+
+namespace {
+
+// Mirrors EmployeeTheory with default options: Damerau similarity,
+// name threshold 0.80 (weak 0.70), address threshold 0.75, city 0.80,
+// nickname table on, phonetic gate off. Rule order and names match
+// EmployeeTheory::RuleName.
+constexpr char kEmployeeRules[] = R"RULES(
+# Equational theory for employee records (merge/purge).
+# A pair of records is declared equivalent when ANY rule fires.
+
+rule identical-records:
+  if r1.ssn == r2.ssn
+  and r1.first_name == r2.first_name
+  and r1.initial == r2.initial
+  and r1.last_name == r2.last_name
+  and r1.address == r2.address
+  and r1.apartment == r2.apartment
+  and r1.city == r2.city
+  and r1.state == r2.state
+  and r1.zip == r2.zip
+  then match
+
+rule exact-names-and-address:
+  if r1.first_name == r2.first_name and not empty(r1.first_name)
+  and r1.last_name == r2.last_name and not empty(r1.last_name)
+  and r1.address == r2.address and not empty(r1.address)
+  and (empty(r1.apartment) or empty(r2.apartment)
+       or r1.apartment == r2.apartment)
+  then match
+
+rule exact-ssn-and-names:
+  if r1.ssn == r2.ssn and not empty(r1.ssn)
+  and r1.first_name == r2.first_name and not empty(r1.first_name)
+  and r1.last_name == r2.last_name and not empty(r1.last_name)
+  then match
+
+rule ssn-names-similar:
+  if r1.ssn == r2.ssn and not empty(r1.ssn)
+  and not empty(r1.first_name) and not empty(r2.first_name)
+  and (same_name(r1.first_name, r2.first_name)
+       or initial_match(r1.first_name, r2.first_name)
+       or similarity(r1.first_name, r2.first_name) >= 0.80)
+  and not empty(r1.last_name) and not empty(r2.last_name)
+  and similarity(r1.last_name, r2.last_name) >= 0.80
+  then match
+
+rule ssn-last-and-first-initial:
+  if r1.ssn == r2.ssn and not empty(r1.ssn)
+  and r1.last_name == r2.last_name and not empty(r1.last_name)
+  and initial_match(r1.first_name, r2.first_name)
+  then match
+
+rule ssn-nickname:
+  if r1.ssn == r2.ssn and not empty(r1.ssn)
+  and not empty(r1.first_name) and not empty(r2.first_name)
+  and same_name(r1.first_name, r2.first_name)
+  and not empty(r1.last_name) and not empty(r2.last_name)
+  and similarity(r1.last_name, r2.last_name) >= 0.70
+  then match
+
+rule ssn-address:
+  if r1.ssn == r2.ssn and not empty(r1.ssn)
+  and not empty(r1.address) and not empty(r2.address)
+  and similarity(r1.address, r2.address) >= 0.75
+  and (empty(r1.apartment) or empty(r2.apartment)
+       or r1.apartment == r2.apartment)
+  then match
+
+rule ssn-location-last:
+  if r1.ssn == r2.ssn and not empty(r1.ssn)
+  and ((r1.zip == r2.zip and not empty(r1.zip))
+       or (not empty(r1.city) and not empty(r2.city)
+           and (r1.city == r2.city
+                or similarity(r1.city, r2.city) >= 0.80)
+           and r1.state == r2.state and not empty(r1.state)))
+  and not empty(r1.last_name) and not empty(r2.last_name)
+  and similarity(r1.last_name, r2.last_name) >= 0.70
+  then match
+
+rule ssn-close-names:
+  if not empty(r1.ssn) and not empty(r2.ssn)
+  and damerau(r1.ssn, r2.ssn) <= 1
+  and not empty(r1.first_name) and not empty(r2.first_name)
+  and (same_name(r1.first_name, r2.first_name)
+       or initial_match(r1.first_name, r2.first_name)
+       or similarity(r1.first_name, r2.first_name) >= 0.80)
+  and not empty(r1.last_name) and not empty(r2.last_name)
+  and similarity(r1.last_name, r2.last_name) >= 0.80
+  then match
+
+rule ssn-close-address:
+  if not empty(r1.ssn) and not empty(r2.ssn)
+  and damerau(r1.ssn, r2.ssn) <= 1
+  and not empty(r1.last_name) and not empty(r2.last_name)
+  and similarity(r1.last_name, r2.last_name) >= 0.80
+  and not empty(r1.address) and not empty(r2.address)
+  and similarity(r1.address, r2.address) >= 0.75
+  then match
+
+rule ssn-transposed-name-address:
+  if transposed(r1.ssn, r2.ssn)
+  and ((not empty(r1.first_name) and not empty(r2.first_name)
+        and (same_name(r1.first_name, r2.first_name)
+             or initial_match(r1.first_name, r2.first_name)
+             or similarity(r1.first_name, r2.first_name) >= 0.80))
+       or (not empty(r1.last_name) and not empty(r2.last_name)
+           and similarity(r1.last_name, r2.last_name) >= 0.80))
+  and not empty(r1.address) and not empty(r2.address)
+  and similarity(r1.address, r2.address) >= 0.75
+  then match
+
+# The example rule from the paper (section 2.3): same last name, first
+# names differ slightly, same address.
+rule paper-example-rule:
+  if r1.last_name == r2.last_name and not empty(r1.last_name)
+  and not empty(r1.first_name) and not empty(r2.first_name)
+  and (same_name(r1.first_name, r2.first_name)
+       or initial_match(r1.first_name, r2.first_name)
+       or similarity(r1.first_name, r2.first_name) >= 0.80)
+  and r1.address == r2.address and not empty(r1.address)
+  then match
+
+rule names-exact-address-similar:
+  if r1.first_name == r2.first_name and not empty(r1.first_name)
+  and r1.last_name == r2.last_name and not empty(r1.last_name)
+  and not empty(r1.address) and not empty(r2.address)
+  and similarity(r1.address, r2.address) >= 0.75
+  and (empty(r1.apartment) or empty(r2.apartment)
+       or r1.apartment == r2.apartment)
+  then match
+
+rule names-similar-address-corroborated:
+  if not empty(r1.first_name) and not empty(r2.first_name)
+  and (same_name(r1.first_name, r2.first_name)
+       or initial_match(r1.first_name, r2.first_name)
+       or similarity(r1.first_name, r2.first_name) >= 0.80)
+  and not empty(r1.last_name) and not empty(r2.last_name)
+  and similarity(r1.last_name, r2.last_name) >= 0.80
+  and not empty(r1.address) and not empty(r2.address)
+  and similarity(r1.address, r2.address) >= 0.75
+  and (empty(r1.apartment) or empty(r2.apartment)
+       or r1.apartment == r2.apartment)
+  and (empty(r1.zip) or empty(r2.zip)
+       or damerau(r1.zip, r2.zip) <= 1
+       or (not empty(r1.city) and not empty(r2.city)
+           and (r1.city == r2.city
+                or similarity(r1.city, r2.city) >= 0.80))
+       or (r1.state == r2.state and not empty(r1.state)))
+  and (empty(r1.ssn) or empty(r2.ssn) or damerau(r1.ssn, r2.ssn) <= 1)
+  then match
+
+rule nickname-last-address:
+  if not empty(r1.first_name) and not empty(r2.first_name)
+  and same_name(r1.first_name, r2.first_name)
+  and r1.last_name == r2.last_name and not empty(r1.last_name)
+  and not empty(r1.address) and not empty(r2.address)
+  and similarity(r1.address, r2.address) >= 0.75
+  then match
+
+rule initials-address-location:
+  if initial_match(r1.first_name, r2.first_name)
+  and r1.last_name == r2.last_name and not empty(r1.last_name)
+  and r1.address == r2.address and not empty(r1.address)
+  and ((r1.zip == r2.zip and not empty(r1.zip))
+       or (not empty(r1.city) and not empty(r2.city)
+           and (r1.city == r2.city
+                or similarity(r1.city, r2.city) >= 0.80)
+           and r1.state == r2.state and not empty(r1.state)))
+  then match
+
+rule last-transposed-address:
+  if transposed(r1.last_name, r2.last_name)
+  and not empty(r1.first_name) and not empty(r2.first_name)
+  and (same_name(r1.first_name, r2.first_name)
+       or initial_match(r1.first_name, r2.first_name)
+       or similarity(r1.first_name, r2.first_name) >= 0.80)
+  and not empty(r1.address) and not empty(r2.address)
+  and similarity(r1.address, r2.address) >= 0.75
+  then match
+
+rule first-transposed-address:
+  if transposed(r1.first_name, r2.first_name)
+  and not empty(r1.last_name) and not empty(r2.last_name)
+  and similarity(r1.last_name, r2.last_name) >= 0.80
+  and not empty(r1.address) and not empty(r2.address)
+  and similarity(r1.address, r2.address) >= 0.75
+  then match
+
+rule missing-first-address:
+  if ((empty(r1.first_name) and not empty(r2.first_name))
+      or (not empty(r1.first_name) and empty(r2.first_name)))
+  and r1.last_name == r2.last_name and not empty(r1.last_name)
+  and r1.address == r2.address and not empty(r1.address)
+  and (empty(r1.apartment) or empty(r2.apartment)
+       or r1.apartment == r2.apartment)
+  and ((r1.zip == r2.zip and not empty(r1.zip))
+       or (not empty(r1.city) and not empty(r2.city)
+           and (r1.city == r2.city
+                or similarity(r1.city, r2.city) >= 0.80)
+           and r1.state == r2.state and not empty(r1.state)))
+  then match
+
+rule hyphenated-last-address:
+  if hyphen_extended(r1.last_name, r2.last_name)
+  and not empty(r1.first_name) and not empty(r2.first_name)
+  and (same_name(r1.first_name, r2.first_name)
+       or initial_match(r1.first_name, r2.first_name)
+       or similarity(r1.first_name, r2.first_name) >= 0.80)
+  and not empty(r1.address) and not empty(r2.address)
+  and similarity(r1.address, r2.address) >= 0.75
+  then match
+
+rule street-number-zip:
+  if street_number(r1.address) == street_number(r2.address)
+  and not empty(street_number(r1.address))
+  and r1.zip == r2.zip and not empty(r1.zip)
+  and r1.last_name == r2.last_name and not empty(r1.last_name)
+  and not empty(r1.first_name) and not empty(r2.first_name)
+  and (same_name(r1.first_name, r2.first_name)
+       or initial_match(r1.first_name, r2.first_name)
+       or similarity(r1.first_name, r2.first_name) >= 0.80)
+  then match
+
+rule phonetic-names-address:
+  if sounds_like(r1.last_name, r2.last_name)
+  and sounds_like(r1.first_name, r2.first_name)
+  and not empty(r1.address) and not empty(r2.address)
+  and similarity(r1.address, r2.address) >= 0.75
+  and ((r1.zip == r2.zip and not empty(r1.zip))
+       or (not empty(r1.city) and not empty(r2.city)
+           and (r1.city == r2.city
+                or similarity(r1.city, r2.city) >= 0.80)
+           and r1.state == r2.state and not empty(r1.state)))
+  then match
+
+# Marriage / alias: the surname may be completely different; everything
+# else must line up exactly.
+rule last-name-changed:
+  if r1.first_name == r2.first_name and not empty(r1.first_name)
+  and r1.address == r2.address and not empty(r1.address)
+  and r1.apartment == r2.apartment and not empty(r1.apartment)
+  and r1.zip == r2.zip and not empty(r1.zip)
+  then match
+
+rule names-zip-address:
+  if r1.last_name == r2.last_name and not empty(r1.last_name)
+  and not empty(r1.first_name) and not empty(r2.first_name)
+  and (same_name(r1.first_name, r2.first_name)
+       or initial_match(r1.first_name, r2.first_name)
+       or similarity(r1.first_name, r2.first_name) >= 0.80)
+  and not empty(r1.address) and not empty(r2.address)
+  and similarity(r1.address, r2.address) >= 0.75
+  and r1.zip == r2.zip and not empty(r1.zip)
+  then match
+
+rule apartment-corroborated:
+  if r1.address == r2.address and not empty(r1.address)
+  and r1.apartment == r2.apartment and not empty(r1.apartment)
+  and not empty(r1.last_name) and not empty(r2.last_name)
+  and similarity(r1.last_name, r2.last_name) >= 0.70
+  and ((r1.zip == r2.zip and not empty(r1.zip))
+       or (not empty(r1.city) and not empty(r2.city)
+           and (r1.city == r2.city
+                or similarity(r1.city, r2.city) >= 0.80)
+           and r1.state == r2.state and not empty(r1.state)))
+  and ((not empty(r1.first_name) and not empty(r2.first_name)
+        and (same_name(r1.first_name, r2.first_name)
+             or initial_match(r1.first_name, r2.first_name)
+             or similarity(r1.first_name, r2.first_name) >= 0.80))
+       or (empty(r1.first_name) and not empty(r2.first_name))
+       or (not empty(r1.first_name) and empty(r2.first_name)))
+  then match
+
+# Approximation of EmployeeTheory's weighted aggregate-similarity rule
+# (the rule language has no arithmetic; the conjunction below demands the
+# same kind of across-the-board agreement).
+rule aggregate-similarity:
+  if similarity(r1.ssn, r2.ssn) >= 0.85
+  and similarity(r1.last_name, r2.last_name) >= 0.85
+  and similarity(r1.first_name, r2.first_name) >= 0.80
+  and similarity(r1.address, r2.address) >= 0.80
+  and (empty(r1.ssn) or empty(r2.ssn) or damerau(r1.ssn, r2.ssn) <= 1)
+  then match
+)RULES";
+
+}  // namespace
+
+std::string_view EmployeeRulesText() { return kEmployeeRules; }
+
+}  // namespace mergepurge

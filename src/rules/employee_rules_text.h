@@ -1,0 +1,19 @@
+// The employee equational theory expressed in the declarative rule
+// language — the analogue of the paper's original OPS5 rule program. Rules
+// 0..24 mirror EmployeeTheory (default options) exactly; rule 25
+// approximates the weighted aggregate-similarity rule (the DSL has no
+// arithmetic). tests/rules_equivalence_test.cc verifies the mirror.
+
+#ifndef MERGEPURGE_RULES_EMPLOYEE_RULES_TEXT_H_
+#define MERGEPURGE_RULES_EMPLOYEE_RULES_TEXT_H_
+
+#include <string_view>
+
+namespace mergepurge {
+
+// Returns the rule-language source of the employee theory (26 rules).
+std::string_view EmployeeRulesText();
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_RULES_EMPLOYEE_RULES_TEXT_H_

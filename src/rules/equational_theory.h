@@ -1,0 +1,43 @@
+// EquationalTheory: the record-equivalence predicate applied inside the
+// merge window (paper §2.3). "The equality of two values ... is not
+// specified as a 'simple' arithmetic predicate, but rather by a set of
+// equational axioms that define equivalence, i.e., by an equational
+// theory."
+//
+// Two implementations are provided:
+//  * RuleProgram (rules/rule_program.h) — a declarative rule-language
+//    interpreter, the analogue of the paper's OPS5 program;
+//  * EmployeeTheory (rules/employee_theory.h) — the same 26-rule logic
+//    hand-coded in C++, the analogue of the paper's "recoded the rules
+//    directly in C to obtain speed-up".
+
+#ifndef MERGEPURGE_RULES_EQUATIONAL_THEORY_H_
+#define MERGEPURGE_RULES_EQUATIONAL_THEORY_H_
+
+#include <string>
+
+#include "record/record.h"
+
+namespace mergepurge {
+
+class EquationalTheory {
+ public:
+  virtual ~EquationalTheory() = default;
+
+  // True when the theory declares the two records equivalent (the same
+  // real-world entity). Must be symmetric; the window scanner presents
+  // pairs in one order only.
+  virtual bool Matches(const Record& a, const Record& b) const = 0;
+
+  // Human-readable name for experiment reports.
+  virtual std::string name() const = 0;
+
+  // Number of Matches() invocations so far (the dominant cost of the merge
+  // phase; used to fit the analytic model's alpha and c constants).
+  virtual uint64_t comparison_count() const = 0;
+  virtual void reset_comparison_count() = 0;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_RULES_EQUATIONAL_THEORY_H_

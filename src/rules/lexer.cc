@@ -1,0 +1,116 @@
+#include "rules/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+Result<std::vector<Token>> Tokenize(std::string_view source) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+
+  auto error = [&line](const std::string& msg) {
+    return Status::ParseError(StringPrintf("line %d: %s", line, msg.c_str()));
+  };
+
+  while (i < n) {
+    char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < n && source[i] != '\n') ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '_' || source[i] == '-')) {
+        ++i;
+      }
+      tokens.push_back({TokenKind::kIdentifier,
+                        std::string(source.substr(start, i - start)), 0.0,
+                        line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(source[i])) ||
+                       source[i] == '.')) {
+        ++i;
+      }
+      std::string text(source.substr(start, i - start));
+      tokens.push_back(
+          {TokenKind::kNumber, text, std::strtod(text.c_str(), nullptr),
+           line});
+      continue;
+    }
+    if (c == '"') {
+      ++i;
+      std::string text;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\n') return error("unterminated string literal");
+        text += source[i];
+        ++i;
+      }
+      if (i == n) return error("unterminated string literal");
+      ++i;  // Closing quote.
+      tokens.push_back({TokenKind::kString, std::move(text), 0.0, line});
+      continue;
+    }
+    switch (c) {
+      case '.':
+        tokens.push_back({TokenKind::kDot, ".", 0.0, line});
+        ++i;
+        continue;
+      case ',':
+        tokens.push_back({TokenKind::kComma, ",", 0.0, line});
+        ++i;
+        continue;
+      case ':':
+        tokens.push_back({TokenKind::kColon, ":", 0.0, line});
+        ++i;
+        continue;
+      case '(':
+        tokens.push_back({TokenKind::kLParen, "(", 0.0, line});
+        ++i;
+        continue;
+      case ')':
+        tokens.push_back({TokenKind::kRParen, ")", 0.0, line});
+        ++i;
+        continue;
+      default:
+        break;
+    }
+    // Operators.
+    if (c == '=' || c == '!' || c == '<' || c == '>') {
+      std::string op(1, c);
+      if (i + 1 < n && source[i + 1] == '=') {
+        op += '=';
+        i += 2;
+      } else {
+        ++i;
+      }
+      if (op == "=" || op == "!") {
+        return error("expected '" + op + "=' operator");
+      }
+      tokens.push_back({TokenKind::kOp, std::move(op), 0.0, line});
+      continue;
+    }
+    return error(StringPrintf("unexpected character '%c'", c));
+  }
+  tokens.push_back({TokenKind::kEnd, "", 0.0, line});
+  return tokens;
+}
+
+}  // namespace mergepurge

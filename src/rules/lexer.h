@@ -1,0 +1,40 @@
+// Tokenizer for the rule language. Line comments start with '#'.
+
+#ifndef MERGEPURGE_RULES_LEXER_H_
+#define MERGEPURGE_RULES_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mergepurge {
+
+enum class TokenKind {
+  kIdentifier,  // rule names, keywords, function names; '-' allowed inside.
+  kNumber,
+  kString,      // "double quoted"
+  kDot,
+  kComma,
+  kColon,
+  kLParen,
+  kRParen,
+  kOp,          // == != <= >= < >
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  double number = 0.0;
+  int line = 0;
+};
+
+// Tokenizes the whole input; returns a ParseError with line info on any
+// malformed token. The final token is always kEnd.
+Result<std::vector<Token>> Tokenize(std::string_view source);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_RULES_LEXER_H_

@@ -1,0 +1,274 @@
+#include "rules/parser.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "rules/lexer.h"
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<RuleProgramAst> ParseProgram() {
+    RuleProgramAst program;
+    while (!AtEnd()) {
+      if (CheckIdent("merge")) {
+        Result<MergeDirective> directive = ParseMergeDirective();
+        if (!directive.ok()) return directive.status();
+        program.merge_directives.push_back(std::move(*directive));
+        continue;
+      }
+      Result<Rule> rule = ParseRule();
+      if (!rule.ok()) return rule.status();
+      program.rules.push_back(std::move(*rule));
+    }
+    if (program.rules.empty()) {
+      return Status::ParseError("rule program contains no rules");
+    }
+    return program;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+  bool AtEnd() const { return Peek().kind == TokenKind::kEnd; }
+
+  bool CheckIdent(std::string_view word) const {
+    return Peek().kind == TokenKind::kIdentifier && Peek().text == word;
+  }
+
+  Status Error(const std::string& msg) const {
+    return Status::ParseError(
+        StringPrintf("line %d: %s (near '%s')", Peek().line, msg.c_str(),
+                     Peek().text.c_str()));
+  }
+
+  Status ExpectIdent(std::string_view word) {
+    if (!CheckIdent(word)) {
+      return Error(StringPrintf("expected '%.*s'",
+                                static_cast<int>(word.size()), word.data()));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind, const char* what) {
+    if (Peek().kind != kind) {
+      return Error(StringPrintf("expected %s", what));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  // merge <field>: prefer <strategy>
+  Result<MergeDirective> ParseMergeDirective() {
+    MergeDirective directive;
+    directive.source_line = Peek().line;
+    MERGEPURGE_RETURN_NOT_OK(ExpectIdent("merge"));
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected field name after 'merge'");
+    }
+    directive.field_name = Advance().text;
+    MERGEPURGE_RETURN_NOT_OK(Expect(TokenKind::kColon, "':'"));
+    MERGEPURGE_RETURN_NOT_OK(ExpectIdent("prefer"));
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected merge strategy after 'prefer'");
+    }
+    directive.strategy_name = Advance().text;
+    return directive;
+  }
+
+  Result<Rule> ParseRule() {
+    Rule rule;
+    rule.source_line = Peek().line;
+    MERGEPURGE_RETURN_NOT_OK(ExpectIdent("rule"));
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Error("expected rule name");
+    }
+    rule.name = Advance().text;
+    MERGEPURGE_RETURN_NOT_OK(Expect(TokenKind::kColon, "':'"));
+    MERGEPURGE_RETURN_NOT_OK(ExpectIdent("if"));
+
+    Result<std::unique_ptr<BoolExpr>> condition = ParseOr();
+    if (!condition.ok()) return condition.status();
+    rule.condition = std::move(*condition);
+
+    MERGEPURGE_RETURN_NOT_OK(ExpectIdent("then"));
+    MERGEPURGE_RETURN_NOT_OK(ExpectIdent("match"));
+    return rule;
+  }
+
+  // or-expr := and-expr ("or" and-expr)*
+  Result<std::unique_ptr<BoolExpr>> ParseOr() {
+    Result<std::unique_ptr<BoolExpr>> first = ParseAnd();
+    if (!first.ok()) return first.status();
+    if (!CheckIdent("or")) return first;
+
+    auto node = std::make_unique<BoolExpr>();
+    node->kind = BoolKind::kOr;
+    node->children.push_back(std::move(*first));
+    while (CheckIdent("or")) {
+      Advance();
+      Result<std::unique_ptr<BoolExpr>> next = ParseAnd();
+      if (!next.ok()) return next.status();
+      node->children.push_back(std::move(*next));
+    }
+    return node;
+  }
+
+  // and-expr := unary ("and" unary)*
+  Result<std::unique_ptr<BoolExpr>> ParseAnd() {
+    Result<std::unique_ptr<BoolExpr>> first = ParseUnary();
+    if (!first.ok()) return first.status();
+    if (!CheckIdent("and")) return first;
+
+    auto node = std::make_unique<BoolExpr>();
+    node->kind = BoolKind::kAnd;
+    node->children.push_back(std::move(*first));
+    while (CheckIdent("and")) {
+      Advance();
+      Result<std::unique_ptr<BoolExpr>> next = ParseUnary();
+      if (!next.ok()) return next.status();
+      node->children.push_back(std::move(*next));
+    }
+    return node;
+  }
+
+  // unary := "not" unary | "(" or-expr ")" | comparison
+  Result<std::unique_ptr<BoolExpr>> ParseUnary() {
+    if (CheckIdent("not")) {
+      Advance();
+      Result<std::unique_ptr<BoolExpr>> child = ParseUnary();
+      if (!child.ok()) return child.status();
+      auto node = std::make_unique<BoolExpr>();
+      node->kind = BoolKind::kNot;
+      node->children.push_back(std::move(*child));
+      return node;
+    }
+    if (Peek().kind == TokenKind::kLParen) {
+      // A '(' here could open a grouped boolean expression; value
+      // expressions only start with '(' after a function name, which
+      // ParseExpr handles, so the grouping interpretation is unambiguous.
+      Advance();
+      Result<std::unique_ptr<BoolExpr>> inner = ParseOr();
+      if (!inner.ok()) return inner.status();
+      MERGEPURGE_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+      return inner;
+    }
+    return ParseComparison();
+  }
+
+  // comparison := expr (op expr)?
+  Result<std::unique_ptr<BoolExpr>> ParseComparison() {
+    Result<std::unique_ptr<Expr>> lhs = ParseExpr();
+    if (!lhs.ok()) return lhs.status();
+
+    auto node = std::make_unique<BoolExpr>();
+    node->lhs = std::move(*lhs);
+    if (Peek().kind != TokenKind::kOp) {
+      node->kind = BoolKind::kBare;
+      return node;
+    }
+
+    node->kind = BoolKind::kCompare;
+    const std::string& op = Advance().text;
+    if (op == "==") {
+      node->op = CompareOp::kEq;
+    } else if (op == "!=") {
+      node->op = CompareOp::kNe;
+    } else if (op == "<") {
+      node->op = CompareOp::kLt;
+    } else if (op == "<=") {
+      node->op = CompareOp::kLe;
+    } else if (op == ">") {
+      node->op = CompareOp::kGt;
+    } else if (op == ">=") {
+      node->op = CompareOp::kGe;
+    } else {
+      return Error("unknown operator '" + op + "'");
+    }
+    Result<std::unique_ptr<Expr>> rhs = ParseExpr();
+    if (!rhs.ok()) return rhs.status();
+    node->rhs = std::move(*rhs);
+    return node;
+  }
+
+  Result<std::unique_ptr<Expr>> ParseExpr() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kNumber: {
+        auto expr = std::make_unique<Expr>();
+        expr->kind = ExprKind::kNumberLiteral;
+        expr->number_value = Advance().number;
+        return expr;
+      }
+      case TokenKind::kString: {
+        auto expr = std::make_unique<Expr>();
+        expr->kind = ExprKind::kStringLiteral;
+        expr->string_value = Advance().text;
+        return expr;
+      }
+      case TokenKind::kIdentifier:
+        break;
+      default:
+        return Error("expected expression");
+    }
+
+    // r1.field / r2.field.
+    if (token.text == "r1" || token.text == "r2") {
+      int record_index = token.text == "r1" ? 1 : 2;
+      Advance();
+      MERGEPURGE_RETURN_NOT_OK(Expect(TokenKind::kDot, "'.'"));
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Error("expected field name after '.'");
+      }
+      auto expr = std::make_unique<Expr>();
+      expr->kind = ExprKind::kFieldRef;
+      expr->record_index = record_index;
+      expr->field_name = Advance().text;
+      return expr;
+    }
+
+    // Function call.
+    std::string name = Advance().text;
+    MERGEPURGE_RETURN_NOT_OK(
+        Expect(TokenKind::kLParen, "'(' after function name"));
+    auto expr = std::make_unique<Expr>();
+    expr->kind = ExprKind::kFuncCall;
+    expr->func_name = std::move(name);
+    if (Peek().kind != TokenKind::kRParen) {
+      while (true) {
+        Result<std::unique_ptr<Expr>> arg = ParseExpr();
+        if (!arg.ok()) return arg.status();
+        expr->args.push_back(std::move(*arg));
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    MERGEPURGE_RETURN_NOT_OK(Expect(TokenKind::kRParen, "')'"));
+    return expr;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<RuleProgramAst> ParseRuleProgram(std::string_view source) {
+  Result<std::vector<Token>> tokens = Tokenize(source);
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.ParseProgram();
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,19 @@
+// Recursive-descent parser for the rule language (grammar in ast.h).
+
+#ifndef MERGEPURGE_RULES_PARSER_H_
+#define MERGEPURGE_RULES_PARSER_H_
+
+#include <string_view>
+
+#include "rules/ast.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+// Parses a whole rule program. Field names are left unresolved (bound to a
+// schema later by RuleProgram::Compile).
+Result<RuleProgramAst> ParseRuleProgram(std::string_view source);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_RULES_PARSER_H_

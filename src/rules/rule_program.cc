@@ -1,0 +1,494 @@
+#include "rules/rule_program.h"
+
+#include <cassert>
+#include <memory>
+#include <utility>
+
+#include "rules/ast.h"
+#include "rules/parser.h"
+#include "text/edit_distance.h"
+#include "text/jaro_winkler.h"
+#include "text/keyboard_distance.h"
+#include "text/nicknames.h"
+#include "text/phonetic.h"
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+namespace rules_internal {
+
+enum class ValueType { kString, kNumber, kBool };
+
+enum class FuncId {
+  kSimilarity,
+  kEditDistance,
+  kDamerau,
+  kKeyboardSimilarity,
+  kSoundex,
+  kNysiis,
+  kSoundsLike,
+  kNickname,
+  kSameName,
+  kInitialMatch,
+  kTransposed,
+  kEmpty,
+  kLength,
+  kPrefix,
+  kDigits,
+  kStreetNumber,
+  kHyphenExtended,
+  kJaroWinkler,
+  kNgramSimilarity,
+};
+
+struct FuncSignature {
+  const char* name;
+  FuncId id;
+  std::vector<ValueType> arg_types;
+  ValueType return_type;
+};
+
+const std::vector<FuncSignature>& FunctionTable() {
+  static const std::vector<FuncSignature>* table =
+      new std::vector<FuncSignature>{
+          {"similarity", FuncId::kSimilarity,
+           {ValueType::kString, ValueType::kString}, ValueType::kNumber},
+          {"edit_distance", FuncId::kEditDistance,
+           {ValueType::kString, ValueType::kString}, ValueType::kNumber},
+          {"damerau", FuncId::kDamerau,
+           {ValueType::kString, ValueType::kString}, ValueType::kNumber},
+          {"keyboard_similarity", FuncId::kKeyboardSimilarity,
+           {ValueType::kString, ValueType::kString}, ValueType::kNumber},
+          {"soundex", FuncId::kSoundex, {ValueType::kString},
+           ValueType::kString},
+          {"nysiis", FuncId::kNysiis, {ValueType::kString},
+           ValueType::kString},
+          {"sounds_like", FuncId::kSoundsLike,
+           {ValueType::kString, ValueType::kString}, ValueType::kBool},
+          {"nickname", FuncId::kNickname, {ValueType::kString},
+           ValueType::kString},
+          {"same_name", FuncId::kSameName,
+           {ValueType::kString, ValueType::kString}, ValueType::kBool},
+          {"initial_match", FuncId::kInitialMatch,
+           {ValueType::kString, ValueType::kString}, ValueType::kBool},
+          {"transposed", FuncId::kTransposed,
+           {ValueType::kString, ValueType::kString}, ValueType::kBool},
+          {"empty", FuncId::kEmpty, {ValueType::kString}, ValueType::kBool},
+          {"length", FuncId::kLength, {ValueType::kString},
+           ValueType::kNumber},
+          {"prefix", FuncId::kPrefix,
+           {ValueType::kString, ValueType::kNumber}, ValueType::kString},
+          {"digits", FuncId::kDigits, {ValueType::kString},
+           ValueType::kString},
+          {"street_number", FuncId::kStreetNumber, {ValueType::kString},
+           ValueType::kString},
+          {"hyphen_extended", FuncId::kHyphenExtended,
+           {ValueType::kString, ValueType::kString}, ValueType::kBool},
+          {"jaro_winkler", FuncId::kJaroWinkler,
+           {ValueType::kString, ValueType::kString}, ValueType::kNumber},
+          {"ngram_similarity", FuncId::kNgramSimilarity,
+           {ValueType::kString, ValueType::kString, ValueType::kNumber},
+           ValueType::kNumber},
+      };
+  return *table;
+}
+
+// Compiled value expression: fully resolved and statically typed.
+struct CExpr {
+  ExprKind kind = ExprKind::kNumberLiteral;
+  ValueType type = ValueType::kNumber;
+  // Literals.
+  std::string string_value;
+  double number_value = 0.0;
+  // Field refs.
+  int record_index = 0;
+  FieldId field_id = kInvalidField;
+  // Calls.
+  FuncId func = FuncId::kEmpty;
+  std::vector<CExpr> args;
+};
+
+// Compiled boolean expression.
+struct CBool {
+  BoolKind kind = BoolKind::kBare;
+  std::vector<CBool> children;    // kAnd / kOr / kNot.
+  CExpr lhs;                      // kCompare / kBare.
+  CompareOp op = CompareOp::kEq;  // kCompare.
+  CExpr rhs;                      // kCompare.
+};
+
+struct CRule {
+  std::string name;
+  CBool condition;
+};
+
+struct CompiledProgram {
+  std::vector<CRule> rules;
+  PurgePolicy purge_policy;
+};
+
+namespace {
+
+struct Value {
+  ValueType type = ValueType::kBool;
+  std::string s;
+  double n = 0.0;
+  bool b = false;
+};
+
+std::string_view FieldOf(const Record& a, const Record& b,
+                         const CExpr& expr) {
+  return expr.record_index == 1 ? a.field(expr.field_id)
+                                : b.field(expr.field_id);
+}
+
+Value Evaluate(const CExpr& expr, const Record& a, const Record& b) {
+  Value out;
+  out.type = expr.type;
+  switch (expr.kind) {
+    case ExprKind::kStringLiteral:
+      out.s = expr.string_value;
+      return out;
+    case ExprKind::kNumberLiteral:
+      out.n = expr.number_value;
+      return out;
+    case ExprKind::kFieldRef:
+      out.s = std::string(FieldOf(a, b, expr));
+      return out;
+    case ExprKind::kFuncCall:
+      break;
+  }
+
+  std::vector<Value> args;
+  args.reserve(expr.args.size());
+  for (const CExpr& arg : expr.args) args.push_back(Evaluate(arg, a, b));
+
+  switch (expr.func) {
+    case FuncId::kSimilarity:
+      out.n = StringSimilarity(args[0].s, args[1].s);
+      return out;
+    case FuncId::kEditDistance:
+      out.n = EditDistance(args[0].s, args[1].s);
+      return out;
+    case FuncId::kDamerau:
+      out.n = DamerauDistance(args[0].s, args[1].s);
+      return out;
+    case FuncId::kKeyboardSimilarity:
+      out.n = KeyboardSimilarity(args[0].s, args[1].s);
+      return out;
+    case FuncId::kSoundex:
+      out.s = Soundex(args[0].s);
+      return out;
+    case FuncId::kNysiis:
+      out.s = Nysiis(args[0].s);
+      return out;
+    case FuncId::kSoundsLike:
+      out.b = SoundsAlikeSoundex(args[0].s, args[1].s);
+      return out;
+    case FuncId::kNickname:
+      out.s = NicknameTable::Default().Canonicalize(args[0].s);
+      return out;
+    case FuncId::kSameName:
+      out.b = NicknameTable::Default().SameCanonicalName(args[0].s,
+                                                         args[1].s);
+      return out;
+    case FuncId::kInitialMatch: {
+      const std::string& x = args[0].s;
+      const std::string& y = args[1].s;
+      if (x.empty() || y.empty()) {
+        out.b = false;
+      } else if (x == y) {
+        out.b = true;
+      } else {
+        out.b = (x.size() == 1 && x[0] == y[0]) ||
+                (y.size() == 1 && y[0] == x[0]);
+      }
+      return out;
+    }
+    case FuncId::kTransposed:
+      out.b = !args[0].s.empty() && args[0].s != args[1].s &&
+              DamerauDistance(args[0].s, args[1].s) == 1 &&
+              EditDistance(args[0].s, args[1].s) == 2;
+      return out;
+    case FuncId::kEmpty:
+      out.b = args[0].s.empty();
+      return out;
+    case FuncId::kLength:
+      out.n = static_cast<double>(args[0].s.size());
+      return out;
+    case FuncId::kPrefix:
+      out.s = std::string(Prefix(args[0].s, static_cast<size_t>(args[1].n)));
+      return out;
+    case FuncId::kDigits: {
+      for (char c : args[0].s) {
+        if (c >= '0' && c <= '9') out.s += c;
+      }
+      return out;
+    }
+    case FuncId::kStreetNumber: {
+      // Leading digit run ("123 MAIN ST" -> "123").
+      for (char c : args[0].s) {
+        if (c < '0' || c > '9') break;
+        out.s += c;
+      }
+      return out;
+    }
+    case FuncId::kJaroWinkler:
+      out.n = JaroWinklerSimilarity(args[0].s, args[1].s);
+      return out;
+    case FuncId::kNgramSimilarity:
+      out.n = NgramSimilarity(args[0].s, args[1].s,
+                              static_cast<size_t>(args[2].n));
+      return out;
+    case FuncId::kHyphenExtended: {
+      // One string extends the other by a new '-' or ' ' separated token.
+      const std::string& x = args[0].s;
+      const std::string& y = args[1].s;
+      out.b = false;
+      if (x.size() != y.size()) {
+        const std::string& shorter = x.size() < y.size() ? x : y;
+        const std::string& longer = x.size() < y.size() ? y : x;
+        if (shorter.size() >= 4 &&
+            longer.compare(0, shorter.size(), shorter) == 0) {
+          char next = longer[shorter.size()];
+          out.b = next == ' ' || next == '-';
+        }
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+bool Compare(CompareOp op, const Value& lhs, const Value& rhs) {
+  int cmp;
+  if (lhs.type == ValueType::kString) {
+    cmp = lhs.s.compare(rhs.s);
+  } else if (lhs.type == ValueType::kNumber) {
+    cmp = lhs.n < rhs.n ? -1 : (lhs.n > rhs.n ? 1 : 0);
+  } else {
+    cmp = (lhs.b == rhs.b) ? 0 : (lhs.b ? 1 : -1);
+  }
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+bool EvaluateBool(const CBool& node, const Record& a, const Record& b) {
+  switch (node.kind) {
+    case BoolKind::kAnd:
+      for (const CBool& child : node.children) {
+        if (!EvaluateBool(child, a, b)) return false;
+      }
+      return true;
+    case BoolKind::kOr:
+      for (const CBool& child : node.children) {
+        if (EvaluateBool(child, a, b)) return true;
+      }
+      return false;
+    case BoolKind::kNot:
+      return !EvaluateBool(node.children[0], a, b);
+    case BoolKind::kCompare: {
+      Value lhs = Evaluate(node.lhs, a, b);
+      Value rhs = Evaluate(node.rhs, a, b);
+      return Compare(node.op, lhs, rhs);
+    }
+    case BoolKind::kBare:
+      return Evaluate(node.lhs, a, b).b;
+  }
+  return false;
+}
+
+// --- Compilation (resolution + static type check). ---
+
+Result<CExpr> CompileExpr(const Expr& expr, const Schema& schema) {
+  CExpr out;
+  out.kind = expr.kind;
+  switch (expr.kind) {
+    case ExprKind::kStringLiteral:
+      out.type = ValueType::kString;
+      out.string_value = expr.string_value;
+      return out;
+    case ExprKind::kNumberLiteral:
+      out.type = ValueType::kNumber;
+      out.number_value = expr.number_value;
+      return out;
+    case ExprKind::kFieldRef: {
+      Result<FieldId> field = schema.RequireField(expr.field_name);
+      if (!field.ok()) return field.status();
+      out.type = ValueType::kString;
+      out.record_index = expr.record_index;
+      out.field_id = *field;
+      return out;
+    }
+    case ExprKind::kFuncCall:
+      break;
+  }
+
+  const FuncSignature* signature = nullptr;
+  for (const FuncSignature& candidate : FunctionTable()) {
+    if (candidate.name == expr.func_name) {
+      signature = &candidate;
+      break;
+    }
+  }
+  if (signature == nullptr) {
+    return Status::ParseError("unknown function '" + expr.func_name + "'");
+  }
+  if (expr.args.size() != signature->arg_types.size()) {
+    return Status::ParseError(StringPrintf(
+        "function '%s' takes %zu arguments, got %zu", expr.func_name.c_str(),
+        signature->arg_types.size(), expr.args.size()));
+  }
+  out.type = signature->return_type;
+  out.func = signature->id;
+  for (size_t i = 0; i < expr.args.size(); ++i) {
+    Result<CExpr> arg = CompileExpr(*expr.args[i], schema);
+    if (!arg.ok()) return arg.status();
+    if (arg->type != signature->arg_types[i]) {
+      return Status::ParseError(
+          StringPrintf("argument %zu of '%s' has the wrong type", i + 1,
+                       expr.func_name.c_str()));
+    }
+    out.args.push_back(std::move(*arg));
+  }
+  return out;
+}
+
+Result<CBool> CompileBool(const BoolExpr& node, const Schema& schema,
+                          const std::string& rule_name) {
+  CBool out;
+  out.kind = node.kind;
+  switch (node.kind) {
+    case BoolKind::kAnd:
+    case BoolKind::kOr:
+    case BoolKind::kNot:
+      for (const std::unique_ptr<BoolExpr>& child : node.children) {
+        Result<CBool> compiled = CompileBool(*child, schema, rule_name);
+        if (!compiled.ok()) return compiled.status();
+        out.children.push_back(std::move(*compiled));
+      }
+      return out;
+    case BoolKind::kCompare: {
+      Result<CExpr> lhs = CompileExpr(*node.lhs, schema);
+      if (!lhs.ok()) return lhs.status();
+      Result<CExpr> rhs = CompileExpr(*node.rhs, schema);
+      if (!rhs.ok()) return rhs.status();
+      if (lhs->type != rhs->type) {
+        return Status::ParseError("rule '" + rule_name +
+                                  "': comparison between different types");
+      }
+      if (lhs->type == ValueType::kBool &&
+          !(node.op == CompareOp::kEq || node.op == CompareOp::kNe)) {
+        return Status::ParseError("rule '" + rule_name +
+                                  "': booleans only support == and !=");
+      }
+      out.lhs = std::move(*lhs);
+      out.op = node.op;
+      out.rhs = std::move(*rhs);
+      return out;
+    }
+    case BoolKind::kBare: {
+      Result<CExpr> lhs = CompileExpr(*node.lhs, schema);
+      if (!lhs.ok()) return lhs.status();
+      if (lhs->type != ValueType::kBool) {
+        return Status::ParseError(
+            "rule '" + rule_name +
+            "': bare condition must be boolean-valued");
+      }
+      out.lhs = std::move(*lhs);
+      return out;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+}  // namespace rules_internal
+
+using rules_internal::CompiledProgram;
+
+Result<RuleProgram> RuleProgram::Compile(std::string_view source,
+                                         const Schema& schema) {
+  Result<RuleProgramAst> ast = ParseRuleProgram(source);
+  if (!ast.ok()) return ast.status();
+
+  auto program = std::make_shared<CompiledProgram>();
+  for (const MergeDirective& directive : ast->merge_directives) {
+    Result<FieldId> field = schema.RequireField(directive.field_name);
+    if (!field.ok()) return field.status();
+    Result<MergeStrategy> strategy =
+        MergeStrategyFromName(directive.strategy_name);
+    if (!strategy.ok()) return strategy.status();
+    program->purge_policy.Set(*field, *strategy);
+  }
+  program->rules.reserve(ast->rules.size());
+  for (const Rule& rule : ast->rules) {
+    rules_internal::CRule compiled_rule;
+    compiled_rule.name = rule.name;
+    Result<rules_internal::CBool> condition =
+        rules_internal::CompileBool(*rule.condition, schema, rule.name);
+    if (!condition.ok()) return condition.status();
+    compiled_rule.condition = std::move(*condition);
+    program->rules.push_back(std::move(compiled_rule));
+  }
+  return RuleProgram(std::move(program));
+}
+
+RuleProgram::RuleProgram(
+    std::shared_ptr<const rules_internal::CompiledProgram> program)
+    : program_(std::move(program)),
+      rule_fire_counts_(program_->rules.size(), 0) {}
+
+RuleProgram::RuleProgram(const RuleProgram& other)
+    : program_(other.program_),
+      rule_fire_counts_(program_->rules.size(), 0) {}
+
+RuleProgram& RuleProgram::operator=(const RuleProgram& other) {
+  program_ = other.program_;
+  comparison_count_ = 0;
+  rule_fire_counts_.assign(program_->rules.size(), 0);
+  return *this;
+}
+
+RuleProgram::~RuleProgram() = default;
+
+int RuleProgram::MatchingRule(const Record& a, const Record& b) const {
+  ++comparison_count_;
+  for (size_t i = 0; i < program_->rules.size(); ++i) {
+    if (rules_internal::EvaluateBool(program_->rules[i].condition, a, b)) {
+      ++rule_fire_counts_[i];
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+bool RuleProgram::Matches(const Record& a, const Record& b) const {
+  return MatchingRule(a, b) >= 0;
+}
+
+size_t RuleProgram::num_rules() const { return program_->rules.size(); }
+
+const std::string& RuleProgram::rule_name(size_t index) const {
+  return program_->rules[index].name;
+}
+
+const PurgePolicy& RuleProgram::purge_policy() const {
+  return program_->purge_policy;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,88 @@
+// RuleProgram: compiles rule-language source against a schema into an
+// executable equational theory (the analogue of the paper's OPS5 program).
+//
+// Compilation performs name resolution (field refs against the schema,
+// function names against the built-in table) and full static type checking,
+// so evaluation is exception-free and cannot fail at run time.
+//
+// Built-in functions:
+//   similarity(s, s) -> number     Damerau similarity in [0,1]
+//   edit_distance(s, s) -> number  Levenshtein distance
+//   damerau(s, s) -> number        Damerau (OSA) distance
+//   keyboard_similarity(s, s) -> number
+//   soundex(s) -> string
+//   nysiis(s) -> string
+//   sounds_like(s, s) -> bool      non-empty equal Soundex codes
+//   nickname(s) -> string          canonical name via the nickname table
+//   same_name(s, s) -> bool        nickname-aware name equality
+//   initial_match(s, s) -> bool    equal, or one is the initial of the other
+//   transposed(s, s) -> bool       equal up to one adjacent transposition
+//   empty(s) -> bool
+//   length(s) -> number
+//   prefix(s, n) -> string
+//   digits(s) -> string
+
+#ifndef MERGEPURGE_RULES_RULE_PROGRAM_H_
+#define MERGEPURGE_RULES_RULE_PROGRAM_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/purge_policy.h"
+#include "record/schema.h"
+#include "rules/equational_theory.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+namespace rules_internal {
+struct CompiledProgram;
+}  // namespace rules_internal
+
+class RuleProgram final : public EquationalTheory {
+ public:
+  // Parses, resolves and type-checks `source` against `schema`.
+  static Result<RuleProgram> Compile(std::string_view source,
+                                     const Schema& schema);
+
+  // Copies share the immutable compiled program; each copy has its own
+  // statistics counters (use one copy per worker thread).
+  RuleProgram(const RuleProgram& other);
+  RuleProgram& operator=(const RuleProgram& other);
+  ~RuleProgram() override;
+
+  bool Matches(const Record& a, const Record& b) const override;
+  std::string name() const override { return "rule-program"; }
+  uint64_t comparison_count() const override { return comparison_count_; }
+  void reset_comparison_count() override { comparison_count_ = 0; }
+
+  // Index of the first rule whose conditions all hold, or -1. Also updates
+  // the per-rule fire counters.
+  int MatchingRule(const Record& a, const Record& b) const;
+
+  size_t num_rules() const;
+  const std::string& rule_name(size_t index) const;
+
+  // How many times each rule has fired (same indexing as rule_name).
+  const std::vector<uint64_t>& rule_fire_counts() const {
+    return rule_fire_counts_;
+  }
+
+  // The purge policy assembled from the program's `merge <field>: prefer
+  // <strategy>` directives (fields without a directive keep the default).
+  const PurgePolicy& purge_policy() const;
+
+ private:
+  explicit RuleProgram(
+      std::shared_ptr<const rules_internal::CompiledProgram> program);
+
+  std::shared_ptr<const rules_internal::CompiledProgram> program_;
+  mutable uint64_t comparison_count_ = 0;
+  mutable std::vector<uint64_t> rule_fire_counts_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_RULES_RULE_PROGRAM_H_

@@ -1,0 +1,231 @@
+#include "sort/external_sort.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <optional>
+#include <queue>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+namespace {
+
+struct Entry {
+  std::string key;
+  TupleId tid = 0;
+
+  bool operator<(const Entry& other) const {
+    int cmp = key.compare(other.key);
+    if (cmp != 0) return cmp < 0;
+    return tid < other.tid;
+  }
+};
+
+// Binary run-file format: repeated [u32 key_len][key bytes][u32 tid].
+class RunWriter {
+ public:
+  explicit RunWriter(const std::string& path)
+      : out_(path, std::ios::binary) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void Write(const Entry& entry) {
+    uint32_t len = static_cast<uint32_t>(entry.key.size());
+    out_.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out_.write(entry.key.data(), len);
+    out_.write(reinterpret_cast<const char*>(&entry.tid),
+               sizeof(entry.tid));
+  }
+
+ private:
+  std::ofstream out_;
+};
+
+class RunReader {
+ public:
+  explicit RunReader(const std::string& path)
+      : in_(path, std::ios::binary) {}
+
+  bool ok() const { return static_cast<bool>(in_); }
+
+  // Returns false at end of stream.
+  bool Read(Entry* entry) {
+    uint32_t len = 0;
+    if (!in_.read(reinterpret_cast<char*>(&len), sizeof(len))) return false;
+    entry->key.resize(len);
+    if (len > 0 && !in_.read(entry->key.data(), len)) return false;
+    return static_cast<bool>(
+        in_.read(reinterpret_cast<char*>(&entry->tid), sizeof(entry->tid)));
+  }
+
+ private:
+  std::ifstream in_;
+};
+
+}  // namespace
+
+ExternalSorter::ExternalSorter(ExternalSortOptions options)
+    : options_(std::move(options)) {}
+
+Result<std::vector<TupleId>> ExternalSorter::Sort(const Dataset& dataset,
+                                                  const KeySpec& key_spec,
+                                                  IoStats* stats) const {
+  if (options_.memory_records == 0) {
+    return Status::InvalidArgument("memory_records must be >= 1");
+  }
+  if (options_.fan_in < 2) {
+    return Status::InvalidArgument("fan_in must be >= 2");
+  }
+  KeyBuilder builder(key_spec);
+  MERGEPURGE_RETURN_NOT_OK(builder.Validate(dataset.schema()));
+
+  IoStats local_stats;
+  const size_t n = dataset.size();
+
+  // In-memory fast path.
+  if (n <= options_.memory_records) {
+    std::vector<Entry> entries;
+    entries.reserve(n);
+    for (size_t t = 0; t < n; ++t) {
+      entries.push_back(
+          {builder.BuildKey(dataset.record(static_cast<TupleId>(t))),
+           static_cast<TupleId>(t)});
+    }
+    std::sort(entries.begin(), entries.end());
+    std::vector<TupleId> order;
+    order.reserve(n);
+    for (const Entry& entry : entries) order.push_back(entry.tid);
+    local_stats.initial_runs = n > 0 ? 1 : 0;
+    if (stats != nullptr) *stats = local_stats;
+    return order;
+  }
+
+  // Phase 1: form sorted runs of at most memory_records entries.
+  uint64_t unique_id =
+      static_cast<uint64_t>(reinterpret_cast<uintptr_t>(this)) ^
+      static_cast<uint64_t>(n);
+  int file_counter = 0;
+  auto run_path = [this, unique_id, &file_counter]() {
+    return StringPrintf("%s/mergepurge_run_%llx_%d.bin",
+                        options_.temp_dir.c_str(),
+                        static_cast<unsigned long long>(unique_id),
+                        file_counter++);
+  };
+
+  std::vector<std::string> runs;
+  std::vector<Entry> buffer;
+  buffer.reserve(options_.memory_records);
+  auto flush_run = [&]() -> Status {
+    std::sort(buffer.begin(), buffer.end());
+    std::string path = run_path();
+    RunWriter writer(path);
+    if (!writer.ok()) return Status::IoError("cannot create run: " + path);
+    for (const Entry& entry : buffer) {
+      writer.Write(entry);
+      ++local_stats.entries_written;
+    }
+    runs.push_back(std::move(path));
+    buffer.clear();
+    return Status::OK();
+  };
+
+  for (size_t t = 0; t < n; ++t) {
+    buffer.push_back(
+        {builder.BuildKey(dataset.record(static_cast<TupleId>(t))),
+         static_cast<TupleId>(t)});
+    if (buffer.size() == options_.memory_records) {
+      MERGEPURGE_RETURN_NOT_OK(flush_run());
+    }
+  }
+  if (!buffer.empty()) MERGEPURGE_RETURN_NOT_OK(flush_run());
+  local_stats.initial_runs = static_cast<int>(runs.size());
+
+  auto cleanup = [](const std::vector<std::string>& paths) {
+    for (const std::string& path : paths) std::remove(path.c_str());
+  };
+
+  // Phase 2: repeated fan_in-way merges until one run remains; the last
+  // merge streams directly into the output order.
+  std::vector<TupleId> order;
+  order.reserve(n);
+
+  while (true) {
+    bool final_round = runs.size() <= options_.fan_in;
+    std::vector<std::string> next_runs;
+    ++local_stats.merge_passes;
+
+    for (size_t group_start = 0; group_start < runs.size();
+         group_start += options_.fan_in) {
+      size_t group_end =
+          std::min(runs.size(), group_start + options_.fan_in);
+
+      std::vector<RunReader> readers;
+      readers.reserve(group_end - group_start);
+      for (size_t r = group_start; r < group_end; ++r) {
+        readers.emplace_back(runs[r]);
+        if (!readers.back().ok()) {
+          cleanup(runs);
+          cleanup(next_runs);
+          return Status::IoError("cannot reopen run: " + runs[r]);
+        }
+      }
+
+      // (entry, reader index) min-heap.
+      using HeapItem = std::pair<Entry, size_t>;
+      auto greater = [](const HeapItem& a, const HeapItem& b) {
+        return b.first < a.first;
+      };
+      std::priority_queue<HeapItem, std::vector<HeapItem>,
+                          decltype(greater)>
+          heap(greater);
+      for (size_t r = 0; r < readers.size(); ++r) {
+        Entry entry;
+        if (readers[r].Read(&entry)) {
+          ++local_stats.entries_read;
+          heap.emplace(std::move(entry), r);
+        }
+      }
+
+      std::string out_path;
+      std::optional<RunWriter> writer;
+      if (!final_round) {
+        out_path = run_path();
+        writer.emplace(out_path);
+        if (!writer->ok()) {
+          cleanup(runs);
+          cleanup(next_runs);
+          return Status::IoError("cannot create run: " + out_path);
+        }
+      }
+
+      while (!heap.empty()) {
+        HeapItem item = heap.top();
+        heap.pop();
+        if (final_round) {
+          order.push_back(item.first.tid);
+        } else {
+          writer->Write(item.first);
+          ++local_stats.entries_written;
+        }
+        Entry entry;
+        if (readers[item.second].Read(&entry)) {
+          ++local_stats.entries_read;
+          heap.emplace(std::move(entry), item.second);
+        }
+      }
+      if (!final_round) next_runs.push_back(std::move(out_path));
+    }
+
+    cleanup(runs);
+    if (final_round) break;
+    runs = std::move(next_runs);
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return order;
+}
+
+}  // namespace mergepurge

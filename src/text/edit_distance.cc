@@ -1,0 +1,127 @@
+#include "text/edit_distance.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+namespace mergepurge {
+
+namespace {
+
+inline int Min3(int a, int b, int c) { return std::min(a, std::min(b, c)); }
+
+}  // namespace
+
+int EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+
+  // Single rolling row over the shorter string.
+  std::vector<int> row(n + 1);
+  for (size_t j = 0; j <= n; ++j) row[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= m; ++i) {
+    int diag = row[0];
+    row[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= n; ++j) {
+      int next_diag = row[j];
+      int cost = (a[j - 1] == b[i - 1]) ? 0 : 1;
+      row[j] = Min3(row[j] + 1, row[j - 1] + 1, diag + cost);
+      diag = next_diag;
+    }
+  }
+  return row[n];
+}
+
+int DamerauDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<int>(m);
+  if (m == 0) return static_cast<int>(n);
+
+  // Three rolling rows (need i-2 for the transposition case).
+  std::vector<int> prev2(m + 1), prev(m + 1), curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      curr[j] = Min3(prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost);
+      if (i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1]) {
+        curr[j] = std::min(curr[j], prev2[j - 2] + 1);
+      }
+    }
+    std::swap(prev2, prev);
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+namespace {
+
+// Shared bounded DP. If with_transpositions is true, computes OSA Damerau.
+// Values are clamped at kInf = max_distance + 1 and the computation aborts
+// as soon as an entire row exceeds the bound. Strings in this domain are
+// short (names, street lines), so full rows are cheap; the early exit is
+// what matters during window scanning.
+int BoundedDistanceImpl(std::string_view a, std::string_view b,
+                        int max_distance, bool with_transpositions) {
+  if (max_distance < 0) return 0;
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (std::abs(n - m) > max_distance) return max_distance + 1;
+  if (n == 0) return m;
+  if (m == 0) return n;
+
+  const int kInf = max_distance + 1;
+  std::vector<int> prev2(static_cast<size_t>(m) + 1, kInf);
+  std::vector<int> prev(static_cast<size_t>(m) + 1, kInf);
+  std::vector<int> curr(static_cast<size_t>(m) + 1, kInf);
+  for (int j = 0; j <= m; ++j) prev[j] = std::min(j, kInf);
+
+  for (int i = 1; i <= n; ++i) {
+    curr[0] = std::min(i, kInf);
+    int row_min = curr[0];
+    for (int j = 1; j <= m; ++j) {
+      int cost = (a[i - 1] == b[j - 1]) ? 0 : 1;
+      int best = Min3(prev[j] + 1, curr[j - 1] + 1, prev[j - 1] + cost);
+      if (with_transpositions && i > 1 && j > 1 && a[i - 1] == b[j - 2] &&
+          a[i - 2] == b[j - 1]) {
+        best = std::min(best, prev2[j - 2] + 1);
+      }
+      curr[j] = std::min(best, kInf);
+      row_min = std::min(row_min, curr[j]);
+    }
+    if (row_min > max_distance) return kInf;
+    std::swap(prev2, prev);
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+}  // namespace
+
+int BoundedEditDistance(std::string_view a, std::string_view b,
+                        int max_distance) {
+  return BoundedDistanceImpl(a, b, max_distance, /*with_transpositions=*/false);
+}
+
+int BoundedDamerauDistance(std::string_view a, std::string_view b,
+                           int max_distance) {
+  return BoundedDistanceImpl(a, b, max_distance, /*with_transpositions=*/true);
+}
+
+double StringSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  int d = DamerauDistance(a, b);
+  return 1.0 - static_cast<double>(d) / static_cast<double>(longest);
+}
+
+bool WithinDistance(std::string_view a, std::string_view b,
+                    int max_distance) {
+  return BoundedDamerauDistance(a, b, max_distance) <= max_distance;
+}
+
+}  // namespace mergepurge

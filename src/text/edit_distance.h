@@ -1,0 +1,49 @@
+// Typographical distance functions used by the equational theory.
+//
+// The paper evaluated "a number of alternative distance functions ...
+// including distances based upon edit distance, phonetic distance and
+// 'typewriter' distance" and reported results with edit distance. We
+// implement:
+//   * Levenshtein edit distance (insert/delete/substitute, unit costs),
+//   * Damerau (optimal string alignment) distance adding transpositions —
+//     the dominant real-world typo per the spelling-correction literature
+//     the paper cites (Kukich '92),
+//   * thresholded variants that abandon the computation once the distance
+//     provably exceeds a bound (banded DP), keeping window scanning cheap,
+//   * a normalized similarity in [0,1] for rule thresholds.
+
+#ifndef MERGEPURGE_TEXT_EDIT_DISTANCE_H_
+#define MERGEPURGE_TEXT_EDIT_DISTANCE_H_
+
+#include <string_view>
+
+namespace mergepurge {
+
+// Classic Levenshtein distance. O(|a|*|b|) time, O(min) space.
+int EditDistance(std::string_view a, std::string_view b);
+
+// Optimal-string-alignment Damerau distance: Levenshtein plus adjacent
+// transposition as a unit-cost operation.
+int DamerauDistance(std::string_view a, std::string_view b);
+
+// Banded Levenshtein: returns the exact distance if it is <= max_distance,
+// otherwise returns max_distance + 1. Runs in O(max_distance * min(|a|,|b|)).
+int BoundedEditDistance(std::string_view a, std::string_view b,
+                        int max_distance);
+
+// Banded Damerau (OSA) with the same early-exit contract.
+int BoundedDamerauDistance(std::string_view a, std::string_view b,
+                           int max_distance);
+
+// 1 - distance / max(|a|, |b|), using Damerau distance; returns 1.0 when
+// both strings are empty. This is the "differ slightly" measure the rule
+// base thresholds.
+double StringSimilarity(std::string_view a, std::string_view b);
+
+// Returns true if the strings are within the given Damerau distance. This
+// is the form the rule base uses; it exploits the banded computation.
+bool WithinDistance(std::string_view a, std::string_view b, int max_distance);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_TEXT_EDIT_DISTANCE_H_

@@ -1,0 +1,95 @@
+#include "text/jaro_winkler.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace mergepurge {
+
+double JaroSimilarity(std::string_view a, std::string_view b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  if (a == b) return 1.0;
+
+  const size_t match_window =
+      std::max(a.size(), b.size()) / 2 > 0
+          ? std::max(a.size(), b.size()) / 2 - 1
+          : 0;
+
+  std::vector<char> a_matched(a.size(), 0);
+  std::vector<char> b_matched(b.size(), 0);
+  size_t matches = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    size_t lo = i > match_window ? i - match_window : 0;
+    size_t hi = std::min(b.size(), i + match_window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (b_matched[j] || a[i] != b[j]) continue;
+      a_matched[i] = 1;
+      b_matched[j] = 1;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+
+  // Transpositions: matched characters out of order, halved.
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  const double m = static_cast<double>(matches);
+  return (m / static_cast<double>(a.size()) +
+          m / static_cast<double>(b.size()) +
+          (m - static_cast<double>(transpositions) / 2.0) / m) /
+         3.0;
+}
+
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale) {
+  double jaro = JaroSimilarity(a, b);
+  if (prefix_scale <= 0.0) return jaro;
+  if (prefix_scale > 0.25) prefix_scale = 0.25;  // Keeps the result <= 1.
+  size_t prefix = 0;
+  size_t limit = std::min({a.size(), b.size(), size_t{4}});
+  while (prefix < limit && a[prefix] == b[prefix]) ++prefix;
+  return jaro + static_cast<double>(prefix) * prefix_scale * (1.0 - jaro);
+}
+
+double NgramSimilarity(std::string_view a, std::string_view b, size_t n) {
+  if (n == 0) n = 2;
+  if (a.size() < n || b.size() < n) {
+    if (a == b) return 1.0;
+    return 0.0;
+  }
+  // Dice over multisets of n-grams: 2*|A ∩ B| / (|A| + |B|).
+  std::vector<std::string_view> a_grams;
+  a_grams.reserve(a.size() - n + 1);
+  for (size_t i = 0; i + n <= a.size(); ++i) {
+    a_grams.push_back(a.substr(i, n));
+  }
+  std::sort(a_grams.begin(), a_grams.end());
+
+  std::vector<char> used(a_grams.size(), 0);
+  size_t common = 0;
+  for (size_t i = 0; i + n <= b.size(); ++i) {
+    std::string_view gram = b.substr(i, n);
+    auto it = std::lower_bound(a_grams.begin(), a_grams.end(), gram);
+    while (it != a_grams.end() && *it == gram) {
+      size_t index = static_cast<size_t>(it - a_grams.begin());
+      if (!used[index]) {
+        used[index] = 1;
+        ++common;
+        break;
+      }
+      ++it;
+    }
+  }
+  const size_t total = a_grams.size() + (b.size() - n + 1);
+  return 2.0 * static_cast<double>(common) / static_cast<double>(total);
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,31 @@
+// Jaro and Jaro-Winkler similarity, plus character n-gram (Dice) overlap —
+// the two other distance families standard in the record-linkage
+// literature that grew out of merge/purge-era systems. Available as rule
+// language builtins (jaro_winkler, ngram_similarity) for custom theories
+// and ablations; the built-in employee theory keeps the paper's
+// edit-distance family.
+
+#ifndef MERGEPURGE_TEXT_JARO_WINKLER_H_
+#define MERGEPURGE_TEXT_JARO_WINKLER_H_
+
+#include <string_view>
+
+namespace mergepurge {
+
+// Jaro similarity in [0,1]: transposition-tolerant common-character
+// matching within a half-length window. 1.0 for two empty strings.
+double JaroSimilarity(std::string_view a, std::string_view b);
+
+// Jaro-Winkler: Jaro boosted by up to 4 characters of common prefix with
+// scaling factor p (standard 0.1, capped so the result stays <= 1).
+double JaroWinklerSimilarity(std::string_view a, std::string_view b,
+                             double prefix_scale = 0.1);
+
+// Dice coefficient over character bigrams (n=2) or trigrams (n=3) in
+// [0,1]. Strings shorter than n compare by equality (1.0 or 0.0); two
+// empty strings give 1.0.
+double NgramSimilarity(std::string_view a, std::string_view b, size_t n);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_TEXT_JARO_WINKLER_H_

@@ -1,0 +1,109 @@
+#include "text/keyboard_distance.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstring>
+#include <vector>
+
+namespace mergepurge {
+
+namespace {
+
+// Row-major QWERTY layout; -1 marks "no position".
+struct KeyPosition {
+  int row;
+  int col;
+};
+
+KeyPosition PositionOf(char c) {
+  static constexpr const char* kRows[4] = {
+      "1234567890",
+      "qwertyuiop",
+      "asdfghjkl",
+      "zxcvbnm",
+  };
+  char lower = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  for (int r = 0; r < 4; ++r) {
+    const char* hit = std::strchr(kRows[r], lower);
+    if (hit != nullptr && lower != '\0') {
+      return {r, static_cast<int>(hit - kRows[r])};
+    }
+  }
+  return {-1, -1};
+}
+
+}  // namespace
+
+bool AreKeysAdjacent(char a, char b) {
+  KeyPosition pa = PositionOf(a);
+  KeyPosition pb = PositionOf(b);
+  if (pa.row < 0 || pb.row < 0) return false;
+  if (pa.row == pb.row && pa.col == pb.col) return false;
+  return std::abs(pa.row - pb.row) <= 1 && std::abs(pa.col - pb.col) <= 1;
+}
+
+char NeighborKey(char c, unsigned index) {
+  KeyPosition p = PositionOf(c);
+  if (p.row < 0) return c;
+  static constexpr const char* kRows[4] = {
+      "1234567890",
+      "qwertyuiop",
+      "asdfghjkl",
+      "zxcvbnm",
+  };
+  std::vector<char> neighbors;
+  for (int dr = -1; dr <= 1; ++dr) {
+    for (int dc = -1; dc <= 1; ++dc) {
+      if (dr == 0 && dc == 0) continue;
+      int r = p.row + dr;
+      int c2 = p.col + dc;
+      if (r < 0 || r >= 4) continue;
+      int row_len = static_cast<int>(std::strlen(kRows[r]));
+      if (c2 < 0 || c2 >= row_len) continue;
+      neighbors.push_back(kRows[r][c2]);
+    }
+  }
+  if (neighbors.empty()) return c;
+  char out = neighbors[index % neighbors.size()];
+  if (std::isupper(static_cast<unsigned char>(c))) {
+    out = static_cast<char>(std::toupper(static_cast<unsigned char>(out)));
+  }
+  return out;
+}
+
+double KeyboardSubstitutionCost(char a, char b) {
+  if (a == b) return 0.0;
+  if (std::tolower(static_cast<unsigned char>(a)) ==
+      std::tolower(static_cast<unsigned char>(b))) {
+    return 0.0;
+  }
+  return AreKeysAdjacent(a, b) ? 0.5 : 1.0;
+}
+
+double KeyboardDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return static_cast<double>(m);
+  if (m == 0) return static_cast<double>(n);
+
+  std::vector<double> prev(m + 1), curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<double>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = static_cast<double>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      double sub = prev[j - 1] + KeyboardSubstitutionCost(a[i - 1], b[j - 1]);
+      curr[j] = std::min({prev[j] + 1.0, curr[j - 1] + 1.0, sub});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+double KeyboardSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - KeyboardDistance(a, b) / static_cast<double>(longest);
+}
+
+}  // namespace mergepurge

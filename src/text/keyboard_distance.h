@@ -1,0 +1,35 @@
+// "Typewriter" distance: an edit distance whose substitution cost depends on
+// the physical QWERTY distance between the two keys, modelling the fact that
+// typists most often hit a neighbouring key. One of the three distance
+// families the paper's rule base was evaluated with.
+
+#ifndef MERGEPURGE_TEXT_KEYBOARD_DISTANCE_H_
+#define MERGEPURGE_TEXT_KEYBOARD_DISTANCE_H_
+
+#include <string_view>
+
+namespace mergepurge {
+
+// Cost of substituting key a for key b: 0 if equal, 0.5 if the keys are
+// horizontally or vertically adjacent on a QWERTY layout, 1.0 otherwise.
+// Non-letter/digit characters always cost 1.0 unless equal.
+double KeyboardSubstitutionCost(char a, char b);
+
+// Weighted Levenshtein with KeyboardSubstitutionCost for substitutions and
+// unit cost for insertions/deletions.
+double KeyboardDistance(std::string_view a, std::string_view b);
+
+// Normalized similarity in [0,1]: 1 - distance / max(|a|, |b|).
+double KeyboardSimilarity(std::string_view a, std::string_view b);
+
+// True if a and b are QWERTY-adjacent keys (used by tests and the error
+// model, which generates neighbour-key substitutions).
+bool AreKeysAdjacent(char a, char b);
+
+// Returns a QWERTY neighbour of c chosen by `index` (wrapping), or c itself
+// when c has no known neighbours. Deterministic helper for the error model.
+char NeighborKey(char c, unsigned index);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_TEXT_KEYBOARD_DISTANCE_H_

@@ -1,0 +1,82 @@
+#include "text/spell.h"
+
+#include <algorithm>
+
+#include "text/edit_distance.h"
+#include "text/phonetic.h"
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+SpellCorrector::SpellCorrector(const std::vector<std::string>& corpus) {
+  corpus_.reserve(corpus.size());
+  for (const std::string& raw : corpus) {
+    std::string word = ToUpperAscii(raw);
+    if (word.empty()) continue;
+    auto [it, inserted] =
+        exact_.emplace(word, static_cast<uint32_t>(corpus_.size()));
+    if (!inserted) continue;
+    corpus_.push_back(word);
+    uint32_t id = it->second;
+    soundex_buckets_[Soundex(word)].push_back(id);
+    letter_buckets_[word[0]].push_back(id);
+  }
+}
+
+int SpellCorrector::MaxDistanceFor(size_t length) {
+  return length >= 6 ? 2 : 1;
+}
+
+bool SpellCorrector::Contains(std::string_view word) const {
+  return exact_.count(ToUpperAscii(word)) != 0;
+}
+
+std::string SpellCorrector::Correct(std::string_view raw) const {
+  std::string word = ToUpperAscii(raw);
+  if (word.empty() || exact_.count(word) != 0) return word;
+
+  const int budget = MaxDistanceFor(word.size());
+
+  // Gather candidates from the phonetic bucket and the first-letter bucket;
+  // the union covers both "sounds right, typed wrong" and "first letters
+  // right" misspellings without scanning the whole corpus.
+  std::vector<uint32_t> candidates;
+  auto add_bucket = [&candidates](const std::vector<uint32_t>* bucket) {
+    if (bucket != nullptr) {
+      candidates.insert(candidates.end(), bucket->begin(), bucket->end());
+    }
+  };
+  if (auto it = soundex_buckets_.find(Soundex(word));
+      it != soundex_buckets_.end()) {
+    add_bucket(&it->second);
+  }
+  if (auto it = letter_buckets_.find(word[0]); it != letter_buckets_.end()) {
+    add_bucket(&it->second);
+  }
+
+  int best_distance = budget + 1;
+  uint32_t best_id = 0;
+  int best_count = 0;
+  uint32_t last_seen = static_cast<uint32_t>(-1);
+  std::sort(candidates.begin(), candidates.end());
+  for (uint32_t id : candidates) {
+    if (id == last_seen) continue;  // Dedup the union of the two buckets.
+    last_seen = id;
+    int d = BoundedDamerauDistance(word, corpus_[id], best_distance);
+    if (d < best_distance) {
+      best_distance = d;
+      best_id = id;
+      best_count = 1;
+    } else if (d == best_distance && best_distance <= budget) {
+      ++best_count;
+    }
+  }
+
+  // Accept only unambiguous corrections: a tie between two corpus words
+  // (e.g. a typo equidistant from two city names) is left unchanged, as a
+  // wrong "correction" is worse for merge accuracy than no correction.
+  if (best_distance <= budget && best_count == 1) return corpus_[best_id];
+  return word;
+}
+
+}  // namespace mergepurge

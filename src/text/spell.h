@@ -1,0 +1,50 @@
+// Corpus-based spelling correction (paper §3.2): the paper corrected the
+// city field against a corpus of US city names using Bickel's simple-and-
+// fast method, gaining ~1.5-2.0% detected duplicates. We implement a
+// corpus corrector in that spirit: candidates are retrieved from cheap
+// buckets (Soundex code and first letter), then ranked by bounded Damerau
+// distance; a correction is accepted only when it is unambiguous and within
+// a small distance budget relative to word length.
+
+#ifndef MERGEPURGE_TEXT_SPELL_H_
+#define MERGEPURGE_TEXT_SPELL_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace mergepurge {
+
+class SpellCorrector {
+ public:
+  // Builds the index over the corpus of correctly spelled (upper-case)
+  // words. Duplicates in the corpus are ignored.
+  explicit SpellCorrector(const std::vector<std::string>& corpus);
+
+  // Returns the corrected word: `word` itself when it is in the corpus or
+  // no sufficiently close unambiguous candidate exists, otherwise the
+  // closest corpus word. Input is treated case-insensitively; output is
+  // upper-case.
+  std::string Correct(std::string_view word) const;
+
+  // True if the (upper-cased) word is in the corpus.
+  bool Contains(std::string_view word) const;
+
+  size_t corpus_size() const { return corpus_.size(); }
+
+ private:
+  // Maximum accepted distance for a word of the given length: 1 for short
+  // words, 2 for words of >= 6 characters (matches the typo statistics of
+  // Kukich '92: ~80% of misspellings are a single error).
+  static int MaxDistanceFor(size_t length);
+
+  std::vector<std::string> corpus_;
+  std::unordered_map<std::string, std::vector<uint32_t>> soundex_buckets_;
+  std::unordered_map<char, std::vector<uint32_t>> letter_buckets_;
+  std::unordered_map<std::string, uint32_t> exact_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_TEXT_SPELL_H_

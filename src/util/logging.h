@@ -1,0 +1,51 @@
+// Minimal leveled logging to stderr. Used by benches and the parallel
+// coordinator; library hot paths never log.
+
+#ifndef MERGEPURGE_UTIL_LOGGING_H_
+#define MERGEPURGE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mergepurge {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Emits one formatted line ("[LEVEL] message\n") to stderr if enabled.
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal_logging {
+
+// Stream-style builder: LOG(kInfo) << "x=" << x;
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogMessage(level_, stream_.str()); }
+
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+}  // namespace mergepurge
+
+#define MERGEPURGE_LOG(level)                 \
+  ::mergepurge::internal_logging::LogLine(    \
+      ::mergepurge::LogLevel::level)
+
+#endif  // MERGEPURGE_UTIL_LOGGING_H_

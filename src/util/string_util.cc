@@ -1,0 +1,103 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace mergepurge {
+
+std::string ToLowerAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string ToUpperAscii(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+std::string_view TrimAscii(std::string_view s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string_view> SplitView(std::string_view s, char delim) {
+  std::vector<std::string_view> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(delim, start);
+    if (pos == std::string_view::npos) {
+      parts.push_back(s.substr(start));
+      break;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return parts;
+}
+
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(delim);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool IsAllDigits(std::string_view s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view Prefix(std::string_view s, size_t n) {
+  return s.substr(0, n < s.size() ? n : s.size());
+}
+
+std::string StringPrintf(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  int needed = std::vsnprintf(nullptr, 0, format, args);
+  va_end(args);
+  std::string out;
+  if (needed > 0) {
+    out.resize(static_cast<size_t>(needed));
+    std::vsnprintf(out.data(), out.size() + 1, format, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,43 @@
+// Small string helpers shared across modules. ASCII-only by design: the
+// record domain (names, US addresses) is ASCII and the 1995 system predates
+// Unicode-aware matching.
+
+#ifndef MERGEPURGE_UTIL_STRING_UTIL_H_
+#define MERGEPURGE_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mergepurge {
+
+// Lower/upper-case a copy (ASCII).
+std::string ToLowerAscii(std::string_view s);
+std::string ToUpperAscii(std::string_view s);
+
+// Removes leading and trailing whitespace.
+std::string_view TrimAscii(std::string_view s);
+
+// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string_view> SplitView(std::string_view s, char delim);
+
+// Joins with a delimiter string.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+// True if s consists only of ASCII digits (and is non-empty).
+bool IsAllDigits(std::string_view s);
+
+// True if a and b are equal ignoring ASCII case.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+// Returns the first n characters (fewer if s is shorter).
+std::string_view Prefix(std::string_view s, size_t n);
+
+// printf-style formatting into a std::string.
+std::string StringPrintf(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_UTIL_STRING_UTIL_H_

@@ -1,0 +1,54 @@
+// A fixed-size worker pool used by the parallel merge/purge implementations.
+//
+// Design notes: the shared-nothing coordinator in src/parallel assigns whole
+// fragments or clusters as tasks; tasks are coarse, so a simple mutex-guarded
+// queue is sufficient (no work stealing needed). Wait() provides a barrier so
+// phases (cluster -> sort -> window-scan) stay ordered as in the paper.
+
+#ifndef MERGEPURGE_UTIL_THREAD_POOL_H_
+#define MERGEPURGE_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mergepurge {
+
+class ThreadPool {
+ public:
+  // Spawns num_threads workers. num_threads == 0 is clamped to 1.
+  explicit ThreadPool(size_t num_threads);
+
+  // Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task. Tasks must not throw.
+  void Submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished executing.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_UTIL_THREAD_POOL_H_

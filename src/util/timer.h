@@ -1,0 +1,30 @@
+// Wall-clock timing helpers for the experiment harnesses.
+
+#ifndef MERGEPURGE_UTIL_TIMER_H_
+#define MERGEPURGE_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace mergepurge {
+
+// A monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_UTIL_TIMER_H_

@@ -1,0 +1,157 @@
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "io/csv.h"
+#include "util/random.h"
+
+namespace mergepurge {
+namespace {
+
+TEST(CsvParseTest, SimpleLine) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 3u);
+  EXPECT_EQ((*fields)[0], "a");
+  EXPECT_EQ((*fields)[2], "c");
+}
+
+TEST(CsvParseTest, EmptyFields) {
+  auto fields = ParseCsvLine(",,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(fields->size(), 3u);
+  for (const auto& f : *fields) EXPECT_EQ(f, "");
+}
+
+TEST(CsvParseTest, QuotedFieldWithComma) {
+  auto fields = ParseCsvLine("\"a,b\",c");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 2u);
+  EXPECT_EQ((*fields)[0], "a,b");
+}
+
+TEST(CsvParseTest, DoubledQuotes) {
+  auto fields = ParseCsvLine("\"he said \"\"hi\"\"\"");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 1u);
+  EXPECT_EQ((*fields)[0], "he said \"hi\"");
+}
+
+TEST(CsvParseTest, UnterminatedQuoteFails) {
+  EXPECT_FALSE(ParseCsvLine("\"oops").ok());
+}
+
+TEST(CsvParseTest, QuoteMidFieldFails) {
+  EXPECT_FALSE(ParseCsvLine("ab\"cd\"").ok());
+}
+
+TEST(CsvEscapeTest, PlainPassesThrough) {
+  EXPECT_EQ(EscapeCsvField("abc"), "abc");
+}
+
+TEST(CsvEscapeTest, CommaAndQuoteAreQuoted) {
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("a\"b"), "\"a\"\"b\"");
+}
+
+TEST(CsvEscapeTest, EdgeSpacesAreQuoted) {
+  EXPECT_EQ(EscapeCsvField(" x"), "\" x\"");
+}
+
+Dataset MakeDataset() {
+  Dataset d(Schema({"name", "city"}));
+  d.Append(Record({"SMITH, JOHN", "NEW YORK"}));
+  d.Append(Record({"o\"neil", ""}));
+  return d;
+}
+
+TEST(CsvRoundTripTest, StringRoundTrip) {
+  Dataset original = MakeDataset();
+  std::string text = WriteCsvString(original);
+  Result<Dataset> parsed = ReadCsvString(original.schema(), text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed->record(i), original.record(i));
+  }
+}
+
+TEST(CsvRoundTripTest, FileRoundTrip) {
+  Dataset original = MakeDataset();
+  std::string path = testing::TempDir() + "/mergepurge_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(original, path).ok());
+  Result<Dataset> parsed = ReadCsvFile(original.schema(), path);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->size(), original.size());
+  std::remove(path.c_str());
+}
+
+TEST(CsvReadTest, HeaderMismatchFails) {
+  Result<Dataset> parsed =
+      ReadCsvString(Schema({"x", "y"}), "a,b\n1,2\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReadTest, WrongFieldCountFails) {
+  Result<Dataset> parsed = ReadCsvString(Schema({"x", "y"}), "x,y\n1\n");
+  ASSERT_FALSE(parsed.ok());
+}
+
+TEST(CsvReadTest, MissingFileFails) {
+  Result<Dataset> parsed =
+      ReadCsvFile(Schema({"x"}), "/nonexistent/path.csv");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kIoError);
+}
+
+TEST(CsvReadTest, CrlfLineEndingsAccepted) {
+  Result<Dataset> parsed = ReadCsvString(Schema({"x"}), "x\r\nv\r\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 1u);
+  EXPECT_EQ(parsed->record(0).field(0), "v");
+}
+
+TEST(CsvReadTest, BlankLinesSkipped) {
+  Result<Dataset> parsed = ReadCsvString(Schema({"x"}), "x\n\nv\n\n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->size(), 1u);
+}
+
+// Property: any dataset of random printable fields (no newlines) survives
+// a write/parse round trip bit-for-bit.
+class CsvPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CsvPropertyTest, RandomRoundTrip) {
+  Rng rng(GetParam());
+  static constexpr char kChars[] =
+      "abcXYZ 019,\"'#;|\t-_.!";  // Includes quoting triggers.
+  Schema schema({"f0", "f1", "f2"});
+  Dataset original(schema);
+  for (int row = 0; row < 200; ++row) {
+    std::vector<std::string> fields;
+    for (int f = 0; f < 3; ++f) {
+      std::string value;
+      size_t len = rng.NextBounded(12);
+      for (size_t i = 0; i < len; ++i) {
+        value += kChars[rng.NextBounded(sizeof(kChars) - 1)];
+      }
+      fields.push_back(std::move(value));
+    }
+    original.Append(Record(std::move(fields)));
+  }
+  std::string text = WriteCsvString(original);
+  Result<Dataset> parsed = ReadCsvString(schema, text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), original.size());
+  for (size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(parsed->record(i), original.record(i)) << "row " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CsvPropertyTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace mergepurge

@@ -1,0 +1,123 @@
+#include <string>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "text/edit_distance.h"
+#include "util/random.h"
+
+namespace mergepurge {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+  EXPECT_EQ(EditDistance("", "abc"), 3);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(EditDistance("same", "same"), 0);
+}
+
+TEST(EditDistanceTest, TranspositionCostsTwoInLevenshtein) {
+  EXPECT_EQ(EditDistance("ab", "ba"), 2);
+}
+
+TEST(DamerauTest, TranspositionCostsOne) {
+  EXPECT_EQ(DamerauDistance("ab", "ba"), 1);
+  EXPECT_EQ(DamerauDistance("SMITH", "SMIHT"), 1);
+  EXPECT_EQ(DamerauDistance("193456782", "913456782"), 1);
+}
+
+TEST(DamerauTest, MatchesLevenshteinWithoutTranspositions) {
+  EXPECT_EQ(DamerauDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(DamerauDistance("abc", ""), 3);
+}
+
+TEST(BoundedTest, ExactWithinBound) {
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 3), 3);
+  EXPECT_EQ(BoundedDamerauDistance("ab", "ba", 1), 1);
+}
+
+TEST(BoundedTest, ExceedsBoundReturnsBoundPlusOne) {
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 2), 3);
+  EXPECT_EQ(BoundedEditDistance("aaaa", "bbbb", 1), 2);
+}
+
+TEST(BoundedTest, LengthGapShortCircuits) {
+  EXPECT_EQ(BoundedEditDistance("a", "abcdefg", 2), 3);
+}
+
+TEST(SimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(StringSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(StringSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(StringSimilarity("abc", ""), 0.0);
+  EXPECT_NEAR(StringSimilarity("MICHAEL", "MICHAL"), 1.0 - 1.0 / 7.0, 1e-9);
+}
+
+TEST(WithinDistanceTest, UsesDamerau) {
+  EXPECT_TRUE(WithinDistance("ab", "ba", 1));
+  EXPECT_FALSE(WithinDistance("abcd", "dcba", 1));
+}
+
+// Property tests over random string pairs.
+class DistancePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+std::string RandomString(Rng* rng, int max_len) {
+  int len = static_cast<int>(rng->NextBounded(max_len + 1));
+  std::string s;
+  for (int i = 0; i < len; ++i) {
+    s += static_cast<char>('a' + rng->NextBounded(4));  // Small alphabet.
+  }
+  return s;
+}
+
+TEST_P(DistancePropertyTest, InvariantsHold) {
+  auto [seed, max_len] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a = RandomString(&rng, max_len);
+    std::string b = RandomString(&rng, max_len);
+    std::string c = RandomString(&rng, max_len);
+
+    int lev = EditDistance(a, b);
+    int dam = DamerauDistance(a, b);
+
+    // Symmetry.
+    EXPECT_EQ(lev, EditDistance(b, a));
+    EXPECT_EQ(dam, DamerauDistance(b, a));
+    // Identity of indiscernibles.
+    EXPECT_EQ(lev == 0, a == b);
+    EXPECT_EQ(dam == 0, a == b);
+    // Damerau never exceeds Levenshtein; Levenshtein <= 2 * Damerau (OSA).
+    EXPECT_LE(dam, lev);
+    EXPECT_LE(lev, 2 * dam);
+    // Length difference lower bound, max length upper bound.
+    int len_gap = static_cast<int>(a.size()) - static_cast<int>(b.size());
+    if (len_gap < 0) len_gap = -len_gap;
+    EXPECT_GE(dam, len_gap);
+    EXPECT_LE(lev, static_cast<int>(std::max(a.size(), b.size())));
+    // Levenshtein triangle inequality.
+    EXPECT_LE(EditDistance(a, c),
+              EditDistance(a, b) + EditDistance(b, c));
+
+    // Bounded versions agree with full versions for every bound.
+    for (int bound = 0; bound <= max_len; ++bound) {
+      int be = BoundedEditDistance(a, b, bound);
+      int bd = BoundedDamerauDistance(a, b, bound);
+      EXPECT_EQ(be, lev <= bound ? lev : bound + 1)
+          << "a=" << a << " b=" << b << " bound=" << bound;
+      EXPECT_EQ(bd, dam <= bound ? dam : bound + 1)
+          << "a=" << a << " b=" << b << " bound=" << bound;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, DistancePropertyTest,
+    ::testing::Values(std::make_tuple(1, 6), std::make_tuple(2, 10),
+                      std::make_tuple(3, 14), std::make_tuple(4, 3),
+                      std::make_tuple(5, 20)));
+
+}  // namespace
+}  // namespace mergepurge

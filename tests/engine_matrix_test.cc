@@ -1,0 +1,117 @@
+// Engine-level parameter matrix: the MergePurgeEngine must behave sanely
+// across the cross-product of method x window x key count, and accuracy
+// must respond to each knob in the documented direction.
+
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/merge_purge.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "keys/standard_keys.h"
+#include "rules/employee_theory.h"
+
+namespace mergepurge {
+namespace {
+
+const GeneratedDatabase& SharedDb() {
+  static const GeneratedDatabase* db = [] {
+    GeneratorConfig config;
+    config.num_records = 1200;
+    config.duplicate_selection_rate = 0.5;
+    config.max_duplicates_per_record = 4;
+    config.seed = 20240707;
+    auto generated = DatabaseGenerator(config).Generate();
+    return new GeneratedDatabase(std::move(*generated));
+  }();
+  return *db;
+}
+
+using MatrixParam =
+    std::tuple<MergePurgeOptions::Method, size_t /*window*/,
+               size_t /*num_keys*/>;
+
+class EngineMatrixTest : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(EngineMatrixTest, RunsAndProducesSaneResult) {
+  auto [method, window, num_keys] = GetParam();
+  const GeneratedDatabase& db = SharedDb();
+
+  MergePurgeOptions options;
+  options.method = method;
+  options.window = window;
+  auto all_keys = StandardThreeKeys();
+  options.keys.assign(all_keys.begin(), all_keys.begin() + num_keys);
+  options.clustering.num_clusters = 16;
+
+  EmployeeTheory theory;
+  auto result = MergePurgeEngine(options).Run(db.dataset, theory);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Structural sanity.
+  EXPECT_EQ(result->component_of.size(), db.dataset.size());
+  EXPECT_EQ(result->detail.passes.size(), num_keys);
+  EXPECT_GT(result->num_entities, 0u);
+  EXPECT_LE(result->num_entities, db.dataset.size());
+
+  // Purge count equals entity count; purged records keep the schema.
+  Dataset purged = result->Purge(db.dataset);
+  EXPECT_EQ(purged.size(), result->num_entities);
+  for (size_t i = 0; i < purged.size(); ++i) {
+    EXPECT_EQ(purged.record(static_cast<TupleId>(i)).num_fields(),
+              db.dataset.schema().num_fields());
+  }
+
+  // Accuracy floor: even the weakest cell (1 key, w=4) finds a third of
+  // the duplicates; FP stays bounded.
+  AccuracyReport report =
+      EvaluateComponents(result->component_of, db.truth);
+  EXPECT_GT(report.recall_percent, 33.0);
+  EXPECT_LT(report.false_positive_percent, 12.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, EngineMatrixTest,
+    ::testing::Combine(
+        ::testing::Values(MergePurgeOptions::Method::kSortedNeighborhood,
+                          MergePurgeOptions::Method::kClustering),
+        ::testing::Values(4u, 10u, 25u), ::testing::Values(1u, 2u, 3u)));
+
+TEST(EngineDirectionTest, MoreKeysNeverHurt) {
+  const GeneratedDatabase& db = SharedDb();
+  EmployeeTheory theory;
+  double previous = -1.0;
+  for (size_t num_keys = 1; num_keys <= 3; ++num_keys) {
+    MergePurgeOptions options;
+    auto all_keys = StandardThreeKeys();
+    options.keys.assign(all_keys.begin(), all_keys.begin() + num_keys);
+    options.window = 8;
+    auto result = MergePurgeEngine(options).Run(db.dataset, theory);
+    ASSERT_TRUE(result.ok());
+    double recall =
+        EvaluateComponents(result->component_of, db.truth).recall_percent;
+    EXPECT_GE(recall, previous);
+    previous = recall;
+  }
+}
+
+TEST(EngineDirectionTest, WiderWindowNeverHurtsSingleKey) {
+  const GeneratedDatabase& db = SharedDb();
+  EmployeeTheory theory;
+  double previous = -1.0;
+  for (size_t window : {2u, 6u, 12u, 24u}) {
+    MergePurgeOptions options;
+    options.keys = {LastNameKey()};
+    options.window = window;
+    auto result = MergePurgeEngine(options).Run(db.dataset, theory);
+    ASSERT_TRUE(result.ok());
+    double recall =
+        EvaluateComponents(result->component_of, db.truth).recall_percent;
+    EXPECT_GE(recall, previous);
+    previous = recall;
+  }
+}
+
+}  // namespace
+}  // namespace mergepurge

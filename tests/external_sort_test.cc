@@ -1,0 +1,161 @@
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "core/sorted_neighborhood.h"
+#include "rules/employee_theory.h"
+#include "gen/generator.h"
+#include "keys/standard_keys.h"
+#include "sort/external_sort.h"
+
+namespace mergepurge {
+namespace {
+
+class ExternalSortTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.num_records = 2000;
+    config.duplicate_selection_rate = 0.3;
+    config.seed = 17;
+    auto db = DatabaseGenerator(config).Generate();
+    ASSERT_TRUE(db.ok());
+    dataset_ = std::move(db->dataset);
+  }
+
+  Dataset dataset_;
+};
+
+TEST_P(ExternalSortTest, MatchesInMemorySort) {
+  ExternalSortOptions options;
+  options.memory_records = GetParam();
+  options.fan_in = 4;
+  options.temp_dir = testing::TempDir();
+  ExternalSorter sorter(options);
+
+  IoStats stats;
+  auto order = sorter.Sort(dataset_, LastNameKey(), &stats);
+  ASSERT_TRUE(order.ok()) << order.status().ToString();
+
+  auto expected = SortedNeighborhood::SortByKey(dataset_, LastNameKey());
+  ASSERT_EQ(order->size(), expected.size());
+  EXPECT_EQ(*order, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(RunSizes, ExternalSortTest,
+                         ::testing::Values(100, 333, 1000, 5000));
+
+TEST(ExternalSortStatsTest, InMemoryPathDoesNoIo) {
+  GeneratorConfig config;
+  config.num_records = 100;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+
+  ExternalSortOptions options;
+  options.memory_records = 100000;
+  ExternalSorter sorter(options);
+  IoStats stats;
+  auto order = sorter.Sort(db->dataset, LastNameKey(), &stats);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(stats.entries_written, 0u);
+  EXPECT_EQ(stats.entries_read, 0u);
+  EXPECT_EQ(stats.merge_passes, 0);
+  EXPECT_EQ(stats.initial_runs, 1);
+}
+
+TEST(ExternalSortStatsTest, RunAndPassAccounting) {
+  GeneratorConfig config;
+  config.num_records = 1000;
+  config.duplicate_selection_rate = 0.0;
+  config.seed = 23;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+  size_t n = db->dataset.size();
+
+  ExternalSortOptions options;
+  options.memory_records = 100;  // 10 runs.
+  options.fan_in = 4;            // Merge tree: 10 -> 3 -> 1: 2 passes.
+  options.temp_dir = testing::TempDir();
+  ExternalSorter sorter(options);
+  IoStats stats;
+  auto order = sorter.Sort(db->dataset, LastNameKey(), &stats);
+  ASSERT_TRUE(order.ok());
+  EXPECT_EQ(stats.initial_runs, 10);
+  EXPECT_EQ(stats.merge_passes, 2);
+  // Every entry is written in run formation; pass 1 rewrites all entries
+  // into 3 runs; final pass streams to memory (reads only).
+  EXPECT_EQ(stats.entries_written, n + n);
+  EXPECT_EQ(stats.entries_read, 2 * n);
+}
+
+TEST(ExternalSortStatsTest, HighFanInSinglePass) {
+  GeneratorConfig config;
+  config.num_records = 500;
+  config.duplicate_selection_rate = 0.0;  // Exactly 500 records, 10 runs.
+  config.seed = 29;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+
+  ExternalSortOptions options;
+  options.memory_records = 50;
+  options.fan_in = 16;  // The paper's fan-in: all runs merge in one pass.
+  options.temp_dir = testing::TempDir();
+  IoStats stats;
+  auto order = ExternalSorter(options).Sort(db->dataset, LastNameKey(),
+                                            &stats);
+  ASSERT_TRUE(order.ok());
+  EXPECT_LE(stats.initial_runs, 16);
+  EXPECT_EQ(stats.merge_passes, 1);
+}
+
+TEST(ExternalSortStatsTest, RejectsBadOptions) {
+  Dataset d(employee::MakeSchema());
+  ExternalSortOptions zero_memory;
+  zero_memory.memory_records = 0;
+  EXPECT_FALSE(
+      ExternalSorter(zero_memory).Sort(d, LastNameKey(), nullptr).ok());
+  ExternalSortOptions tiny_fan;
+  tiny_fan.fan_in = 1;
+  EXPECT_FALSE(
+      ExternalSorter(tiny_fan).Sort(d, LastNameKey(), nullptr).ok());
+}
+
+TEST(ExternalSortSnmTest, ExternalSortModeMatchesInMemoryPass) {
+  GeneratorConfig config;
+  config.num_records = 600;
+  config.duplicate_selection_rate = 0.5;
+  config.seed = 37;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+
+  EmployeeTheory theory;
+  auto in_memory =
+      SortedNeighborhood(8).Run(db->dataset, LastNameKey(), theory);
+  ASSERT_TRUE(in_memory.ok());
+
+  SnmOptions options;
+  options.window = 8;
+  options.external_sort_memory = 100;  // Force spilling and merging.
+  options.external_sort_fan_in = 3;
+  options.temp_dir = testing::TempDir();
+  auto external = SortedNeighborhood(options).Run(db->dataset,
+                                                  LastNameKey(), theory);
+  ASSERT_TRUE(external.ok()) << external.status().ToString();
+
+  EXPECT_EQ(external->pairs.size(), in_memory->pairs.size());
+  in_memory->pairs.ForEach([&](TupleId a, TupleId b) {
+    EXPECT_TRUE(external->pairs.Contains(a, b));
+  });
+}
+
+TEST(ExternalSortStatsTest, EmptyDataset) {
+  Dataset d(employee::MakeSchema());
+  ExternalSortOptions options;
+  IoStats stats;
+  auto order = ExternalSorter(options).Sort(d, LastNameKey(), &stats);
+  ASSERT_TRUE(order.ok());
+  EXPECT_TRUE(order->empty());
+}
+
+}  // namespace
+}  // namespace mergepurge

@@ -1,0 +1,124 @@
+// Generator property sweeps: duplication-rate scaling, error-severity
+// monotonicity (harder data -> lower recall), and the household mechanism
+// that produces the paper's realistic false positives.
+
+#include <gtest/gtest.h>
+
+#include "core/multipass.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "keys/standard_keys.h"
+#include "rules/employee_theory.h"
+#include "text/normalize.h"
+
+namespace mergepurge {
+namespace {
+
+class DuplicationRateTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DuplicationRateTest, DuplicateCountTracksRate) {
+  const double rate = GetParam();
+  GeneratorConfig config;
+  config.num_records = 3000;
+  config.duplicate_selection_rate = rate;
+  config.max_duplicates_per_record = 5;
+  config.seed = 11;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+  // E[duplicates] = rate * N * 3 (uniform 1..5).
+  double expected =
+      rate * static_cast<double>(config.num_records) * 3.0;
+  double actual = static_cast<double>(db->truth.NumDuplicateTuples());
+  if (expected == 0.0) {
+    EXPECT_EQ(actual, 0.0);
+  } else {
+    EXPECT_NEAR(actual / expected, 1.0, 0.12) << "rate " << rate;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, DuplicationRateTest,
+                         ::testing::Values(0.0, 0.1, 0.3, 0.5, 0.9));
+
+class SeverityTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SeverityTest, HarderDataLowersRecall) {
+  EmployeeTheory theory;
+  double previous = 101.0;
+  for (double severity : {0.5, 1.5, 3.0}) {
+    GeneratorConfig config;
+    config.num_records = 1200;
+    config.duplicate_selection_rate = 0.5;
+    config.error_severity = severity;
+    config.field_corruption_prob = 0.30 + 0.08 * severity;
+    config.seed = GetParam();
+    auto db = DatabaseGenerator(config).Generate();
+    ASSERT_TRUE(db.ok());
+    ConditionEmployeeDataset(&db->dataset);
+    MultiPass mp(MultiPass::Method::kSortedNeighborhood, 10);
+    auto result = mp.Run(db->dataset, StandardThreeKeys(), theory);
+    ASSERT_TRUE(result.ok());
+    double recall =
+        EvaluateComponents(result->component_of, db->truth).recall_percent;
+    EXPECT_LT(recall, previous + 2.0)
+        << "severity " << severity << " should not be easier";
+    previous = recall;
+  }
+  // The hardest setting is materially harder than the easiest.
+  EXPECT_LT(previous, 90.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeverityTest, ::testing::Values(7, 8));
+
+TEST(HouseholdTest, FamiliesShareSurnameAndAddress) {
+  GeneratorConfig config;
+  config.num_records = 4000;
+  config.duplicate_selection_rate = 0.0;  // Originals only.
+  config.family_prob = 0.5;               // Plenty of households.
+  config.shuffle = false;                 // Families stay adjacent.
+  config.seed = 13;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+
+  size_t families = 0;
+  for (size_t t = 1; t < db->dataset.size(); ++t) {
+    const Record& prev = db->dataset.record(static_cast<TupleId>(t - 1));
+    const Record& curr = db->dataset.record(static_cast<TupleId>(t));
+    bool same_household =
+        curr.field(employee::kLastName) == prev.field(employee::kLastName) &&
+        curr.field(employee::kAddress) == prev.field(employee::kAddress) &&
+        curr.field(employee::kZip) == prev.field(employee::kZip);
+    if (!same_household) continue;
+    ++families;
+    // Family members are distinct people: own SSN, distinct origin.
+    EXPECT_NE(curr.field(employee::kSsn), prev.field(employee::kSsn));
+    EXPECT_FALSE(db->truth.IsTruePair(static_cast<TupleId>(t - 1),
+                                      static_cast<TupleId>(t)));
+  }
+  // Expect roughly family_prob of records to be household members.
+  EXPECT_GT(families, db->dataset.size() / 4);
+}
+
+TEST(HouseholdTest, FamiliesCauseFalsePositives) {
+  EmployeeTheory theory;
+  auto run = [&theory](double family_prob) {
+    GeneratorConfig config;
+    config.num_records = 2500;
+    config.duplicate_selection_rate = 0.5;
+    config.family_prob = family_prob;
+    config.seed = 17;
+    auto db = DatabaseGenerator(config).Generate();
+    ConditionEmployeeDataset(&db->dataset);
+    MultiPass mp(MultiPass::Method::kSortedNeighborhood, 10);
+    auto result = mp.Run(db->dataset, StandardThreeKeys(), theory);
+    return EvaluateComponents(result->component_of, db->truth)
+        .false_positive_percent;
+  };
+  double without_families = run(0.0);
+  double with_families = run(0.10);
+  EXPECT_GT(with_families, without_families);
+  // FP stays in the paper's "small" regime even with households.
+  EXPECT_LT(with_families, 10.0);
+}
+
+}  // namespace
+}  // namespace mergepurge

@@ -1,0 +1,287 @@
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "gen/error_model.h"
+#include "gen/generator.h"
+#include "gen/names_data.h"
+#include "gen/places_data.h"
+#include "util/string_util.h"
+
+namespace mergepurge {
+namespace {
+
+// --- Embedded corpora. ---
+
+TEST(NamesDataTest, SurnameCorpusIsLargeAndDistinct) {
+  EXPECT_GE(NumSurnames(), 63000u);
+  std::set<std::string> sample;
+  for (size_t i = 0; i < 5000; ++i) sample.insert(SurnameAt(i));
+  // The composed corpus should be essentially collision-free.
+  EXPECT_GT(sample.size(), 4950u);
+}
+
+TEST(NamesDataTest, NamesAreNonEmptyUpperCase) {
+  for (size_t i = 0; i < NumFirstNames(); ++i) {
+    std::string name = FirstNameAt(i);
+    ASSERT_FALSE(name.empty());
+    EXPECT_EQ(name, ToUpperAscii(name));
+  }
+  for (size_t i = 0; i < 1000; ++i) {
+    EXPECT_FALSE(SurnameAt(i * 61).empty());
+  }
+}
+
+TEST(PlacesDataTest, CorpusSizeMatchesPaperScale) {
+  // The paper's city corpus had 18,670 names; ours is the same order.
+  EXPECT_GE(NumPlaces(), 15000u);
+  EXPECT_LE(NumPlaces(), 25000u);
+}
+
+TEST(PlacesDataTest, PlacesAreConsistent) {
+  for (size_t i = 0; i < 500; ++i) {
+    Place p = PlaceAt(i * 37);
+    EXPECT_FALSE(p.city.empty());
+    EXPECT_EQ(p.state.size(), 2u);
+    EXPECT_GE(p.zip_base, 0);
+    EXPECT_LT(p.zip_base, 100000);
+  }
+}
+
+TEST(PlacesDataTest, SameIndexSamePlace) {
+  Place a = PlaceAt(1234);
+  Place b = PlaceAt(1234);
+  EXPECT_EQ(a.city, b.city);
+  EXPECT_EQ(a.state, b.state);
+  EXPECT_EQ(a.zip_base, b.zip_base);
+}
+
+TEST(PlacesDataTest, AllCityNamesMatchesNumPlaces) {
+  EXPECT_EQ(AllCityNames().size(), NumPlaces());
+}
+
+// --- Error model. ---
+
+TEST(ErrorModelTest, TypoCountDistribution) {
+  ErrorModel model;
+  Rng rng(5);
+  int singles = 0, total = 0;
+  for (int i = 0; i < 5000; ++i) {
+    int count = model.SampleTypoCount(1.0, &rng);
+    EXPECT_GE(count, 1);
+    EXPECT_LE(count, 6);
+    if (count == 1) ++singles;
+    ++total;
+  }
+  // ~80% single errors at severity 1.0 (Kukich '92).
+  double single_rate = static_cast<double>(singles) / total;
+  EXPECT_NEAR(single_rate, 0.80, 0.05);
+}
+
+TEST(ErrorModelTest, HigherSeverityMoreErrors) {
+  ErrorModel model;
+  Rng rng_low(5), rng_high(5);
+  double low_sum = 0, high_sum = 0;
+  for (int i = 0; i < 3000; ++i) {
+    low_sum += model.SampleTypoCount(0.5, &rng_low);
+    high_sum += model.SampleTypoCount(2.5, &rng_high);
+  }
+  EXPECT_LT(low_sum, high_sum);
+}
+
+TEST(ErrorModelTest, InjectOneTypoAlwaysChangesString) {
+  ErrorModel model;
+  Rng rng(11);
+  for (int i = 0; i < 500; ++i) {
+    std::string out = model.InjectOneTypo("JOHNSON", &rng);
+    EXPECT_NE(out, "JOHNSON");
+  }
+}
+
+TEST(ErrorModelTest, DigitsStayDigits) {
+  ErrorModel model;
+  Rng rng(13);
+  for (int i = 0; i < 300; ++i) {
+    std::string out = model.InjectTypos("123456789", 2, &rng);
+    for (char c : out) {
+      EXPECT_TRUE(c >= '0' && c <= '9') << out;
+    }
+  }
+}
+
+TEST(ErrorModelTest, EmptyStringGetsInsertion) {
+  ErrorModel model;
+  Rng rng(17);
+  std::string out = model.InjectOneTypo("", &rng);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ErrorModelTest, TransposeDigitsSwapsAdjacent) {
+  ErrorModel model;
+  Rng rng(19);
+  std::string out = model.TransposeDigits("123456789", &rng);
+  EXPECT_NE(out, "123456789");
+  EXPECT_EQ(out.size(), 9u);
+  // Same multiset of digits.
+  std::string sorted_in = "123456789";
+  std::string sorted_out = out;
+  std::sort(sorted_out.begin(), sorted_out.end());
+  EXPECT_EQ(sorted_out, sorted_in);
+  EXPECT_EQ(model.TransposeDigits("7", &rng), "7");
+}
+
+// --- Database generator. ---
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorConfig config;
+  config.num_records = 500;
+  config.seed = 99;
+  auto a = DatabaseGenerator(config).Generate();
+  auto b = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->dataset.size(), b->dataset.size());
+  for (size_t i = 0; i < a->dataset.size(); ++i) {
+    EXPECT_EQ(a->dataset.record(i), b->dataset.record(i));
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  GeneratorConfig config;
+  config.num_records = 200;
+  config.seed = 1;
+  auto a = DatabaseGenerator(config).Generate();
+  config.seed = 2;
+  auto b = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->dataset.size(), 0u);
+  bool differs = a->dataset.size() != b->dataset.size();
+  if (!differs) {
+    for (size_t i = 0; i < a->dataset.size() && !differs; ++i) {
+      differs = !(a->dataset.record(i) == b->dataset.record(i));
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(GeneratorTest, DuplicateCountsMatchConfig) {
+  GeneratorConfig config;
+  config.num_records = 4000;
+  config.duplicate_selection_rate = 0.5;
+  config.max_duplicates_per_record = 5;
+  config.seed = 3;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+
+  // Expected duplicates: 0.5 * 4000 selected, average 3 dups each = 6000.
+  uint64_t dup_tuples = db->truth.NumDuplicateTuples();
+  EXPECT_GT(dup_tuples, 5000u);
+  EXPECT_LT(dup_tuples, 7000u);
+  EXPECT_EQ(db->dataset.size(), config.num_records + dup_tuples);
+}
+
+TEST(GeneratorTest, NoDuplicatesWhenRateZero) {
+  GeneratorConfig config;
+  config.num_records = 300;
+  config.duplicate_selection_rate = 0.0;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->dataset.size(), 300u);
+  EXPECT_EQ(db->truth.NumTruePairs(), 0u);
+}
+
+TEST(GeneratorTest, GroundTruthPairArithmetic) {
+  GeneratorConfig config;
+  config.num_records = 1000;
+  config.duplicate_selection_rate = 0.3;
+  config.max_duplicates_per_record = 3;
+  config.seed = 5;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+
+  // Recompute true pairs by brute force over origins.
+  std::map<uint32_t, uint64_t> sizes;
+  for (size_t t = 0; t < db->dataset.size(); ++t) {
+    ++sizes[db->truth.origin_of(static_cast<TupleId>(t))];
+  }
+  uint64_t expected_pairs = 0;
+  for (const auto& [origin, k] : sizes) expected_pairs += k * (k - 1) / 2;
+  EXPECT_EQ(db->truth.NumTruePairs(), expected_pairs);
+
+  // IsTruePair consistency spot-check.
+  for (TupleId t = 1; t < 100; ++t) {
+    EXPECT_EQ(db->truth.IsTruePair(0, t),
+              db->truth.origin_of(0) == db->truth.origin_of(t));
+  }
+  EXPECT_FALSE(db->truth.IsTruePair(0, 0));
+}
+
+TEST(GeneratorTest, RecordsHaveEmployeeShape) {
+  GeneratorConfig config;
+  config.num_records = 200;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->dataset.schema() == employee::MakeSchema());
+  for (size_t t = 0; t < db->dataset.size(); ++t) {
+    const Record& r = db->dataset.record(t);
+    EXPECT_FALSE(r.field(employee::kLastName).empty());
+    EXPECT_FALSE(r.field(employee::kCity).empty());
+    EXPECT_EQ(r.field(employee::kState).size(), 2u);
+  }
+}
+
+TEST(GeneratorTest, InvalidConfigRejected) {
+  GeneratorConfig config;
+  config.num_records = 0;
+  EXPECT_FALSE(DatabaseGenerator(config).Generate().ok());
+  config.num_records = 10;
+  config.duplicate_selection_rate = 1.5;
+  EXPECT_FALSE(DatabaseGenerator(config).Generate().ok());
+  config.duplicate_selection_rate = 0.5;
+  config.max_duplicates_per_record = -1;
+  EXPECT_FALSE(DatabaseGenerator(config).Generate().ok());
+}
+
+TEST(GeneratorTest, DuplicatesResembleOriginals) {
+  // With all gross-error knobs off and mild typos, duplicates should agree
+  // with their original on most fields.
+  GeneratorConfig config;
+  config.num_records = 400;
+  config.duplicate_selection_rate = 1.0;
+  config.max_duplicates_per_record = 1;
+  config.ssn_transpose_prob = 0.0;
+  config.last_name_change_prob = 0.0;
+  config.address_change_prob = 0.0;
+  config.nickname_prob = 0.0;
+  config.missing_field_prob = 0.0;
+  config.initial_flip_prob = 0.0;
+  config.field_corruption_prob = 0.2;
+  config.shuffle = false;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+
+  // Unshuffled layout: duplicates precede their original; adjacent pairs
+  // share an origin.
+  size_t matching_fields = 0, total_fields = 0;
+  for (size_t t = 0; t + 1 < db->dataset.size(); ++t) {
+    if (db->truth.origin_of(static_cast<TupleId>(t)) !=
+        db->truth.origin_of(static_cast<TupleId>(t + 1))) {
+      continue;
+    }
+    const Record& dup = db->dataset.record(static_cast<TupleId>(t));
+    const Record& orig = db->dataset.record(static_cast<TupleId>(t + 1));
+    for (FieldId f = 0; f < employee::kNumFields; ++f) {
+      ++total_fields;
+      if (dup.field(f) == orig.field(f)) ++matching_fields;
+    }
+  }
+  ASSERT_GT(total_fields, 0u);
+  EXPECT_GT(static_cast<double>(matching_fields) / total_fields, 0.75);
+}
+
+}  // namespace
+}  // namespace mergepurge

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "core/sorted_neighborhood.h"
+#include "eval/key_quality.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "keys/standard_keys.h"
+#include "rules/employee_theory.h"
+#include "rules/rule_program.h"
+#include "text/jaro_winkler.h"
+#include "text/normalize.h"
+#include "util/random.h"
+
+namespace mergepurge {
+namespace {
+
+// --- Jaro / Jaro-Winkler. ---
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("same", "same"), 1.0);
+  // The canonical textbook example.
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.9444, 1e-3);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.7667, 1e-3);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("ABC", "XYZ"), 0.0);
+}
+
+TEST(JaroWinklerTest, PrefixBoost) {
+  EXPECT_NEAR(JaroWinklerSimilarity("MARTHA", "MARHTA"), 0.9611, 1e-3);
+  // Common prefix raises Jaro, never past 1.
+  double jaro = JaroSimilarity("PREFIXAB", "PREFIXYZ");
+  double jw = JaroWinklerSimilarity("PREFIXAB", "PREFIXYZ");
+  EXPECT_GT(jw, jaro);
+  EXPECT_LE(jw, 1.0);
+  // No common prefix: no boost.
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("ABC", "XBC"),
+                   JaroSimilarity("ABC", "XBC"));
+}
+
+TEST(JaroTest, SymmetryAndRangeProperty) {
+  Rng rng(31);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto make = [&rng] {
+      std::string s;
+      size_t len = rng.NextBounded(10);
+      for (size_t i = 0; i < len; ++i) {
+        s += static_cast<char>('A' + rng.NextBounded(4));
+      }
+      return s;
+    };
+    std::string a = make();
+    std::string b = make();
+    double ab = JaroWinklerSimilarity(a, b);
+    double ba = JaroWinklerSimilarity(b, a);
+    EXPECT_DOUBLE_EQ(ab, ba) << a << " " << b;
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_EQ(JaroWinklerSimilarity(a, a), 1.0);
+  }
+}
+
+// --- N-gram similarity. ---
+
+TEST(NgramTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(NgramSimilarity("", "", 2), 1.0);
+  EXPECT_DOUBLE_EQ(NgramSimilarity("A", "A", 2), 1.0);  // Shorter than n.
+  EXPECT_DOUBLE_EQ(NgramSimilarity("A", "B", 2), 0.0);
+  EXPECT_DOUBLE_EQ(NgramSimilarity("NIGHT", "NIGHT", 2), 1.0);
+  // NIGHT vs NACHT share bigrams {HT} -> 2*1/(4+4) = 0.25.
+  EXPECT_NEAR(NgramSimilarity("NIGHT", "NACHT", 2), 0.25, 1e-9);
+  EXPECT_DOUBLE_EQ(NgramSimilarity("ABCD", "WXYZ", 2), 0.0);
+}
+
+TEST(NgramTest, MultisetSemantics) {
+  // "AAA" has bigrams {AA, AA}; "AA" has {AA}: 2*1/(2+1) = 2/3.
+  EXPECT_NEAR(NgramSimilarity("AAAA", "AAA", 2), 2.0 * 2.0 / 5.0, 1e-9);
+}
+
+TEST(NgramTest, SymmetryProperty) {
+  Rng rng(37);
+  for (int trial = 0; trial < 500; ++trial) {
+    auto make = [&rng] {
+      std::string s;
+      size_t len = rng.NextBounded(12);
+      for (size_t i = 0; i < len; ++i) {
+        s += static_cast<char>('A' + rng.NextBounded(3));
+      }
+      return s;
+    };
+    std::string a = make();
+    std::string b = make();
+    for (size_t n : {2u, 3u}) {
+      EXPECT_NEAR(NgramSimilarity(a, b, n), NgramSimilarity(b, a, n), 1e-12)
+          << a << " " << b << " n=" << n;
+    }
+  }
+}
+
+TEST(NgramJaroDslTest, AvailableAsBuiltins) {
+  auto program = RuleProgram::Compile(
+      "rule jw: if jaro_winkler(r1.last_name, r2.last_name) >= 0.92 "
+      "then match\n"
+      "rule ng: if ngram_similarity(r1.last_name, r2.last_name, 2) >= 0.6 "
+      "and r1.address == r2.address then match\n",
+      employee::MakeSchema());
+  ASSERT_TRUE(program.ok()) << program.status().ToString();
+  Record a;
+  a.set_field(employee::kLastName, "MARTHA");
+  Record b;
+  b.set_field(employee::kLastName, "MARHTA");
+  EXPECT_TRUE(program->Matches(a, b));
+}
+
+// --- Key quality analyzer. ---
+
+class KeyQualityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.num_records = 1500;
+    config.duplicate_selection_rate = 0.5;
+    config.seed = 404;
+    auto db = DatabaseGenerator(config).Generate();
+    ASSERT_TRUE(db.ok());
+    dataset_ = std::move(db->dataset);
+    truth_ = std::move(db->truth);
+    ConditionEmployeeDataset(&dataset_);
+  }
+
+  Dataset dataset_;
+  GroundTruth truth_;
+};
+
+TEST_F(KeyQualityTest, ReportIsInternallyConsistent) {
+  auto report = AnalyzeKeyQuality(dataset_, truth_, LastNameKey());
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->true_pairs, truth_.NumTruePairs());
+  EXPECT_LE(report->adjacent_pairs, report->true_pairs);
+  EXPECT_LE(report->median_gap, report->p90_gap);
+  EXPECT_LE(report->p90_gap, report->max_gap);
+  EXPECT_GE(report->far_fraction, 0.0);
+  EXPECT_LE(report->far_fraction, 1.0);
+  // Coverage is monotone in w and consistent with far_fraction at w=50.
+  ASSERT_EQ(report->coverage_windows.size(), 5u);
+  for (size_t i = 1; i < report->coverage_percent.size(); ++i) {
+    EXPECT_GE(report->coverage_percent[i], report->coverage_percent[i - 1]);
+  }
+  // Gap <= 50 iff NOT far; window 51 would be the exact complement, so
+  // coverage at w=50 (gap <= 49) is bounded by 1 - far_fraction.
+  EXPECT_LE(report->coverage_percent.back(),
+            100.0 * (1.0 - report->far_fraction) + 1e-9);
+}
+
+TEST_F(KeyQualityTest, CeilingBoundsActualSnmRecall) {
+  // The ceiling at w must upper-bound what a real pass with window w
+  // achieves (the theory can only lose pairs, never add).
+  auto report = AnalyzeKeyQuality(dataset_, truth_, LastNameKey(), {10});
+  ASSERT_TRUE(report.ok());
+  EmployeeTheory theory;
+  auto pass = SortedNeighborhood(10).Run(dataset_, LastNameKey(), theory);
+  ASSERT_TRUE(pass.ok());
+  AccuracyReport accuracy =
+      EvaluatePairSet(pass->pairs, dataset_.size(), truth_);
+  // Direct (pre-closure) recall cannot exceed the ceiling; closure can
+  // bridge a few extra pairs, so allow a small margin.
+  EXPECT_LE(accuracy.recall_percent,
+            report->coverage_percent[0] + 5.0);
+}
+
+TEST_F(KeyQualityTest, PerfectKeyHasTinyGaps) {
+  // A key on the ORIGIN id itself (planted via ssn of uncorrupted data)
+  // would give gap 1 for all pairs; approximate with dup rate 0 edge case.
+  GeneratorConfig config;
+  config.num_records = 100;
+  config.duplicate_selection_rate = 0.0;
+  config.seed = 1;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+  auto report = AnalyzeKeyQuality(db->dataset, db->truth, LastNameKey());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->true_pairs, 0u);  // No duplicates -> no gaps.
+}
+
+TEST_F(KeyQualityTest, RejectsInvalidKey) {
+  KeySpec bad{"bad", {KeyComponent::Full(99)}};
+  EXPECT_FALSE(AnalyzeKeyQuality(dataset_, truth_, bad).ok());
+}
+
+}  // namespace
+}  // namespace mergepurge

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "keys/key_builder.h"
+#include "keys/standard_keys.h"
+#include "record/schema.h"
+
+namespace mergepurge {
+namespace {
+
+Record EmployeeRecord() {
+  Record r;
+  r.set_field(employee::kSsn, "123456789");
+  r.set_field(employee::kFirstName, "MAURICIO");
+  r.set_field(employee::kInitial, "A");
+  r.set_field(employee::kLastName, "HERNANDEZ");
+  r.set_field(employee::kAddress, "500 W 120 ST");
+  r.set_field(employee::kApartment, "");
+  r.set_field(employee::kCity, "NEW YORK");
+  r.set_field(employee::kState, "NY");
+  r.set_field(employee::kZip, "10027");
+  return r;
+}
+
+TEST(KeyBuilderTest, FullFieldComponent) {
+  KeySpec spec{"t", {KeyComponent::Full(employee::kLastName)}};
+  EXPECT_EQ(KeyBuilder(spec).BuildKey(EmployeeRecord()), "HERNANDEZ");
+}
+
+TEST(KeyBuilderTest, PrefixPadsToFixedWidth) {
+  KeySpec spec{"t", {KeyComponent::Prefix(employee::kLastName, 4)}};
+  EXPECT_EQ(KeyBuilder(spec).BuildKey(EmployeeRecord()), "HERN");
+  Record r;
+  r.set_field(employee::kLastName, "LI");
+  EXPECT_EQ(KeyBuilder(spec).BuildKey(r), "LI  ");
+}
+
+TEST(KeyBuilderTest, FirstNonBlank) {
+  KeySpec spec{"t", {KeyComponent::FirstNonBlank(employee::kFirstName)}};
+  EXPECT_EQ(KeyBuilder(spec).BuildKey(EmployeeRecord()), "M");
+  Record r;
+  r.set_field(employee::kFirstName, "  X");
+  EXPECT_EQ(KeyBuilder(spec).BuildKey(r), "X");
+  r.set_field(employee::kFirstName, "");
+  EXPECT_EQ(KeyBuilder(spec).BuildKey(r), " ");
+}
+
+TEST(KeyBuilderTest, DigitPrefixSkipsNonDigits) {
+  KeySpec spec{"t", {KeyComponent::DigitPrefix(employee::kSsn, 6)}};
+  Record r;
+  r.set_field(employee::kSsn, "12-34-5678");
+  EXPECT_EQ(KeyBuilder(spec).BuildKey(r), "123456");
+  r.set_field(employee::kSsn, "12");
+  EXPECT_EQ(KeyBuilder(spec).BuildKey(r), "12    ");
+}
+
+TEST(KeyBuilderTest, PaperExampleKeyShape) {
+  // "last name ... followed by the first non blank character of the first
+  // name ... followed by the first six digits of the social security
+  // field".
+  KeySpec spec = LastNameKey();
+  std::string key = KeyBuilder(spec).BuildKey(EmployeeRecord());
+  EXPECT_EQ(key, "HERNANDEZM123456");
+}
+
+TEST(KeyBuilderTest, BuildKeysCoversDataset) {
+  Dataset d(employee::MakeSchema());
+  d.Append(EmployeeRecord());
+  d.Append(EmployeeRecord());
+  auto keys = KeyBuilder(LastNameKey()).BuildKeys(d);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], keys[1]);
+}
+
+TEST(KeySpecTest, FixedWidthReplacesFullFields) {
+  KeySpec fixed = LastNameKey().FixedWidth(3);
+  std::string key = KeyBuilder(fixed).BuildKey(EmployeeRecord());
+  EXPECT_EQ(key, "HERM123456");
+  EXPECT_EQ(fixed.name, "last-name-fixed");
+}
+
+TEST(KeySpecTest, FixedWidthKeysHaveEqualLength) {
+  KeySpec fixed = LastNameKey().FixedWidth(3);
+  Record a = EmployeeRecord();
+  Record b;
+  b.set_field(employee::kLastName, "NG");
+  b.set_field(employee::kFirstName, "");
+  b.set_field(employee::kSsn, "1");
+  EXPECT_EQ(KeyBuilder(fixed).BuildKey(a).size(),
+            KeyBuilder(fixed).BuildKey(b).size());
+}
+
+TEST(KeyBuilderTest, ValidateCatchesBadSpecs) {
+  Schema schema = employee::MakeSchema();
+  KeySpec empty{"e", {}};
+  EXPECT_FALSE(KeyBuilder(empty).Validate(schema).ok());
+
+  KeySpec bad_field{"b", {KeyComponent::Full(99)}};
+  EXPECT_FALSE(KeyBuilder(bad_field).Validate(schema).ok());
+
+  KeySpec zero_len{"z", {KeyComponent::Prefix(employee::kLastName, 0)}};
+  EXPECT_FALSE(KeyBuilder(zero_len).Validate(schema).ok());
+
+  EXPECT_TRUE(KeyBuilder(LastNameKey()).Validate(schema).ok());
+}
+
+TEST(StandardKeysTest, ThreeDistinctPrincipalFields) {
+  auto keys = StandardThreeKeys();
+  ASSERT_EQ(keys.size(), 3u);
+  EXPECT_EQ(keys[0].name, "last-name");
+  EXPECT_EQ(keys[1].name, "first-name");
+  EXPECT_EQ(keys[2].name, "address");
+  EXPECT_EQ(keys[0].components[0].field, employee::kLastName);
+  EXPECT_EQ(keys[1].components[0].field, employee::kFirstName);
+  EXPECT_EQ(keys[2].components[0].field, employee::kAddress);
+  Schema schema = employee::MakeSchema();
+  for (const KeySpec& spec : keys) {
+    EXPECT_TRUE(KeyBuilder(spec).Validate(schema).ok());
+  }
+}
+
+TEST(StandardKeysTest, CorruptedPrincipalFieldMovesKeyApart) {
+  // The motivating failure mode (§2.4): an error in the principal field
+  // separates keys; an error elsewhere does not.
+  Record a = EmployeeRecord();
+  Record b = EmployeeRecord();
+  b.set_field(employee::kLastName, "QERNANDEZ");  // First char corrupted.
+  KeyBuilder last_key(LastNameKey());
+  EXPECT_NE(last_key.BuildKey(a)[0], last_key.BuildKey(b)[0]);
+  KeyBuilder first_key(FirstNameKey());
+  EXPECT_EQ(first_key.BuildKey(a)[0], first_key.BuildKey(b)[0]);
+}
+
+}  // namespace
+}  // namespace mergepurge

@@ -1,0 +1,256 @@
+// Tests for the cross-source linkage engine, the blocking baseline, and
+// pair-set disk persistence.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/blocking.h"
+#include "core/linkage.h"
+#include "core/multipass.h"
+#include "eval/metrics.h"
+#include "gen/generator.h"
+#include "io/pairs_io.h"
+#include "keys/standard_keys.h"
+#include "rules/employee_theory.h"
+#include "text/normalize.h"
+
+namespace mergepurge {
+namespace {
+
+// --- Pair-set persistence. ---
+
+TEST(PairsIoTest, RoundTrip) {
+  PairSet pairs;
+  pairs.Add(3, 9);
+  pairs.Add(1, 2);
+  pairs.Add(0, 100000);
+  std::string path = testing::TempDir() + "/pairs_roundtrip.mpp";
+  ASSERT_TRUE(WritePairSetFile(pairs, path).ok());
+  Result<PairSet> loaded = ReadPairSetFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->size(), pairs.size());
+  pairs.ForEach([&](TupleId a, TupleId b) {
+    EXPECT_TRUE(loaded->Contains(a, b));
+  });
+  std::remove(path.c_str());
+}
+
+TEST(PairsIoTest, EmptySetRoundTrip) {
+  PairSet pairs;
+  std::string path = testing::TempDir() + "/pairs_empty.mpp";
+  ASSERT_TRUE(WritePairSetFile(pairs, path).ok());
+  Result<PairSet> loaded = ReadPairSetFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+  std::remove(path.c_str());
+}
+
+TEST(PairsIoTest, RejectsBadFiles) {
+  std::string path = testing::TempDir() + "/pairs_bad.mpp";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("NOTMAGIC\n1 2\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadPairSetFile(path).ok());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("MPP1\n5 3\n", f);  // lo >= hi.
+    std::fclose(f);
+  }
+  EXPECT_FALSE(ReadPairSetFile(path).ok());
+  EXPECT_FALSE(ReadPairSetFile("/nonexistent.mpp").ok());
+  std::remove(path.c_str());
+}
+
+TEST(PairsIoTest, ClosureFromFilesMatchesInMemoryClosure) {
+  // The paper's pipelined operation: each pass stores pairs on disk; the
+  // closure runs over the stored files.
+  PairSet pass1, pass2;
+  pass1.Add(0, 1);
+  pass2.Add(1, 2);
+  pass2.Add(4, 5);
+  std::string path1 = testing::TempDir() + "/pass1.mpp";
+  std::string path2 = testing::TempDir() + "/pass2.mpp";
+  ASSERT_TRUE(WritePairSetFile(pass1, path1).ok());
+  ASSERT_TRUE(WritePairSetFile(pass2, path2).ok());
+
+  auto from_disk = ClosureFromFiles({path1, path2}, 6);
+  ASSERT_TRUE(from_disk.ok()) << from_disk.status().ToString();
+  auto in_memory = TransitiveClosure({&pass1, &pass2}, 6);
+  for (size_t i = 0; i < 6; ++i) {
+    for (size_t j = 0; j < 6; ++j) {
+      EXPECT_EQ((*from_disk)[i] == (*from_disk)[j],
+                in_memory[i] == in_memory[j]);
+    }
+  }
+  std::remove(path1.c_str());
+  std::remove(path2.c_str());
+}
+
+TEST(PairsIoTest, ClosureRejectsOutOfRangeIds) {
+  PairSet pairs;
+  pairs.Add(0, 99);
+  std::string path = testing::TempDir() + "/pairs_range.mpp";
+  ASSERT_TRUE(WritePairSetFile(pairs, path).ok());
+  EXPECT_FALSE(ClosureFromFiles({path}, 10).ok());
+  std::remove(path.c_str());
+}
+
+// --- Blocking baseline. ---
+
+class BlockingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    GeneratorConfig config;
+    config.num_records = 1200;
+    config.duplicate_selection_rate = 0.5;
+    config.seed = 2025;
+    auto db = DatabaseGenerator(config).Generate();
+    ASSERT_TRUE(db.ok());
+    dataset_ = std::move(db->dataset);
+    truth_ = std::move(db->truth);
+    ConditionEmployeeDataset(&dataset_);
+  }
+
+  Dataset dataset_;
+  GroundTruth truth_;
+  EmployeeTheory theory_;
+};
+
+TEST_F(BlockingTest, FindsDuplicatesComparablyToSnm) {
+  auto blocking = BlockingMethod(3).Run(dataset_, LastNameKey(), theory_);
+  ASSERT_TRUE(blocking.ok()) << blocking.status().ToString();
+  AccuracyReport report =
+      EvaluatePairSet(blocking->pairs, dataset_.size(), truth_);
+  // Exact blocking misses any duplicate whose block-key prefix was
+  // corrupted, so its single-key recall sits below SNM's multi-pass; it
+  // must still find a solid share of duplicates cheaply.
+  EXPECT_GT(report.recall_percent, 30.0);
+  EXPECT_LT(report.false_positive_percent, 10.0);
+  EXPECT_GT(blocking->comparisons, 0u);
+  // Skew indicator populated.
+  BlockingMethod method(3);
+  ASSERT_TRUE(method.Run(dataset_, LastNameKey(), theory_).ok());
+  EXPECT_GT(method.last_largest_block(), 0u);
+}
+
+TEST_F(BlockingTest, EquivalentToFullWindowPerBlock) {
+  // Blocking == clustering with one cluster per block key and an infinite
+  // window. Check against SNM on the fixed key with window >= largest
+  // block: every blocking pair whose members share a block must also be
+  // found (same theory, same candidates).
+  BlockingMethod method(3);
+  auto blocking = method.Run(dataset_, LastNameKey(), theory_);
+  ASSERT_TRUE(blocking.ok());
+
+  SortedNeighborhood snm(method.last_largest_block() + 1);
+  auto pass = snm.Run(dataset_, LastNameKey().FixedWidth(3), theory_);
+  ASSERT_TRUE(pass.ok());
+  // SNM with a window exceeding the largest block sees every within-block
+  // pair (blocks are contiguous in the fixed-key sort order).
+  blocking->pairs.ForEach([&](TupleId a, TupleId b) {
+    EXPECT_TRUE(pass->pairs.Contains(a, b));
+  });
+}
+
+TEST_F(BlockingTest, CoarserBlocksCostMoreComparisons) {
+  auto fine = BlockingMethod(4).Run(dataset_, LastNameKey(), theory_);
+  auto coarse = BlockingMethod(1).Run(dataset_, LastNameKey(), theory_);
+  ASSERT_TRUE(fine.ok());
+  ASSERT_TRUE(coarse.ok());
+  EXPECT_GT(coarse->comparisons, fine->comparisons);
+}
+
+// --- Linkage engine. ---
+
+class LinkageTest : public ::testing::Test {
+ protected:
+  MergePurgeOptions Options() const {
+    MergePurgeOptions options;
+    options.keys = StandardThreeKeys();
+    options.window = 8;
+    return options;
+  }
+};
+
+TEST_F(LinkageTest, LinksPlantedCrossSourcePairs) {
+  GeneratorConfig config;
+  config.num_records = 600;
+  config.duplicate_selection_rate = 0.0;  // No within-source duplicates.
+  config.seed = 99;
+  auto db = DatabaseGenerator(config).Generate();
+  ASSERT_TRUE(db.ok());
+
+  // Left = all records; right = every 3rd record, lightly corrupted.
+  Dataset left = db->dataset;
+  Dataset right(left.schema());
+  ErrorModel errors;
+  Rng rng(5);
+  std::vector<TupleId> planted_left;
+  for (size_t t = 0; t < left.size(); t += 3) {
+    Record r = left.record(static_cast<TupleId>(t));
+    r.set_field(employee::kFirstName,
+                errors.InjectOneTypo(r.field(employee::kFirstName), &rng));
+    right.Append(std::move(r));
+    planted_left.push_back(static_cast<TupleId>(t));
+  }
+
+  EmployeeTheory theory;
+  auto result = LinkageEngine(Options()).Run(left, right, theory);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->left_size, left.size());
+  EXPECT_EQ(result->right_size, right.size());
+
+  // Most planted links should be found; ids must be local to each source.
+  size_t found = 0;
+  for (const auto& [l, r] : result->links) {
+    EXPECT_LT(l, left.size());
+    EXPECT_LT(r, right.size());
+    if (planted_left[r] == l) ++found;
+  }
+  EXPECT_GT(found, planted_left.size() * 7 / 10);
+}
+
+TEST_F(LinkageTest, WithinSourcePairsExcluded) {
+  // Two identical records in LEFT only: they match each other but must
+  // not appear as a link.
+  Dataset left(employee::MakeSchema());
+  Record r;
+  r.set_field(employee::kSsn, "123456789");
+  r.set_field(employee::kFirstName, "JOHN");
+  r.set_field(employee::kLastName, "SMITH");
+  r.set_field(employee::kAddress, "1 MAIN ST");
+  r.set_field(employee::kCity, "NEW YORK");
+  r.set_field(employee::kState, "NY");
+  r.set_field(employee::kZip, "10027");
+  left.Append(r);
+  left.Append(r);
+  Dataset right(employee::MakeSchema());
+  Record other = r;
+  other.set_field(employee::kSsn, "999999999");
+  other.set_field(employee::kLastName, "JONES");
+  other.set_field(employee::kAddress, "9 ELM AVE");
+  other.set_field(employee::kFirstName, "MARY");
+  right.Append(other);
+
+  EmployeeTheory theory;
+  auto result = LinkageEngine(Options()).Run(left, right, theory);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->links.empty());
+}
+
+TEST_F(LinkageTest, ValidatesInputs) {
+  EmployeeTheory theory;
+  Dataset left(employee::MakeSchema());
+  Dataset right(Schema({"x"}));
+  EXPECT_FALSE(LinkageEngine(Options()).Run(left, right, theory).ok());
+
+  MergePurgeOptions no_keys;
+  Dataset ok_right(employee::MakeSchema());
+  EXPECT_FALSE(LinkageEngine(no_keys).Run(left, ok_right, theory).ok());
+}
+
+}  // namespace
+}  // namespace mergepurge

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "record/dataset.h"
+#include "record/record.h"
+#include "record/schema.h"
+
+namespace mergepurge {
+namespace {
+
+TEST(SchemaTest, FieldLookup) {
+  Schema schema({"a", "b", "c"});
+  EXPECT_EQ(schema.num_fields(), 3u);
+  EXPECT_EQ(schema.FieldIndex("b"), 1u);
+  EXPECT_EQ(schema.FieldIndex("missing"), kInvalidField);
+}
+
+TEST(SchemaTest, RequireFieldReportsError) {
+  Schema schema({"a"});
+  Result<FieldId> hit = schema.RequireField("a");
+  ASSERT_TRUE(hit.ok());
+  EXPECT_EQ(*hit, 0u);
+  Result<FieldId> miss = schema.RequireField("zz");
+  ASSERT_FALSE(miss.ok());
+  EXPECT_EQ(miss.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, EmployeeSchemaLayout) {
+  Schema schema = employee::MakeSchema();
+  EXPECT_EQ(schema.num_fields(), employee::kNumFields);
+  EXPECT_EQ(schema.FieldIndex("ssn"), employee::kSsn);
+  EXPECT_EQ(schema.FieldIndex("first_name"), employee::kFirstName);
+  EXPECT_EQ(schema.FieldIndex("last_name"), employee::kLastName);
+  EXPECT_EQ(schema.FieldIndex("zip"), employee::kZip);
+}
+
+TEST(RecordTest, FieldAccessAndGrowth) {
+  Record r;
+  EXPECT_EQ(r.field(3), "");
+  r.set_field(3, "x");
+  EXPECT_EQ(r.num_fields(), 4u);
+  EXPECT_EQ(r.field(3), "x");
+  EXPECT_EQ(r.field(0), "");
+  EXPECT_EQ(r.field(99), "");  // Out of range reads as empty.
+}
+
+TEST(RecordTest, EqualityIsFieldwise) {
+  Record a({"1", "2"});
+  Record b({"1", "2"});
+  Record c({"1", "3"});
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(RecordTest, DebugStringJoinsWithPipes) {
+  Record r({"JOHN", "", "SMITH"});
+  EXPECT_EQ(r.DebugString(), "JOHN||SMITH");
+}
+
+TEST(DatasetTest, AppendAssignsSequentialTupleIds) {
+  Dataset d(Schema({"f"}));
+  EXPECT_EQ(d.Append(Record({"a"})), 0u);
+  EXPECT_EQ(d.Append(Record({"b"})), 1u);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.record(1).field(0), "b");
+}
+
+TEST(DatasetTest, ConcatenateMatchingSchemas) {
+  Dataset a(Schema({"f"}));
+  a.Append(Record({"1"}));
+  Dataset b(Schema({"f"}));
+  b.Append(Record({"2"}));
+  b.Append(Record({"3"}));
+  ASSERT_TRUE(a.Concatenate(b).ok());
+  EXPECT_EQ(a.size(), 3u);
+  EXPECT_EQ(a.record(2).field(0), "3");
+}
+
+TEST(DatasetTest, ConcatenateRejectsSchemaMismatch) {
+  Dataset a(Schema({"f"}));
+  Dataset b(Schema({"g"}));
+  Status s = a.Concatenate(b);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, MutableRecordEditsInPlace) {
+  Dataset d(Schema({"f"}));
+  d.Append(Record({"old"}));
+  d.mutable_record(0).set_field(0, "new");
+  EXPECT_EQ(d.record(0).field(0), "new");
+}
+
+}  // namespace
+}  // namespace mergepurge

@@ -1,0 +1,143 @@
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/pair_set.h"
+#include "core/union_find.h"
+#include "util/random.h"
+
+namespace mergepurge {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  for (uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SetSize(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndCounts) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // Already together.
+  EXPECT_TRUE(uf.Union(2, 3));
+  EXPECT_EQ(uf.NumSets(), 2u);
+  EXPECT_TRUE(uf.SameSet(0, 1));
+  EXPECT_FALSE(uf.SameSet(0, 2));
+  EXPECT_TRUE(uf.Union(0, 3));
+  EXPECT_EQ(uf.NumSets(), 1u);
+  EXPECT_EQ(uf.SetSize(2), 4u);
+}
+
+TEST(UnionFindTest, TransitivityChain) {
+  UnionFind uf(100);
+  for (uint32_t i = 0; i + 1 < 100; ++i) uf.Union(i, i + 1);
+  EXPECT_TRUE(uf.SameSet(0, 99));
+  EXPECT_EQ(uf.NumSets(), 1u);
+}
+
+TEST(UnionFindTest, ComponentLabelsConsistent) {
+  UnionFind uf(6);
+  uf.Union(0, 2);
+  uf.Union(2, 4);
+  uf.Union(1, 5);
+  auto labels = uf.ComponentLabels();
+  EXPECT_EQ(labels[0], labels[2]);
+  EXPECT_EQ(labels[0], labels[4]);
+  EXPECT_EQ(labels[1], labels[5]);
+  EXPECT_NE(labels[0], labels[1]);
+  EXPECT_NE(labels[3], labels[0]);
+  EXPECT_NE(labels[3], labels[1]);
+}
+
+// Property: union-find agrees with a brute-force equivalence relation.
+class UnionFindPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(UnionFindPropertyTest, MatchesBruteForce) {
+  Rng rng(GetParam());
+  const uint32_t n = 60;
+  UnionFind uf(n);
+  // Brute force: map element -> set id, merge by relabeling.
+  std::vector<uint32_t> label(n);
+  for (uint32_t i = 0; i < n; ++i) label[i] = i;
+
+  for (int op = 0; op < 200; ++op) {
+    uint32_t a = static_cast<uint32_t>(rng.NextBounded(n));
+    uint32_t b = static_cast<uint32_t>(rng.NextBounded(n));
+    uf.Union(a, b);
+    uint32_t from = label[b], to = label[a];
+    for (uint32_t i = 0; i < n; ++i) {
+      if (label[i] == from) label[i] = to;
+    }
+    // Spot-check consistency after each mutation on a few pairs.
+    for (int check = 0; check < 10; ++check) {
+      uint32_t x = static_cast<uint32_t>(rng.NextBounded(n));
+      uint32_t y = static_cast<uint32_t>(rng.NextBounded(n));
+      ASSERT_EQ(uf.SameSet(x, y), label[x] == label[y]);
+    }
+  }
+  // Set sizes agree.
+  std::map<uint32_t, uint32_t> sizes;
+  for (uint32_t i = 0; i < n; ++i) ++sizes[label[i]];
+  for (uint32_t i = 0; i < n; ++i) {
+    EXPECT_EQ(uf.SetSize(i), sizes[label[i]]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, UnionFindPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(PairSetTest, AddAndContains) {
+  PairSet pairs;
+  EXPECT_TRUE(pairs.Add(3, 7));
+  EXPECT_FALSE(pairs.Add(7, 3));  // Unordered: same pair.
+  EXPECT_TRUE(pairs.Contains(3, 7));
+  EXPECT_TRUE(pairs.Contains(7, 3));
+  EXPECT_FALSE(pairs.Contains(3, 8));
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(PairSetTest, SelfPairsIgnored) {
+  PairSet pairs;
+  EXPECT_FALSE(pairs.Add(5, 5));
+  EXPECT_FALSE(pairs.Contains(5, 5));
+  EXPECT_TRUE(pairs.empty());
+}
+
+TEST(PairSetTest, MergeUnions) {
+  PairSet a, b;
+  a.Add(1, 2);
+  b.Add(2, 3);
+  b.Add(1, 2);
+  a.Merge(b);
+  EXPECT_EQ(a.size(), 2u);
+  EXPECT_TRUE(a.Contains(2, 3));
+}
+
+TEST(PairSetTest, ToSortedVectorIsSortedAndNormalized) {
+  PairSet pairs;
+  pairs.Add(9, 1);
+  pairs.Add(2, 3);
+  pairs.Add(0, 5);
+  auto v = pairs.ToSortedVector();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0], std::make_pair(TupleId{0}, TupleId{5}));
+  EXPECT_EQ(v[1], std::make_pair(TupleId{1}, TupleId{9}));
+  EXPECT_EQ(v[2], std::make_pair(TupleId{2}, TupleId{3}));
+  for (const auto& [lo, hi] : v) EXPECT_LT(lo, hi);
+}
+
+TEST(PairSetTest, ForEachVisitsAll) {
+  PairSet pairs;
+  pairs.Add(1, 2);
+  pairs.Add(3, 4);
+  std::set<std::pair<TupleId, TupleId>> seen;
+  pairs.ForEach([&seen](TupleId a, TupleId b) { seen.emplace(a, b); });
+  EXPECT_EQ(seen.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mergepurge

@@ -1,0 +1,207 @@
+// mergepurge — command-line merge/purge over CSV record sources.
+//
+//   mergepurge --input=a.csv,b.csv --output=deduped.csv
+//              [--method=snm|cluster]      (default snm)
+//              [--window=10]
+//              [--keys=last-name,first-name,address]   (default all three)
+//              [--rules=theory.rules]      (rule-language file; default:
+//                                           built-in 26-rule employee theory)
+//              [--clusters=32]             (clustering method only)
+//              [--spell-city]              (corpus spell-correct the city)
+//              [--entities=entities.csv]   (tuple -> entity id mapping)
+//              [--report]                  (per-pass statistics)
+//              [--pairs-out=PREFIX]        (store each pass's pairs in
+//                                           PREFIX.<key>.mpp for pipelined
+//                                           closure across invocations)
+//              [--pairs-in=a.mpp,b.mpp]    (ALSO union previously stored
+//                                           pair files into the closure —
+//                                           the paper's §4.1 operation)
+//
+// Inputs must share the employee schema header:
+//   ssn,first_name,initial,last_name,address,apartment,city,state,zip
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/merge_purge.h"
+#include "eval/experiment.h"
+#include "eval/table_printer.h"
+#include "core/multipass.h"
+#include "io/csv.h"
+#include "io/pairs_io.h"
+#include "keys/standard_keys.h"
+#include "rules/employee_theory.h"
+#include "rules/rule_program.h"
+#include "util/string_util.h"
+
+using namespace mergepurge;
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "mergepurge: %s\n", message.c_str());
+  return 1;
+}
+
+Result<std::vector<KeySpec>> ResolveKeys(const std::string& names) {
+  std::vector<KeySpec> keys;
+  for (std::string_view name : SplitView(names, ',')) {
+    if (name == "last-name") {
+      keys.push_back(LastNameKey());
+    } else if (name == "first-name") {
+      keys.push_back(FirstNameKey());
+    } else if (name == "address") {
+      keys.push_back(AddressKey());
+    } else if (name == "soundex-last-name") {
+      keys.push_back(PhoneticLastNameKey());
+    } else {
+      return Status::InvalidArgument(
+          "unknown key '" + std::string(name) +
+          "' (expected last-name, first-name, address, soundex-last-name)");
+    }
+  }
+  if (keys.empty()) {
+    return Status::InvalidArgument("no keys given");
+  }
+  return keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (!args.status().ok()) return Fail(args.status().ToString());
+  if (!args.Has("input") || !args.Has("output")) {
+    return Fail(
+        "usage: mergepurge --input=a.csv[,b.csv...] --output=deduped.csv "
+        "[--method=snm|cluster] [--window=N] [--keys=...] [--rules=FILE] "
+        "[--clusters=N] [--spell-city] [--entities=FILE] [--report]");
+  }
+
+  // --- Load and concatenate the sources. ---
+  Schema schema = employee::MakeSchema();
+  Dataset combined(schema);
+  const std::string input_list = args.GetString("input", "");
+  for (std::string_view path_view : SplitView(input_list, ',')) {
+    std::string path(path_view);
+    Result<Dataset> source = ReadCsvFile(schema, path);
+    if (!source.ok()) {
+      return Fail(path + ": " + source.status().ToString());
+    }
+    Status concat = combined.Concatenate(*source);
+    if (!concat.ok()) return Fail(concat.ToString());
+    std::fprintf(stderr, "loaded %s (%zu records)\n", path.c_str(),
+                 source->size());
+  }
+  if (combined.empty()) return Fail("no input records");
+
+  // --- Configure the engine. ---
+  MergePurgeOptions options;
+  Result<std::vector<KeySpec>> keys = ResolveKeys(
+      args.GetString("keys", "last-name,first-name,address"));
+  if (!keys.ok()) return Fail(keys.status().ToString());
+  options.keys = std::move(*keys);
+  options.window = static_cast<size_t>(args.GetInt("window", 10));
+  options.spell_correct_city = args.GetBool("spell-city", false);
+  std::string method = args.GetString("method", "snm");
+  if (method == "cluster") {
+    options.method = MergePurgeOptions::Method::kClustering;
+    options.clustering.num_clusters =
+        static_cast<size_t>(args.GetInt("clusters", 32));
+  } else if (method != "snm") {
+    return Fail("unknown --method '" + method + "'");
+  }
+
+  // --- Theory: built-in or a rule-language file. ---
+  std::unique_ptr<EquationalTheory> theory;
+  if (args.Has("rules")) {
+    std::string path = args.GetString("rules", "");
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Fail("cannot open rules file: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<RuleProgram> program = RuleProgram::Compile(text.str(), schema);
+    if (!program.ok()) {
+      return Fail(path + ": " + program.status().ToString());
+    }
+    std::fprintf(stderr, "compiled %zu rules from %s\n",
+                 program->num_rules(), path.c_str());
+    theory = std::make_unique<RuleProgram>(std::move(*program));
+  } else {
+    theory = std::make_unique<EmployeeTheory>();
+  }
+
+  // --- Run. ---
+  MergePurgeEngine engine(options);
+  Result<MergePurgeResult> result = engine.Run(combined, *theory);
+  if (!result.ok()) return Fail(result.status().ToString());
+
+  if (args.GetBool("report", false)) {
+    TablePrinter table({"pass", "pairs", "comparisons", "time(s)"});
+    for (const PassResult& pass : result->detail.passes) {
+      table.AddRow({pass.key_name, FormatCount(pass.pairs.size()),
+                    FormatCount(pass.comparisons),
+                    FormatDouble(pass.total_seconds)});
+    }
+    table.Print();
+    std::printf("closure: %.3fs over %llu distinct pairs\n",
+                result->detail.closure_seconds,
+                static_cast<unsigned long long>(
+                    result->detail.union_pair_count));
+  }
+
+  // --- Pipelined pair storage / reuse (paper §4.1). ---
+  if (args.Has("pairs-out")) {
+    std::string prefix = args.GetString("pairs-out", "pairs");
+    for (const PassResult& pass : result->detail.passes) {
+      std::string path = prefix + "." + pass.key_name + ".mpp";
+      Status write_pairs = WritePairSetFile(pass.pairs, path);
+      if (!write_pairs.ok()) return Fail(write_pairs.ToString());
+      std::fprintf(stderr, "stored %zu pairs in %s\n", pass.pairs.size(),
+                   path.c_str());
+    }
+  }
+  if (args.Has("pairs-in")) {
+    const std::string pair_list = args.GetString("pairs-in", "");
+    PairSet combined_pairs;
+    for (const PassResult& pass : result->detail.passes) {
+      combined_pairs.Merge(pass.pairs);
+    }
+    for (std::string_view path_view : SplitView(pair_list, ',')) {
+      Result<PairSet> stored = ReadPairSetFile(std::string(path_view));
+      if (!stored.ok()) return Fail(stored.status().ToString());
+      std::fprintf(stderr, "unioned %zu pairs from %.*s\n", stored->size(),
+                   static_cast<int>(path_view.size()), path_view.data());
+      combined_pairs.Merge(*stored);
+    }
+    result->component_of =
+        TransitiveClosure(combined_pairs, combined.size());
+  }
+
+  // --- Purge and write. ---
+  Dataset purged = result->Purge(combined);
+  std::string out_path = args.GetString("output", "");
+  Status write = WriteCsvFile(purged, out_path);
+  if (!write.ok()) return Fail(write.ToString());
+  std::fprintf(stderr, "%zu records -> %zu entities -> %s\n",
+               combined.size(), purged.size(), out_path.c_str());
+
+  // Optional tuple -> entity mapping.
+  if (args.Has("entities")) {
+    Dataset mapping(Schema({"tuple_id", "entity_id"}));
+    for (size_t t = 0; t < result->component_of.size(); ++t) {
+      mapping.Append(Record({std::to_string(t),
+                             std::to_string(result->component_of[t])}));
+    }
+    std::string entities_path = args.GetString("entities", "");
+    Status entities_write = WriteCsvFile(mapping, entities_path);
+    if (!entities_write.ok()) return Fail(entities_write.ToString());
+    std::fprintf(stderr, "wrote entity mapping to %s\n",
+                 entities_path.c_str());
+  }
+  return 0;
+}
