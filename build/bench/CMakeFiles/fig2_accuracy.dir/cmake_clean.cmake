@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_accuracy.dir/fig2_accuracy.cc.o"
+  "CMakeFiles/fig2_accuracy.dir/fig2_accuracy.cc.o.d"
+  "fig2_accuracy"
+  "fig2_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_cluster_vs_snm.dir/fig3_cluster_vs_snm.cc.o"
+  "CMakeFiles/fig3_cluster_vs_snm.dir/fig3_cluster_vs_snm.cc.o.d"
+  "fig3_cluster_vs_snm"
+  "fig3_cluster_vs_snm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_cluster_vs_snm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

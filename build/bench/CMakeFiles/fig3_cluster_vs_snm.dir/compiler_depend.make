@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig3_cluster_vs_snm.
+# This may be replaced when dependencies are built.

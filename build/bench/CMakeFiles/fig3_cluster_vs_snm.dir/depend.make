@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_cluster_vs_snm.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_model.dir/fig4_model.cc.o"
+  "CMakeFiles/fig4_model.dir/fig4_model.cc.o.d"
+  "fig4_model"
+  "fig4_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

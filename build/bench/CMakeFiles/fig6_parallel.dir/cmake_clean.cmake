@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_parallel.dir/fig6_parallel.cc.o"
+  "CMakeFiles/fig6_parallel.dir/fig6_parallel.cc.o.d"
+  "fig6_parallel"
+  "fig6_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_scaleup.dir/fig7_scaleup.cc.o"
+  "CMakeFiles/fig7_scaleup.dir/fig7_scaleup.cc.o.d"
+  "fig7_scaleup"
+  "fig7_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

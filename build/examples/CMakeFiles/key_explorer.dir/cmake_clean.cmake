@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/key_explorer.dir/key_explorer.cpp.o"
+  "CMakeFiles/key_explorer.dir/key_explorer.cpp.o.d"
+  "key_explorer"
+  "key_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/key_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

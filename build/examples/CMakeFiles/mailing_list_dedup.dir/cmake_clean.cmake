@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mailing_list_dedup.dir/mailing_list_dedup.cpp.o"
+  "CMakeFiles/mailing_list_dedup.dir/mailing_list_dedup.cpp.o.d"
+  "mailing_list_dedup"
+  "mailing_list_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mailing_list_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

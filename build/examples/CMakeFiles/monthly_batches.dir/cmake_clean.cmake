@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monthly_batches.dir/monthly_batches.cpp.o"
+  "CMakeFiles/monthly_batches.dir/monthly_batches.cpp.o.d"
+  "monthly_batches"
+  "monthly_batches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monthly_batches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipass_vs_singlepass.dir/multipass_vs_singlepass.cpp.o"
+  "CMakeFiles/multipass_vs_singlepass.dir/multipass_vs_singlepass.cpp.o.d"
+  "multipass_vs_singlepass"
+  "multipass_vs_singlepass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipass_vs_singlepass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

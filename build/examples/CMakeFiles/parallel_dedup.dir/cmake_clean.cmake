@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_dedup.dir/parallel_dedup.cpp.o"
+  "CMakeFiles/parallel_dedup.dir/parallel_dedup.cpp.o.d"
+  "parallel_dedup"
+  "parallel_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rule_dsl_demo.dir/rule_dsl_demo.cpp.o"
+  "CMakeFiles/rule_dsl_demo.dir/rule_dsl_demo.cpp.o.d"
+  "rule_dsl_demo"
+  "rule_dsl_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rule_dsl_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

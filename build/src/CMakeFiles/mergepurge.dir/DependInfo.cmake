@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/histogram.cc" "src/CMakeFiles/mergepurge.dir/cluster/histogram.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/cluster/histogram.cc.o.d"
+  "/root/repo/src/cluster/partitioner.cc" "src/CMakeFiles/mergepurge.dir/cluster/partitioner.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/cluster/partitioner.cc.o.d"
+  "/root/repo/src/core/blocking.cc" "src/CMakeFiles/mergepurge.dir/core/blocking.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/blocking.cc.o.d"
+  "/root/repo/src/core/clustering_method.cc" "src/CMakeFiles/mergepurge.dir/core/clustering_method.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/clustering_method.cc.o.d"
+  "/root/repo/src/core/duplicate_elimination.cc" "src/CMakeFiles/mergepurge.dir/core/duplicate_elimination.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/duplicate_elimination.cc.o.d"
+  "/root/repo/src/core/incremental.cc" "src/CMakeFiles/mergepurge.dir/core/incremental.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/incremental.cc.o.d"
+  "/root/repo/src/core/linkage.cc" "src/CMakeFiles/mergepurge.dir/core/linkage.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/linkage.cc.o.d"
+  "/root/repo/src/core/merge_purge.cc" "src/CMakeFiles/mergepurge.dir/core/merge_purge.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/merge_purge.cc.o.d"
+  "/root/repo/src/core/multipass.cc" "src/CMakeFiles/mergepurge.dir/core/multipass.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/multipass.cc.o.d"
+  "/root/repo/src/core/naive_all_pairs.cc" "src/CMakeFiles/mergepurge.dir/core/naive_all_pairs.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/naive_all_pairs.cc.o.d"
+  "/root/repo/src/core/pair_set.cc" "src/CMakeFiles/mergepurge.dir/core/pair_set.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/pair_set.cc.o.d"
+  "/root/repo/src/core/purge_policy.cc" "src/CMakeFiles/mergepurge.dir/core/purge_policy.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/purge_policy.cc.o.d"
+  "/root/repo/src/core/sort_merge_detector.cc" "src/CMakeFiles/mergepurge.dir/core/sort_merge_detector.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/sort_merge_detector.cc.o.d"
+  "/root/repo/src/core/sorted_neighborhood.cc" "src/CMakeFiles/mergepurge.dir/core/sorted_neighborhood.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/sorted_neighborhood.cc.o.d"
+  "/root/repo/src/core/union_find.cc" "src/CMakeFiles/mergepurge.dir/core/union_find.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/union_find.cc.o.d"
+  "/root/repo/src/core/window_scanner.cc" "src/CMakeFiles/mergepurge.dir/core/window_scanner.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/core/window_scanner.cc.o.d"
+  "/root/repo/src/eval/experiment.cc" "src/CMakeFiles/mergepurge.dir/eval/experiment.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/eval/experiment.cc.o.d"
+  "/root/repo/src/eval/key_quality.cc" "src/CMakeFiles/mergepurge.dir/eval/key_quality.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/eval/key_quality.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/mergepurge.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/eval/table_printer.cc" "src/CMakeFiles/mergepurge.dir/eval/table_printer.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/eval/table_printer.cc.o.d"
+  "/root/repo/src/gen/error_model.cc" "src/CMakeFiles/mergepurge.dir/gen/error_model.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/gen/error_model.cc.o.d"
+  "/root/repo/src/gen/generator.cc" "src/CMakeFiles/mergepurge.dir/gen/generator.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/gen/generator.cc.o.d"
+  "/root/repo/src/gen/names_data.cc" "src/CMakeFiles/mergepurge.dir/gen/names_data.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/gen/names_data.cc.o.d"
+  "/root/repo/src/gen/places_data.cc" "src/CMakeFiles/mergepurge.dir/gen/places_data.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/gen/places_data.cc.o.d"
+  "/root/repo/src/io/csv.cc" "src/CMakeFiles/mergepurge.dir/io/csv.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/io/csv.cc.o.d"
+  "/root/repo/src/io/pairs_io.cc" "src/CMakeFiles/mergepurge.dir/io/pairs_io.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/io/pairs_io.cc.o.d"
+  "/root/repo/src/keys/key_builder.cc" "src/CMakeFiles/mergepurge.dir/keys/key_builder.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/keys/key_builder.cc.o.d"
+  "/root/repo/src/keys/standard_keys.cc" "src/CMakeFiles/mergepurge.dir/keys/standard_keys.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/keys/standard_keys.cc.o.d"
+  "/root/repo/src/parallel/coordinator.cc" "src/CMakeFiles/mergepurge.dir/parallel/coordinator.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/parallel/coordinator.cc.o.d"
+  "/root/repo/src/parallel/cost_model.cc" "src/CMakeFiles/mergepurge.dir/parallel/cost_model.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/parallel/cost_model.cc.o.d"
+  "/root/repo/src/parallel/load_balance.cc" "src/CMakeFiles/mergepurge.dir/parallel/load_balance.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/parallel/load_balance.cc.o.d"
+  "/root/repo/src/parallel/parallel_clustering.cc" "src/CMakeFiles/mergepurge.dir/parallel/parallel_clustering.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/parallel/parallel_clustering.cc.o.d"
+  "/root/repo/src/parallel/parallel_snm.cc" "src/CMakeFiles/mergepurge.dir/parallel/parallel_snm.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/parallel/parallel_snm.cc.o.d"
+  "/root/repo/src/record/dataset.cc" "src/CMakeFiles/mergepurge.dir/record/dataset.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/record/dataset.cc.o.d"
+  "/root/repo/src/record/record.cc" "src/CMakeFiles/mergepurge.dir/record/record.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/record/record.cc.o.d"
+  "/root/repo/src/record/schema.cc" "src/CMakeFiles/mergepurge.dir/record/schema.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/record/schema.cc.o.d"
+  "/root/repo/src/rules/employee_rules_text.cc" "src/CMakeFiles/mergepurge.dir/rules/employee_rules_text.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/rules/employee_rules_text.cc.o.d"
+  "/root/repo/src/rules/employee_theory.cc" "src/CMakeFiles/mergepurge.dir/rules/employee_theory.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/rules/employee_theory.cc.o.d"
+  "/root/repo/src/rules/lexer.cc" "src/CMakeFiles/mergepurge.dir/rules/lexer.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/rules/lexer.cc.o.d"
+  "/root/repo/src/rules/parser.cc" "src/CMakeFiles/mergepurge.dir/rules/parser.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/rules/parser.cc.o.d"
+  "/root/repo/src/rules/rule_program.cc" "src/CMakeFiles/mergepurge.dir/rules/rule_program.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/rules/rule_program.cc.o.d"
+  "/root/repo/src/sort/external_sort.cc" "src/CMakeFiles/mergepurge.dir/sort/external_sort.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/sort/external_sort.cc.o.d"
+  "/root/repo/src/text/edit_distance.cc" "src/CMakeFiles/mergepurge.dir/text/edit_distance.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/text/edit_distance.cc.o.d"
+  "/root/repo/src/text/jaro_winkler.cc" "src/CMakeFiles/mergepurge.dir/text/jaro_winkler.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/text/jaro_winkler.cc.o.d"
+  "/root/repo/src/text/keyboard_distance.cc" "src/CMakeFiles/mergepurge.dir/text/keyboard_distance.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/text/keyboard_distance.cc.o.d"
+  "/root/repo/src/text/nicknames.cc" "src/CMakeFiles/mergepurge.dir/text/nicknames.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/text/nicknames.cc.o.d"
+  "/root/repo/src/text/normalize.cc" "src/CMakeFiles/mergepurge.dir/text/normalize.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/text/normalize.cc.o.d"
+  "/root/repo/src/text/phonetic.cc" "src/CMakeFiles/mergepurge.dir/text/phonetic.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/text/phonetic.cc.o.d"
+  "/root/repo/src/text/spell.cc" "src/CMakeFiles/mergepurge.dir/text/spell.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/text/spell.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/mergepurge.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/mergepurge.dir/util/random.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/mergepurge.dir/util/status.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/util/status.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/mergepurge.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/util/string_util.cc.o.d"
+  "/root/repo/src/util/thread_pool.cc" "src/CMakeFiles/mergepurge.dir/util/thread_pool.cc.o" "gcc" "src/CMakeFiles/mergepurge.dir/util/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employee_rules_coverage_test.dir/employee_rules_coverage_test.cc.o"
+  "CMakeFiles/employee_rules_coverage_test.dir/employee_rules_coverage_test.cc.o.d"
+  "employee_rules_coverage_test"
+  "employee_rules_coverage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employee_rules_coverage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/incremental_property_test.dir/incremental_property_test.cc.o"
+  "CMakeFiles/incremental_property_test.dir/incremental_property_test.cc.o.d"
+  "incremental_property_test"
+  "incremental_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/incremental_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

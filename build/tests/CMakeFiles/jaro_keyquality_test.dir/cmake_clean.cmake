@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jaro_keyquality_test.dir/jaro_keyquality_test.cc.o"
+  "CMakeFiles/jaro_keyquality_test.dir/jaro_keyquality_test.cc.o.d"
+  "jaro_keyquality_test"
+  "jaro_keyquality_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jaro_keyquality_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linkage_blocking_test.dir/linkage_blocking_test.cc.o"
+  "CMakeFiles/linkage_blocking_test.dir/linkage_blocking_test.cc.o.d"
+  "linkage_blocking_test"
+  "linkage_blocking_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linkage_blocking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

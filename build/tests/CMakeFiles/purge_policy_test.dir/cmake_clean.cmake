@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/purge_policy_test.dir/purge_policy_test.cc.o"
+  "CMakeFiles/purge_policy_test.dir/purge_policy_test.cc.o.d"
+  "purge_policy_test"
+  "purge_policy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/purge_policy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snm_test.dir/snm_test.cc.o"
+  "CMakeFiles/snm_test.dir/snm_test.cc.o.d"
+  "snm_test"
+  "snm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

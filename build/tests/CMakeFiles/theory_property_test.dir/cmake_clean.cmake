@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_property_test.dir/theory_property_test.cc.o"
+  "CMakeFiles/theory_property_test.dir/theory_property_test.cc.o.d"
+  "theory_property_test"
+  "theory_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_property_test.dir/window_property_test.cc.o"
+  "CMakeFiles/window_property_test.dir/window_property_test.cc.o.d"
+  "window_property_test"
+  "window_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mergepurge_cli.dir/mergepurge_cli.cc.o"
+  "CMakeFiles/mergepurge_cli.dir/mergepurge_cli.cc.o.d"
+  "mergepurge"
+  "mergepurge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mergepurge_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
