@@ -80,7 +80,7 @@ Result<MergePurgeResult> MergePurgeEngine::Run(
           : MultiPass::Method::kClustering;
   MultiPass multipass(method, options_.window, options_.clustering);
   Result<MultiPassResult> detail =
-      multipass.Run(*input, options_.keys, theory);
+      multipass.Run(*input, options_.keys, theory, options_.checkpoint_dir);
   if (!detail.ok()) return detail.status();
 
   MergePurgeResult result;

@@ -48,6 +48,11 @@ struct MergePurgeOptions {
   // Run the corpus spelling corrector over the city field during
   // conditioning (paper §3.2: improves detected duplicates by ~1.5-2%).
   bool spell_correct_city = false;
+
+  // Non-empty: checkpoint each pass's pairs under this directory and
+  // resume from any pass already completed there with matching inputs and
+  // parameters (core/checkpoint.h). The CLI exposes this as --resume=DIR.
+  std::string checkpoint_dir;
 };
 
 struct MergePurgeResult {

@@ -1,7 +1,10 @@
 #include "core/multipass.h"
 
+#include <filesystem>
 #include <unordered_set>
 
+#include "core/checkpoint.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace mergepurge {
@@ -19,21 +22,100 @@ std::vector<uint32_t> TransitiveClosure(const PairSet& pairs, size_t n) {
   return TransitiveClosure(std::vector<const PairSet*>{&pairs}, n);
 }
 
+Result<PassResult> MultiPass::RunOnePass(
+    const Dataset& dataset, const KeySpec& key,
+    const EquationalTheory& theory) const {
+  return method_ == Method::kSortedNeighborhood
+             ? SortedNeighborhood(window_).Run(dataset, key, theory)
+             : ClusteringMethod(clustering_options_).Run(dataset, key,
+                                                         theory);
+}
+
+uint64_t MultiPass::ConfigDigest() const {
+  std::string config = StringPrintf(
+      "method=%d;window=%zu",
+      static_cast<int>(method_), window_);
+  if (method_ == Method::kClustering) {
+    config += StringPrintf(
+        ";clusters=%zu;prefix=%zu;depth=%zu;sample=%zu;full_key=%d;seed=%llu",
+        clustering_options_.num_clusters,
+        clustering_options_.fixed_key_prefix,
+        clustering_options_.histogram_depth,
+        clustering_options_.histogram_sample,
+        clustering_options_.sort_with_full_key ? 1 : 0,
+        static_cast<unsigned long long>(clustering_options_.seed));
+  }
+  return Fnv1a64(config);
+}
+
 Result<MultiPassResult> MultiPass::Run(
     const Dataset& dataset, const std::vector<KeySpec>& keys,
     const EquationalTheory& theory) const {
+  return Run(dataset, keys, theory, /*checkpoint_dir=*/"");
+}
+
+Result<MultiPassResult> MultiPass::Run(
+    const Dataset& dataset, const std::vector<KeySpec>& keys,
+    const EquationalTheory& theory,
+    const std::string& checkpoint_dir) const {
   if (keys.empty()) {
     return Status::InvalidArgument("multi-pass requires at least one key");
   }
 
+  const bool checkpointing = !checkpoint_dir.empty();
+  uint64_t dataset_digest = 0;
+  uint64_t config_digest = 0;
+  if (checkpointing) {
+    std::error_code ec;
+    std::filesystem::create_directories(checkpoint_dir, ec);
+    if (ec) {
+      return Status::IoError("cannot create checkpoint dir " +
+                             checkpoint_dir + ": " + ec.message());
+    }
+    dataset_digest = DatasetDigest(dataset);
+    config_digest = ConfigDigest();
+  }
+
   MultiPassResult result;
-  for (const KeySpec& key : keys) {
-    Result<PassResult> pass =
-        method_ == Method::kSortedNeighborhood
-            ? SortedNeighborhood(window_).Run(dataset, key, theory)
-            : ClusteringMethod(clustering_options_).Run(dataset, key, theory);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    const KeySpec& key = keys[i];
+
+    if (checkpointing) {
+      Result<PassManifest> manifest = ReadPassManifest(checkpoint_dir, i);
+      if (manifest.ok() &&
+          ManifestMatches(*manifest, key.name, KeySpecDigest(key),
+                          config_digest, dataset_digest)) {
+        Result<PairSet> stored =
+            LoadCheckpointedPairs(checkpoint_dir, *manifest);
+        if (stored.ok()) {
+          PassResult pass;
+          pass.key_name = key.name;
+          pass.pairs = std::move(*stored);
+          pass.resumed = true;
+          ++result.passes_resumed;
+          result.passes.push_back(std::move(pass));
+          continue;
+        }
+        // A manifest whose pairs file is unreadable falls through to a
+        // recompute — the checkpoint is advisory, never authoritative.
+      }
+    }
+
+    Result<PassResult> pass = RunOnePass(dataset, key, theory);
     if (!pass.ok()) return pass.status();
     result.total_seconds += pass->total_seconds;
+
+    if (checkpointing) {
+      PassManifest manifest;
+      manifest.key_name = key.name;
+      manifest.key_digest = KeySpecDigest(key);
+      manifest.config_digest = config_digest;
+      manifest.dataset_digest = dataset_digest;
+      manifest.pairs_file = PairsFileName(i);
+      manifest.complete = true;
+      MERGEPURGE_RETURN_NOT_OK(
+          WritePassCheckpoint(checkpoint_dir, i, manifest, pass->pairs));
+    }
     result.passes.push_back(std::move(*pass));
   }
 

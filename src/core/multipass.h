@@ -37,6 +37,9 @@ struct MultiPassResult {
 
   // Number of distinct pairs across all passes before closure.
   uint64_t union_pair_count = 0;
+
+  // Checkpointed runs: passes loaded from disk instead of computed.
+  size_t passes_resumed = 0;
 };
 
 class MultiPass {
@@ -56,7 +59,22 @@ class MultiPass {
                               const std::vector<KeySpec>& keys,
                               const EquationalTheory& theory) const;
 
+  // Checkpointed variant: after each pass, persists that pass's pairs and
+  // a manifest under `checkpoint_dir` (created if missing; see
+  // core/checkpoint.h for the crash-consistency protocol). Passes whose
+  // manifest matches the current dataset/key/config identity are loaded
+  // from disk and skipped; the closure is always recomputed. An empty dir
+  // behaves exactly like Run() above.
+  Result<MultiPassResult> Run(const Dataset& dataset,
+                              const std::vector<KeySpec>& keys,
+                              const EquationalTheory& theory,
+                              const std::string& checkpoint_dir) const;
+
  private:
+  Result<PassResult> RunOnePass(const Dataset& dataset, const KeySpec& key,
+                                const EquationalTheory& theory) const;
+  uint64_t ConfigDigest() const;
+
   Method method_;
   size_t window_;
   ClusteringOptions clustering_options_;

@@ -29,6 +29,9 @@ struct PassResult {
   double cluster_seconds = 0.0;  // Clustering method only.
   double scan_seconds = 0.0;
   double total_seconds = 0.0;
+  // True when the pass was loaded from a checkpoint instead of computed
+  // (comparison/timing counters are then zero — the work never ran).
+  bool resumed = false;
 };
 
 struct SnmOptions {

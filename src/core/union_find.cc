@@ -46,9 +46,18 @@ void UnionFind::Grow(size_t n) {
 }
 
 std::vector<uint32_t> UnionFind::ComponentLabels() {
+  // Canonical labeling: each element gets the smallest element of its set,
+  // not the internal root. Roots depend on union order, and pair sets are
+  // hash sets whose iteration order changes across (de)serialization; a
+  // checkpointed-and-resumed closure must label identically to the run it
+  // replaced.
   std::vector<uint32_t> labels(parent_.size());
+  constexpr uint32_t kUnset = 0xffffffffu;
+  std::vector<uint32_t> canonical(parent_.size(), kUnset);
   for (size_t i = 0; i < parent_.size(); ++i) {
-    labels[i] = Find(static_cast<uint32_t>(i));
+    uint32_t root = Find(static_cast<uint32_t>(i));
+    if (canonical[root] == kUnset) canonical[root] = static_cast<uint32_t>(i);
+    labels[i] = canonical[root];
   }
   return labels;
 }

@@ -37,7 +37,10 @@ class UnionFind {
   // No-op if n <= size(). Used by the incremental engine as batches arrive.
   void Grow(size_t n);
 
-  // Labels each element with its set representative (compresses all paths).
+  // Labels each element with the smallest element of its set (compresses
+  // all paths). The labeling is canonical: it depends only on the
+  // partition, not on the order unions were applied, so closures computed
+  // from differently-ordered (but equal) pair sets label identically.
   std::vector<uint32_t> ComponentLabels();
 
  private:

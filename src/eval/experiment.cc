@@ -23,6 +23,13 @@ ArgParser::ArgParser(int argc, char** argv) {
   }
 }
 
+std::vector<std::string> ArgParser::Names() const {
+  std::vector<std::string> names;
+  names.reserve(flags_.size());
+  for (const auto& [key, value] : flags_) names.push_back(key);
+  return names;
+}
+
 bool ArgParser::Has(const std::string& name) const {
   for (const auto& [key, value] : flags_) {
     if (key == name) return true;

@@ -23,6 +23,9 @@ class ArgParser {
   const Status& status() const { return status_; }
 
   bool Has(const std::string& name) const;
+
+  // Flag names in the order given (for unknown-flag validation by tools).
+  std::vector<std::string> Names() const;
   std::string GetString(const std::string& name,
                         const std::string& default_value) const;
   int64_t GetInt(const std::string& name, int64_t default_value) const;

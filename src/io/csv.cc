@@ -84,10 +84,14 @@ Result<Dataset> ParseCsvBody(const Schema& schema, std::istream& in,
   }
   if (!line.empty() && line.back() == '\r') line.pop_back();
   Result<std::vector<std::string>> header = ParseCsvLine(line);
-  if (!header.ok()) return header.status();
+  if (!header.ok()) {
+    return Status::ParseError(
+        StringPrintf("%s:1: %s", source_name.c_str(),
+                     header.status().message().c_str()));
+  }
   if (*header != schema.field_names()) {
     return Status::ParseError(source_name +
-                              ": header does not match schema");
+                              ":1: header does not match schema");
   }
 
   Dataset dataset(schema);

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "core/union_find.h"
+#include "util/fault_injector.h"
 #include "util/string_util.h"
 
 namespace mergepurge {
@@ -14,6 +15,8 @@ constexpr char kMagic[] = "MPP1";
 }  // namespace
 
 Status WritePairSetFile(const PairSet& pairs, const std::string& path) {
+  MERGEPURGE_RETURN_NOT_OK(
+      FaultInjector::Global().OnPoint(fault_points::kPairsWrite));
   std::ofstream out(path, std::ios::binary);
   if (!out) return Status::IoError("cannot open for writing: " + path);
   out << kMagic << '\n';

@@ -1,19 +1,22 @@
 #include "parallel/parallel_clustering.h"
 
 #include <algorithm>
-#include <mutex>
 
 #include "cluster/partitioner.h"
 #include "core/window_scanner.h"
-#include "util/thread_pool.h"
+#include "util/fault_injector.h"
 #include "util/timer.h"
 
 namespace mergepurge {
 
 ParallelClustering::ParallelClustering(size_t num_processors,
-                                       ClusteringOptions options)
+                                       ClusteringOptions options,
+                                       ResilientOptions resilience)
     : num_processors_(num_processors == 0 ? 1 : num_processors),
-      options_(options) {}
+      options_(options),
+      resilience_(resilience) {
+  resilience_.num_workers = num_processors_;
+}
 
 Result<ParallelRunResult> ParallelClustering::Run(
     const Dataset& dataset, const KeySpec& key,
@@ -59,42 +62,50 @@ Result<ParallelRunResult> ParallelClustering::Run(
   for (const auto& cluster : clusters) sizes.push_back(cluster.size());
   last_balance_ = LptAssign(sizes, num_processors_);
 
-  // Workers: sort + window scan each assigned cluster.
+  // Workers: sort + window scan each assigned cluster. One retryable task
+  // per non-trivial cluster; the LPT assignment seeds each task's initial
+  // worker, and the runner reassigns on repeated failure. Attempts sort a
+  // private copy of the cluster so concurrent speculative re-executions
+  // never race on shared state.
   phase.Restart();
-  std::mutex merge_mu;
   result.worker_busy_seconds.assign(num_processors_, 0.0);
-  {
-    ThreadPool pool(num_processors_);
-    for (size_t p = 0; p < num_processors_; ++p) {
-      pool.Submit([&, p] {
-        Timer busy;
-        std::unique_ptr<EquationalTheory> theory = theory_factory();
-        WindowScanner scanner(options_.window);
-        PairSet local_pairs;
-        uint64_t local_comparisons = 0;
-        for (size_t c = 0; c < clusters.size(); ++c) {
-          if (last_balance_.assignment[c] != p) continue;
-          std::vector<TupleId>& cluster = clusters[c];
-          if (cluster.size() < 2) continue;
-          std::sort(cluster.begin(), cluster.end(),
-                    [&cluster_keys](TupleId a, TupleId b) {
-                      int cmp = cluster_keys[a].compare(cluster_keys[b]);
-                      if (cmp != 0) return cmp < 0;
-                      return a < b;
-                    });
-          ScanStats stats =
-              scanner.Scan(dataset, cluster, *theory, &local_pairs);
-          local_comparisons += stats.comparisons;
-        }
-        double busy_seconds = busy.ElapsedSeconds();
-        std::lock_guard<std::mutex> lock(merge_mu);
+  std::vector<ResilientTask> tasks;
+  std::vector<size_t> initial_workers;
+  for (size_t c = 0; c < clusters.size(); ++c) {
+    if (clusters[c].size() < 2) continue;
+    initial_workers.push_back(last_balance_.assignment[c]);
+    const std::vector<TupleId>* cluster = &clusters[c];
+    tasks.push_back([&, cluster](const AttemptContext& ctx) -> Status {
+      MERGEPURGE_RETURN_NOT_OK(
+          FaultInjector::Global().OnPoint(fault_points::kClusterSnm));
+      Timer busy;
+      std::unique_ptr<EquationalTheory> theory = theory_factory();
+      WindowScanner scanner(options_.window);
+      PairSet local_pairs;
+      std::vector<TupleId> sorted = *cluster;
+      std::sort(sorted.begin(), sorted.end(),
+                [&cluster_keys](TupleId a, TupleId b) {
+                  int cmp = cluster_keys[a].compare(cluster_keys[b]);
+                  if (cmp != 0) return cmp < 0;
+                  return a < b;
+                });
+      ScanStats stats = scanner.Scan(dataset, sorted, *theory, &local_pairs);
+      double busy_seconds = busy.ElapsedSeconds();
+      ctx.Commit([&] {
         result.pairs.Merge(local_pairs);
-        result.comparisons += local_comparisons;
-        result.worker_busy_seconds[p] = busy_seconds;
+        result.comparisons += stats.comparisons;
+        result.worker_busy_seconds[ctx.worker] += busy_seconds;
       });
-    }
-    pool.Wait();
+      return Status::OK();
+    });
   }
+
+  ResilientRunner runner(resilience_);
+  ResilientReport report = runner.Run(tasks, initial_workers);
+  result.retries = report.retries;
+  result.speculations = report.speculations;
+  if (!report.status.ok()) return report.status;
+
   result.scan_seconds = phase.ElapsedSeconds();
   result.total_seconds = total.ElapsedSeconds();
   return result;

@@ -18,7 +18,10 @@ class ParallelClustering {
  public:
   // num_processors workers; options.num_clusters is interpreted as
   // clusters PER PROCESSOR (the paper used 100 clusters per processor).
-  ParallelClustering(size_t num_processors, ClusteringOptions options);
+  // `resilience` tunes retry/backoff/deadline behaviour for lost or slow
+  // cluster scans (num_workers is overridden with num_processors).
+  ParallelClustering(size_t num_processors, ClusteringOptions options,
+                     ResilientOptions resilience = ResilientOptions());
 
   Result<ParallelRunResult> Run(const Dataset& dataset, const KeySpec& key,
                                 const TheoryFactory& theory_factory) const;
@@ -29,6 +32,7 @@ class ParallelClustering {
  private:
   size_t num_processors_;
   ClusteringOptions options_;
+  ResilientOptions resilience_;
   mutable LoadBalanceResult last_balance_;
 };
 

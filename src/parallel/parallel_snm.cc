@@ -1,20 +1,21 @@
 #include "parallel/parallel_snm.h"
 
-#include <mutex>
-
 #include "core/sorted_neighborhood.h"
 #include "core/window_scanner.h"
 #include "parallel/coordinator.h"
-#include "util/thread_pool.h"
+#include "util/fault_injector.h"
 #include "util/timer.h"
 
 namespace mergepurge {
 
 ParallelSnm::ParallelSnm(size_t num_processors, size_t window,
-                         size_t block_records)
+                         size_t block_records, ResilientOptions resilience)
     : num_processors_(num_processors == 0 ? 1 : num_processors),
       window_(window),
-      block_records_(block_records) {}
+      block_records_(block_records),
+      resilience_(resilience) {
+  resilience_.num_workers = num_processors_;
+}
 
 Result<ParallelRunResult> ParallelSnm::Run(
     const Dataset& dataset, const KeySpec& key,
@@ -35,46 +36,54 @@ Result<ParallelRunResult> ParallelSnm::Run(
   std::vector<TupleId> order = SortedNeighborhood::SortByKey(dataset, key);
   result.sort_seconds = phase.ElapsedSeconds();
 
-  // Merge phase: per-site work lists of banded fragments — either one
-  // large fragment per processor, or the coordinator's block-cyclic deal.
+  // Merge phase: banded fragments — either one large fragment per
+  // processor, or the coordinator's block-cyclic deal. Each fragment is
+  // one retryable task; a fragment scan is idempotent (reads the shared
+  // sorted order, writes only task-local state until commit), so the
+  // runner may re-execute it freely on any worker.
   phase.Restart();
-  std::vector<std::vector<Fragment>> per_site;
+  std::vector<Fragment> fragments;
   if (block_records_ > 0) {
-    per_site = MakeBlockCyclicFragments(order.size(), num_processors_,
-                                        block_records_, window_);
-  } else {
-    for (const Fragment& f :
-         MakeOverlappingFragments(order.size(), num_processors_, window_)) {
-      per_site.push_back({f});
+    for (const std::vector<Fragment>& site :
+         MakeBlockCyclicFragments(order.size(), num_processors_,
+                                  block_records_, window_)) {
+      fragments.insert(fragments.end(), site.begin(), site.end());
     }
+  } else {
+    fragments =
+        MakeOverlappingFragments(order.size(), num_processors_, window_);
   }
 
-  std::mutex merge_mu;
-  result.worker_busy_seconds.assign(per_site.size(), 0.0);
-  {
-    ThreadPool pool(num_processors_);
-    for (size_t site = 0; site < per_site.size(); ++site) {
-      pool.Submit([&, site] {
-        Timer busy;
-        std::unique_ptr<EquationalTheory> theory = theory_factory();
-        WindowScanner scanner(window_);
-        PairSet local_pairs;
-        uint64_t comparisons = 0;
-        for (const Fragment& fragment : per_site[site]) {
-          ScanStats stats =
-              scanner.ScanRange(dataset, order, fragment.begin,
-                                fragment.end, *theory, &local_pairs);
-          comparisons += stats.comparisons;
-        }
-        double busy_seconds = busy.ElapsedSeconds();
-        std::lock_guard<std::mutex> lock(merge_mu);
+  result.worker_busy_seconds.assign(num_processors_, 0.0);
+  std::vector<ResilientTask> tasks;
+  tasks.reserve(fragments.size());
+  for (const Fragment& fragment : fragments) {
+    tasks.push_back([&, fragment](const AttemptContext& ctx) -> Status {
+      MERGEPURGE_RETURN_NOT_OK(
+          FaultInjector::Global().OnPoint(fault_points::kFragmentScan));
+      Timer busy;
+      std::unique_ptr<EquationalTheory> theory = theory_factory();
+      WindowScanner scanner(window_);
+      PairSet local_pairs;
+      ScanStats stats = scanner.ScanRange(dataset, order, fragment.begin,
+                                          fragment.end, *theory,
+                                          &local_pairs);
+      double busy_seconds = busy.ElapsedSeconds();
+      ctx.Commit([&] {
         result.pairs.Merge(local_pairs);
-        result.comparisons += comparisons;
-        result.worker_busy_seconds[site] = busy_seconds;
+        result.comparisons += stats.comparisons;
+        result.worker_busy_seconds[ctx.worker] += busy_seconds;
       });
-    }
-    pool.Wait();
+      return Status::OK();
+    });
   }
+
+  ResilientRunner runner(resilience_);
+  ResilientReport report = runner.Run(tasks);
+  result.retries = report.retries;
+  result.speculations = report.speculations;
+  if (!report.status.ok()) return report.status;
+
   result.scan_seconds = phase.ElapsedSeconds();
   result.total_seconds = total.ElapsedSeconds();
   return result;

@@ -12,6 +12,7 @@
 
 #include "core/pair_set.h"
 #include "keys/key_builder.h"
+#include "parallel/resilient_runner.h"
 #include "record/dataset.h"
 #include "rules/equational_theory.h"
 #include "util/status.h"
@@ -32,6 +33,10 @@ struct ParallelRunResult {
   double total_seconds = 0.0;
   // Per-worker busy time in the scan phase (for load-balance reporting).
   std::vector<double> worker_busy_seconds;
+  // Fault-tolerance accounting (see ResilientRunner): re-attempts after
+  // task failures and speculative straggler re-executions.
+  uint64_t retries = 0;
+  uint64_t speculations = 0;
 };
 
 class ParallelSnm {
@@ -41,9 +46,15 @@ class ParallelSnm {
   // distribution (§4.1: the coordinator streams blocks of M records,
   // overlapping by w-1, round-robin to the sites); 0 selects one large
   // banded fragment per processor. Both produce the serial pair set.
-  ParallelSnm(size_t num_processors, size_t window,
-              size_t block_records = 0);
+  // `resilience` tunes retry/backoff/deadline behaviour for lost or slow
+  // fragment scans (num_workers is overridden with num_processors).
+  ParallelSnm(size_t num_processors, size_t window, size_t block_records = 0,
+              ResilientOptions resilience = ResilientOptions());
 
+  // Runs the parallel pass. When fragment scans keep failing past the
+  // retry budget, returns a PartialFailure status naming the unprocessed
+  // fragments (no partial pair set is returned: a missing fragment would
+  // silently corrupt the downstream closure).
   Result<ParallelRunResult> Run(const Dataset& dataset, const KeySpec& key,
                                 const TheoryFactory& theory_factory) const;
 
@@ -51,6 +62,7 @@ class ParallelSnm {
   size_t num_processors_;
   size_t window_;
   size_t block_records_;
+  ResilientOptions resilience_;
 };
 
 }  // namespace mergepurge

@@ -1,0 +1,281 @@
+#include "parallel/resilient_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "util/random.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace mergepurge {
+
+using Clock = std::chrono::steady_clock;
+
+struct ResilientRunner::TaskState {
+  size_t attempts_started = 0;
+  size_t active_attempts = 0;
+  size_t initial_worker = 0;
+  size_t final_worker = 0;
+  bool committed = false;
+  bool exhausted = false;
+  bool speculated = false;
+  Status last_error;
+  Rng jitter{1};
+  Clock::time_point active_start;
+
+  bool terminal() const { return committed || exhausted; }
+};
+
+struct ResilientRunner::RunContext {
+  explicit RunContext(size_t num_workers) : pool(num_workers) {}
+
+  std::mutex mu;
+  std::condition_variable_any cv;
+  const std::vector<ResilientTask>* tasks = nullptr;
+  std::vector<TaskState> states;
+  size_t terminal_count = 0;
+  uint64_t retries = 0;
+  uint64_t speculations = 0;
+  ThreadPool pool;  // Last member: destroyed first, before states.
+};
+
+ResilientRunner::ResilientRunner(ResilientOptions options)
+    : options_(options) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.max_attempts_per_worker == 0) {
+    options_.max_attempts_per_worker = 1;
+  }
+  if (options_.max_workers_per_task == 0) options_.max_workers_per_task = 1;
+  options_.max_workers_per_task =
+      std::min(options_.max_workers_per_task, options_.num_workers);
+}
+
+bool AttemptContext::Commit(const std::function<void()>& apply) const {
+  return runner->CommitTask(task_index, worker, apply);
+}
+
+ResilientReport ResilientRunner::Run(
+    const std::vector<ResilientTask>& tasks,
+    const std::vector<size_t>& initial_workers) {
+  ResilientReport report;
+  if (tasks.empty()) {
+    report.status = Status::OK();
+    return report;
+  }
+
+  RunContext run(options_.num_workers);
+  run.tasks = &tasks;
+  run.states.resize(tasks.size());
+  run_ = &run;
+
+  {
+    std::unique_lock<std::mutex> lock(run.mu);
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      TaskState& state = run.states[i];
+      state.initial_worker = i < initial_workers.size()
+                                 ? initial_workers[i] % options_.num_workers
+                                 : i % options_.num_workers;
+      state.jitter =
+          Rng(options_.jitter_seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+    }
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    StartAttempt(i, 1, run.states[i].initial_worker, /*speculative=*/false);
+  }
+
+  // Wait for every task to commit or exhaust; with a deadline configured,
+  // wake periodically to launch speculative copies of stragglers.
+  {
+    std::unique_lock<std::mutex> lock(run.mu);
+    const bool monitor = options_.task_deadline_ms > 0;
+    const auto poll = std::chrono::milliseconds(
+        monitor ? std::max(1, options_.task_deadline_ms / 4) : 1000);
+    while (run.terminal_count < tasks.size()) {
+      run.cv.wait_for(lock, poll);
+      if (!monitor) continue;
+      const auto now = Clock::now();
+      const size_t budget =
+          options_.max_attempts_per_worker * options_.max_workers_per_task;
+      for (size_t i = 0; i < run.states.size(); ++i) {
+        TaskState& state = run.states[i];
+        if (state.terminal() || state.speculated ||
+            state.active_attempts == 0 || state.attempts_started >= budget) {
+          continue;
+        }
+        auto age = std::chrono::duration_cast<std::chrono::milliseconds>(
+                       now - state.active_start)
+                       .count();
+        if (age < options_.task_deadline_ms) continue;
+        state.speculated = true;
+        ++run.speculations;
+        size_t next_attempt = state.attempts_started + 1;
+        size_t worker_slot =
+            (next_attempt - 1) / options_.max_attempts_per_worker;
+        size_t worker = (state.initial_worker + worker_slot + 1) %
+                        options_.num_workers;
+        lock.unlock();
+        StartAttempt(i, next_attempt, worker, /*speculative=*/true);
+        lock.lock();
+      }
+    }
+  }
+
+  // Drain straggler attempts before collecting outcomes: every task is
+  // terminal, so leftover attempts belong to already-committed tasks and
+  // their commits are refused by the committed flag (exactly-once).
+  run.pool.Wait();
+
+  {
+    std::unique_lock<std::mutex> lock(run.mu);
+    report.outcomes.resize(run.states.size());
+    for (size_t i = 0; i < run.states.size(); ++i) {
+      const TaskState& state = run.states[i];
+      TaskOutcome& outcome = report.outcomes[i];
+      outcome.attempts = state.attempts_started;
+      outcome.final_worker = state.final_worker;
+      outcome.committed = state.committed;
+      outcome.speculated = state.speculated;
+      outcome.last_error = state.last_error;
+      if (!state.committed) report.unprocessed.push_back(i);
+    }
+    report.retries = run.retries;
+    report.speculations = run.speculations;
+  }
+  run_ = nullptr;
+
+  if (report.unprocessed.empty()) {
+    report.status = Status::OK();
+  } else {
+    std::string list;
+    for (size_t index : report.unprocessed) {
+      if (!list.empty()) list += ",";
+      list += std::to_string(index);
+    }
+    report.status = Status::PartialFailure(StringPrintf(
+        "%zu of %zu tasks unprocessed after retries: [%s]",
+        report.unprocessed.size(), run.states.size(), list.c_str()));
+  }
+  return report;
+}
+
+void ResilientRunner::StartAttempt(size_t task_index, size_t attempt,
+                                   size_t worker, bool speculative) {
+  RunContext& run = *run_;
+  int delay_ms = 0;
+  {
+    std::unique_lock<std::mutex> lock(run.mu);
+    TaskState& state = run.states[task_index];
+    ++state.attempts_started;
+    ++state.active_attempts;
+    if (attempt > 1 && !speculative) {
+      delay_ms = BackoffDelayMs(state, attempt);
+    }
+  }
+  run.pool.Submit([this, task_index, attempt, worker, delay_ms] {
+    ExecuteAttempt(task_index, attempt, worker, delay_ms);
+  });
+}
+
+void ResilientRunner::ExecuteAttempt(size_t task_index, size_t attempt,
+                                     size_t worker, int delay_ms) {
+  RunContext& run = *run_;
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(run.mu);
+    TaskState& state = run.states[task_index];
+    if (state.committed) {
+      // A concurrent (speculative) attempt already won; skip the work.
+      --state.active_attempts;
+      run.cv.notify_all();
+      return;
+    }
+    state.active_start = Clock::now();
+  }
+
+  AttemptContext context;
+  context.task_index = task_index;
+  context.attempt = attempt;
+  context.worker = worker;
+  context.runner = this;
+  Status status = (*run.tasks)[task_index](context);
+
+  std::unique_lock<std::mutex> lock(run.mu);
+  TaskState& state = run.states[task_index];
+  --state.active_attempts;
+  if (status.ok()) {
+    // OK means the attempt ran to completion; Commit() (if the task has
+    // side effects) already published them exactly once.
+    if (!state.committed) {
+      state.committed = true;
+      state.final_worker = worker;
+      ++run.terminal_count;
+    }
+    run.cv.notify_all();
+    return;
+  }
+
+  state.last_error = status;
+  if (state.committed) {
+    // A different attempt already succeeded; nothing to do.
+    run.cv.notify_all();
+    return;
+  }
+
+  const size_t budget =
+      options_.max_attempts_per_worker * options_.max_workers_per_task;
+  if (state.attempts_started < budget) {
+    size_t next_attempt = state.attempts_started + 1;
+    size_t worker_slot =
+        (next_attempt - 1) / options_.max_attempts_per_worker;
+    size_t next_worker =
+        (state.initial_worker + worker_slot) % options_.num_workers;
+    ++run.retries;
+    lock.unlock();
+    StartAttempt(task_index, next_attempt, next_worker,
+                 /*speculative=*/false);
+    return;
+  }
+  if (state.active_attempts == 0) {
+    state.exhausted = true;
+    state.final_worker = worker;
+    ++run.terminal_count;
+  }
+  run.cv.notify_all();
+}
+
+int ResilientRunner::BackoffDelayMs(TaskState& state, size_t attempt) {
+  // Delay before attempt k (k >= 2): min(base * mult^(k-2), cap) plus
+  // deterministic per-task jitter in [0, base) to de-synchronize retries.
+  double delay =
+      static_cast<double>(options_.backoff_base_ms) *
+      std::pow(options_.backoff_multiplier, static_cast<double>(attempt - 2));
+  delay = std::min(delay, static_cast<double>(options_.backoff_cap_ms));
+  uint64_t jitter = state.jitter.NextBounded(
+      static_cast<uint64_t>(std::max(1, options_.backoff_base_ms)));
+  return static_cast<int>(delay) + static_cast<int>(jitter);
+}
+
+bool ResilientRunner::CommitTask(size_t task_index, size_t worker,
+                                 const std::function<void()>& apply) {
+  RunContext& run = *run_;
+  std::unique_lock<std::mutex> lock(run.mu);
+  TaskState& state = run.states[task_index];
+  if (state.committed) return false;
+  // Commits from different tasks are serialized by run.mu, so `apply` may
+  // merge into shared aggregates without extra locking.
+  apply();
+  state.committed = true;
+  state.final_worker = worker;
+  ++run.terminal_count;
+  run.cv.notify_all();
+  return true;
+}
+
+}  // namespace mergepurge

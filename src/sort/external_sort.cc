@@ -7,6 +7,7 @@
 #include <queue>
 #include <utility>
 
+#include "util/fault_injector.h"
 #include "util/string_util.h"
 
 namespace mergepurge {
@@ -119,6 +120,8 @@ Result<std::vector<TupleId>> ExternalSorter::Sort(const Dataset& dataset,
   std::vector<Entry> buffer;
   buffer.reserve(options_.memory_records);
   auto flush_run = [&]() -> Status {
+    MERGEPURGE_RETURN_NOT_OK(
+        FaultInjector::Global().OnPoint(fault_points::kSortSpill));
     std::sort(buffer.begin(), buffer.end());
     std::string path = run_path();
     RunWriter writer(path);

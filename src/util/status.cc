@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kPartialFailure:
+      return "PartialFailure";
+    case StatusCode::kInjectedFault:
+      return "InjectedFault";
   }
   return "Unknown";
 }

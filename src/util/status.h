@@ -24,6 +24,12 @@ enum class StatusCode {
   kParseError,
   kInternal,
   kUnimplemented,
+  // Some, but not all, of the requested work completed (e.g. a parallel
+  // run whose retries were exhausted on a subset of fragments). The
+  // message names the unprocessed units.
+  kPartialFailure,
+  // A fault injected by FaultInjector (tests / chaos runs only).
+  kInjectedFault,
 };
 
 // Returns a short human-readable name, e.g. "InvalidArgument".
@@ -61,6 +67,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status PartialFailure(std::string msg) {
+    return Status(StatusCode::kPartialFailure, std::move(msg));
+  }
+  static Status InjectedFault(std::string msg) {
+    return Status(StatusCode::kInjectedFault, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

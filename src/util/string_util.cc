@@ -100,4 +100,13 @@ std::string StringPrintf(const char* format, ...) {
   return out;
 }
 
+uint64_t Fnv1a64(std::string_view s, uint64_t seed) {
+  uint64_t hash = seed;
+  for (unsigned char c : s) {
+    hash ^= c;
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
 }  // namespace mergepurge

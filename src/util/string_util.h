@@ -38,6 +38,11 @@ std::string_view Prefix(std::string_view s, size_t n);
 std::string StringPrintf(const char* format, ...)
     __attribute__((format(printf, 1, 2)));
 
+// 64-bit FNV-1a hash; `seed` chains multi-part digests (pass the previous
+// digest as the next seed). Used for checkpoint manifests.
+uint64_t Fnv1a64(std::string_view s,
+                 uint64_t seed = 0xcbf29ce484222325ull);
+
 }  // namespace mergepurge
 
 #endif  // MERGEPURGE_UTIL_STRING_UTIL_H_

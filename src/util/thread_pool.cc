@@ -33,6 +33,16 @@ void ThreadPool::Wait() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
+size_t ThreadPool::exceptions_caught() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return exceptions_caught_;
+}
+
+std::string ThreadPool::first_exception_message() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return first_exception_message_;
+}
+
 void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
@@ -47,9 +57,25 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();
+    std::string exception_message;
+    bool threw = false;
+    try {
+      task();
+    } catch (const std::exception& e) {
+      threw = true;
+      exception_message = e.what();
+    } catch (...) {
+      threw = true;
+      exception_message = "unknown exception";
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (threw) {
+        if (exceptions_caught_ == 0) {
+          first_exception_message_ = std::move(exception_message);
+        }
+        ++exceptions_caught_;
+      }
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -13,6 +13,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -29,7 +30,9 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  // Enqueues a task. Tasks must not throw.
+  // Enqueues a task. A task that throws is caught by the worker (the pool
+  // survives); the count and first exception message are retrievable via
+  // exceptions_caught() / first_exception_message().
   void Submit(std::function<void()> task);
 
   // Blocks until every submitted task has finished executing.
@@ -37,15 +40,24 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  // Number of tasks that exited via an exception since construction.
+  size_t exceptions_caught() const;
+
+  // what() of the first caught exception ("" if none; "unknown exception"
+  // for non-std::exception throws).
+  std::string first_exception_message() const;
+
  private:
   void WorkerLoop();
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::condition_variable task_available_;
   std::condition_variable all_done_;
   std::deque<std::function<void()>> queue_;
   size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  size_t exceptions_caught_ = 0;
+  std::string first_exception_message_;
   std::vector<std::thread> workers_;
 };
 

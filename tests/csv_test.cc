@@ -1,4 +1,5 @@
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 #include <gtest/gtest.h>
@@ -97,6 +98,43 @@ TEST(CsvReadTest, HeaderMismatchFails) {
 TEST(CsvReadTest, WrongFieldCountFails) {
   Result<Dataset> parsed = ReadCsvString(Schema({"x", "y"}), "x,y\n1\n");
   ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+}
+
+TEST(CsvReadTest, ErrorsNameSourceAndOneBasedLine) {
+  // Data-row errors carry source:line with 1-based line numbers (the
+  // header is line 1, the first data row is line 2).
+  Result<Dataset> parsed =
+      ReadCsvString(Schema({"x", "y"}), "x,y\na,b\n1\n");
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("<string>:3:"),
+            std::string::npos)
+      << parsed.status().message();
+  EXPECT_NE(parsed.status().message().find("expected 2 fields, got 1"),
+            std::string::npos)
+      << parsed.status().message();
+
+  // Header errors point at line 1.
+  Result<Dataset> bad_header = ReadCsvString(Schema({"x"}), "y\nv\n");
+  ASSERT_FALSE(bad_header.ok());
+  EXPECT_NE(bad_header.status().message().find("<string>:1:"),
+            std::string::npos)
+      << bad_header.status().message();
+}
+
+TEST(CsvReadTest, FileErrorsIncludeFilePath) {
+  std::string path = testing::TempDir() + "/mergepurge_csv_bad.csv";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "x,y\n1,2\nonly-one-field\n";
+  }
+  Result<Dataset> parsed = ReadCsvFile(Schema({"x", "y"}), path);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kParseError);
+  EXPECT_NE(parsed.status().message().find(path + ":3:"),
+            std::string::npos)
+      << parsed.status().message();
+  std::remove(path.c_str());
 }
 
 TEST(CsvReadTest, MissingFileFails) {

@@ -80,6 +80,66 @@ TEST(BlockCyclicTest, BlocksTileWithBands) {
   }
 }
 
+TEST(BlockCyclicTest, InputSmallerThanWindow) {
+  // n < w: everything fits in one block; no bands are possible.
+  auto per_site = MakeBlockCyclicFragments(5, 3, 20, 10);
+  size_t blocks = 0;
+  size_t covered_end = 0;
+  for (const auto& site : per_site) {
+    for (const Fragment& block : site) {
+      ++blocks;
+      EXPECT_EQ(block.begin, 0u);
+      covered_end = std::max(covered_end, block.end);
+    }
+  }
+  EXPECT_EQ(blocks, 1u);
+  EXPECT_EQ(covered_end, 5u);
+}
+
+TEST(BlockCyclicTest, BlockSizeBelowClampIsRaised) {
+  // m below 2*(w-1) would drop boundary pairs; the coordinator raises it
+  // to the clamp, so every stride is m_eff - (w-1) >= w-1.
+  auto per_site = MakeBlockCyclicFragments(200, 3, 2, 8);
+  std::vector<Fragment> blocks;
+  for (const auto& site : per_site) {
+    blocks.insert(blocks.end(), site.begin(), site.end());
+  }
+  std::sort(blocks.begin(), blocks.end(),
+            [](const Fragment& a, const Fragment& b) {
+              return a.begin < b.begin;
+            });
+  ASSERT_FALSE(blocks.empty());
+  EXPECT_EQ(blocks.front().begin, 0u);
+  EXPECT_EQ(blocks.back().end, 200u);
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    // Consecutive blocks overlap by exactly w-1 = 7 positions.
+    EXPECT_EQ(blocks[i - 1].end - blocks[i].begin, 7u);
+    EXPECT_GE(blocks[i - 1].size(), 14u);  // Clamped to 2*(w-1).
+  }
+}
+
+TEST(BlockCyclicTest, MoreProcessorsThanRecords) {
+  // p > n: extra sites simply receive no blocks; coverage is unaffected.
+  auto per_site = MakeBlockCyclicFragments(6, 16, 20, 3);
+  ASSERT_EQ(per_site.size(), 16u);
+  size_t blocks = 0;
+  size_t covered_end = 0;
+  for (const auto& site : per_site) {
+    for (const Fragment& block : site) {
+      ++blocks;
+      covered_end = std::max(covered_end, block.end);
+      EXPECT_LE(block.end, 6u);
+    }
+  }
+  EXPECT_GE(blocks, 1u);
+  EXPECT_EQ(covered_end, 6u);
+}
+
+TEST(BlockCyclicTest, ZeroRecordsYieldsNoBlocks) {
+  auto per_site = MakeBlockCyclicFragments(0, 4, 20, 5);
+  for (const auto& site : per_site) EXPECT_TRUE(site.empty());
+}
+
 // --- LPT. ---
 
 TEST(LptTest, SingleProcessorTakesAll) {

@@ -1,0 +1,27 @@
+#!/bin/sh
+# Tier-1 CI: build and run the full test suite twice — once plain, once
+# with AddressSanitizer + UndefinedBehaviorSanitizer — so data races on
+# the retry/speculation paths and lifetime bugs in the checkpoint code
+# surface before merge.
+#
+# Usage: tools/ci.sh [jobs]      (from the repository root)
+set -eu
+
+jobs="${1:-$(nproc 2>/dev/null || echo 2)}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+run_suite() {
+  build_dir="$1"
+  shift
+  echo "=== configure ${build_dir} ($*) ==="
+  cmake -B "${build_dir}" -S "${root}" "$@"
+  echo "=== build ${build_dir} ==="
+  cmake --build "${build_dir}" -j "${jobs}"
+  echo "=== ctest ${build_dir} ==="
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+}
+
+run_suite "${root}/build" -DMERGEPURGE_SANITIZE=""
+run_suite "${root}/build-san" "-DMERGEPURGE_SANITIZE=address;undefined"
+
+echo "ci: plain and sanitized suites passed"

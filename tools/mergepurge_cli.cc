@@ -16,6 +16,18 @@
 //              [--pairs-in=a.mpp,b.mpp]    (ALSO union previously stored
 //                                           pair files into the closure —
 //                                           the paper's §4.1 operation)
+//              [--resume=DIR]              (checkpoint each pass under DIR
+//                                           and skip passes already
+//                                           completed there; an
+//                                           interrupted run restarted with
+//                                           the same flags resumes instead
+//                                           of starting over)
+//              [--faults=SPEC]             (arm fault-injection points,
+//                                           e.g. "io.pairs_write=fail:1";
+//                                           see util/fault_injector.h)
+//
+// Exit codes: 0 success, 1 runtime failure (I/O, parse, engine), 2 usage
+// error (unknown flag, bad flag value, missing required flag).
 //
 // Inputs must share the employee schema header:
 //   ssn,first_name,initial,last_name,address,apartment,city,state,zip
@@ -36,15 +48,38 @@
 #include "keys/standard_keys.h"
 #include "rules/employee_theory.h"
 #include "rules/rule_program.h"
+#include "util/fault_injector.h"
 #include "util/string_util.h"
 
 using namespace mergepurge;
 
 namespace {
 
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
+constexpr const char* kUsage =
+    "usage: mergepurge --input=a.csv[,b.csv...] --output=deduped.csv "
+    "[--method=snm|cluster] [--window=N] [--keys=...] [--rules=FILE] "
+    "[--clusters=N] [--spell-city] [--entities=FILE] [--report] "
+    "[--pairs-out=PREFIX] [--pairs-in=a.mpp,...] [--resume=DIR] "
+    "[--faults=SPEC]";
+
+// Every flag the tool understands; anything else is a usage error.
+constexpr const char* kKnownFlags[] = {
+    "input",    "output",   "method",   "window",   "keys",
+    "rules",    "clusters", "spell-city", "entities", "report",
+    "pairs-out", "pairs-in", "resume",  "faults",
+};
+
 int Fail(const std::string& message) {
   std::fprintf(stderr, "mergepurge: %s\n", message.c_str());
-  return 1;
+  return kExitRuntime;
+}
+
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "mergepurge: %s\n%s\n", message.c_str(), kUsage);
+  return kExitUsage;
 }
 
 Result<std::vector<KeySpec>> ResolveKeys(const std::string& names) {
@@ -74,12 +109,56 @@ Result<std::vector<KeySpec>> ResolveKeys(const std::string& names) {
 
 int main(int argc, char** argv) {
   ArgParser args(argc, argv);
-  if (!args.status().ok()) return Fail(args.status().ToString());
+  if (!args.status().ok()) {
+    return UsageError(args.status().message());
+  }
+  for (const std::string& name : args.Names()) {
+    bool known = false;
+    for (const char* flag : kKnownFlags) {
+      if (name == flag) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return UsageError("unknown flag --" + name);
+  }
   if (!args.Has("input") || !args.Has("output")) {
-    return Fail(
-        "usage: mergepurge --input=a.csv[,b.csv...] --output=deduped.csv "
-        "[--method=snm|cluster] [--window=N] [--keys=...] [--rules=FILE] "
-        "[--clusters=N] [--spell-city] [--entities=FILE] [--report]");
+    return UsageError("--input and --output are required");
+  }
+
+  if (args.Has("faults")) {
+    Status armed =
+        FaultInjector::Global().ArmFromSpec(args.GetString("faults", ""));
+    if (!armed.ok()) return UsageError(armed.message());
+  }
+
+  // --- Configure the engine (all usage validation happens before any
+  // input is read, so bad flags exit 2 even when inputs are bad too). ---
+  MergePurgeOptions options;
+  Result<std::vector<KeySpec>> keys = ResolveKeys(
+      args.GetString("keys", "last-name,first-name,address"));
+  if (!keys.ok()) return UsageError(keys.status().message());
+  options.keys = std::move(*keys);
+  int64_t window = args.GetInt("window", 10);
+  if (window < 2) {
+    return UsageError("--window must be >= 2 (got " +
+                      args.GetString("window", "") + ")");
+  }
+  options.window = static_cast<size_t>(window);
+  options.spell_correct_city = args.GetBool("spell-city", false);
+  options.checkpoint_dir = args.GetString("resume", "");
+  std::string method = args.GetString("method", "snm");
+  if (method == "cluster") {
+    options.method = MergePurgeOptions::Method::kClustering;
+    int64_t clusters = args.GetInt("clusters", 32);
+    if (clusters < 1) {
+      return UsageError("--clusters must be >= 1 (got " +
+                        args.GetString("clusters", "") + ")");
+    }
+    options.clustering.num_clusters = static_cast<size_t>(clusters);
+  } else if (method != "snm") {
+    return UsageError("unknown --method '" + method +
+                      "' (expected snm or cluster)");
   }
 
   // --- Load and concatenate the sources. ---
@@ -98,23 +177,6 @@ int main(int argc, char** argv) {
                  source->size());
   }
   if (combined.empty()) return Fail("no input records");
-
-  // --- Configure the engine. ---
-  MergePurgeOptions options;
-  Result<std::vector<KeySpec>> keys = ResolveKeys(
-      args.GetString("keys", "last-name,first-name,address"));
-  if (!keys.ok()) return Fail(keys.status().ToString());
-  options.keys = std::move(*keys);
-  options.window = static_cast<size_t>(args.GetInt("window", 10));
-  options.spell_correct_city = args.GetBool("spell-city", false);
-  std::string method = args.GetString("method", "snm");
-  if (method == "cluster") {
-    options.method = MergePurgeOptions::Method::kClustering;
-    options.clustering.num_clusters =
-        static_cast<size_t>(args.GetInt("clusters", 32));
-  } else if (method != "snm") {
-    return Fail("unknown --method '" + method + "'");
-  }
 
   // --- Theory: built-in or a rule-language file. ---
   std::unique_ptr<EquationalTheory> theory;
@@ -139,6 +201,12 @@ int main(int argc, char** argv) {
   MergePurgeEngine engine(options);
   Result<MergePurgeResult> result = engine.Run(combined, *theory);
   if (!result.ok()) return Fail(result.status().ToString());
+  if (!options.checkpoint_dir.empty()) {
+    std::fprintf(stderr, "resumed %zu of %zu passes from %s\n",
+                 result->detail.passes_resumed,
+                 result->detail.passes.size(),
+                 options.checkpoint_dir.c_str());
+  }
 
   if (args.GetBool("report", false)) {
     TablePrinter table({"pass", "pairs", "comparisons", "time(s)"});
