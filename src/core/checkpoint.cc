@@ -6,6 +6,8 @@
 #include <sstream>
 
 #include "io/pairs_io.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace mergepurge {
@@ -93,8 +95,14 @@ Status WritePassCheckpoint(const std::string& dir, size_t pass_index,
       << '\n';
   out << "pairs " << manifest.pairs_file << '\n';
   out << "complete " << (manifest.complete ? 1 : 0) << '\n';
-  return WriteTextFileAtomic(dir + "/" + ManifestFileName(pass_index),
-                             out.str());
+  Status status = WriteTextFileAtomic(
+      dir + "/" + ManifestFileName(pass_index), out.str());
+  if (status.ok()) {
+    static Counter* const saves =
+        MetricsRegistry::Global().GetCounter(metric_names::kCheckpointSaves);
+    saves->Increment();
+  }
+  return status;
 }
 
 Result<PassManifest> ReadPassManifest(const std::string& dir,
@@ -157,7 +165,13 @@ bool ManifestMatches(const PassManifest& manifest,
 
 Result<PairSet> LoadCheckpointedPairs(const std::string& dir,
                                       const PassManifest& manifest) {
-  return ReadPairSetFile(dir + "/" + manifest.pairs_file);
+  Result<PairSet> pairs = ReadPairSetFile(dir + "/" + manifest.pairs_file);
+  if (pairs.ok()) {
+    static Counter* const loads =
+        MetricsRegistry::Global().GetCounter(metric_names::kCheckpointLoads);
+    loads->Increment();
+  }
+  return pairs;
 }
 
 }  // namespace mergepurge

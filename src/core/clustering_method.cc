@@ -4,6 +4,9 @@
 
 #include "cluster/partitioner.h"
 #include "core/window_scanner.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -25,6 +28,16 @@ Result<PassResult> ClusteringMethod::Run(
     empty.key_name = key.name;
     return empty;
   }
+
+  static Counter* const passes_counter =
+      MetricsRegistry::Global().GetCounter(metric_names::kSnmPasses);
+  static LatencyHistogram* const sort_us =
+      MetricsRegistry::Global().GetHistogram(metric_names::kSnmSortUs);
+  static LatencyHistogram* const scan_us =
+      MetricsRegistry::Global().GetHistogram(metric_names::kSnmScanUs);
+
+  Span pass_span("clustering-pass");
+  pass_span.AddArg("key", key.name);
 
   PassResult result;
   result.key_name = key.name;
@@ -84,23 +97,38 @@ Result<PassResult> ClusteringMethod::Run(
       options_.sort_with_full_key ? sort_keys : cluster_keys;
 
   WindowScanner scanner(options_.window);
-  for (std::vector<TupleId>& cluster : clusters) {
-    if (cluster.size() < 2) continue;
-    phase.Restart();
-    std::sort(cluster.begin(), cluster.end(),
-              [&keys_for_sort](TupleId a, TupleId b) {
-                int cmp = keys_for_sort[a].compare(keys_for_sort[b]);
-                if (cmp != 0) return cmp < 0;
-                return a < b;
-              });
-    result.sort_seconds += phase.ElapsedSeconds();
+  ScanStats pass_stats;
+  {
+    Span span("cluster-scan");
+    for (std::vector<TupleId>& cluster : clusters) {
+      if (cluster.size() < 2) continue;
+      phase.Restart();
+      std::sort(cluster.begin(), cluster.end(),
+                [&keys_for_sort](TupleId a, TupleId b) {
+                  int cmp = keys_for_sort[a].compare(keys_for_sort[b]);
+                  if (cmp != 0) return cmp < 0;
+                  return a < b;
+                });
+      result.sort_seconds += phase.ElapsedSeconds();
 
-    phase.Restart();
-    ScanStats stats = scanner.Scan(dataset, cluster, theory, &result.pairs);
-    result.scan_seconds += phase.ElapsedSeconds();
-    result.comparisons += stats.comparisons;
-    result.matches += stats.matches;
+      phase.Restart();
+      ScanStats stats =
+          scanner.Scan(dataset, cluster, theory, &result.pairs);
+      result.scan_seconds += phase.ElapsedSeconds();
+      pass_stats += stats;
+    }
+    span.AddArg("clusters", static_cast<uint64_t>(clusters.size()));
+    span.AddArg("comparisons", pass_stats.comparisons);
   }
+  result.windows = pass_stats.windows;
+  result.comparisons = pass_stats.comparisons;
+  result.matches = pass_stats.matches;
+
+  FlushScanStats(pass_stats);
+  theory.FlushMetrics();
+  passes_counter->Increment();
+  sort_us->Record(result.sort_seconds * 1e6);
+  scan_us->Record(result.scan_seconds * 1e6);
 
   result.total_seconds = total.ElapsedSeconds();
   return result;

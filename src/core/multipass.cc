@@ -4,6 +4,10 @@
 #include <unordered_set>
 
 #include "core/checkpoint.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 #include "util/timer.h"
 
@@ -11,11 +15,28 @@ namespace mergepurge {
 
 std::vector<uint32_t> TransitiveClosure(
     const std::vector<const PairSet*>& pair_sets, size_t n) {
+  static Counter* const unions =
+      MetricsRegistry::Global().GetCounter(metric_names::kClosureUnions);
+  static Counter* const union_calls =
+      MetricsRegistry::Global().GetCounter(metric_names::kClosureUnionCalls);
+  static Counter* const compressions = MetricsRegistry::Global().GetCounter(
+      metric_names::kClosurePathCompressions);
+  static LatencyHistogram* const closure_us =
+      MetricsRegistry::Global().GetHistogram(metric_names::kClosureUs);
+
+  Span span("transitive-closure");
+  Timer timer;
   UnionFind uf(n);
   for (const PairSet* pairs : pair_sets) {
     pairs->ForEach([&uf](TupleId a, TupleId b) { uf.Union(a, b); });
   }
-  return uf.ComponentLabels();
+  std::vector<uint32_t> labels = uf.ComponentLabels();
+  span.AddArg("unions", uf.unions_performed());
+  unions->Add(uf.unions_performed());
+  union_calls->Add(uf.union_calls());
+  compressions->Add(uf.path_compressions());
+  closure_us->Record(static_cast<double>(timer.ElapsedMicros()));
+  return labels;
 }
 
 std::vector<uint32_t> TransitiveClosure(const PairSet& pairs, size_t n) {
@@ -76,9 +97,19 @@ Result<MultiPassResult> MultiPass::Run(
     config_digest = ConfigDigest();
   }
 
+  static Counter* const invalidations = MetricsRegistry::Global().GetCounter(
+      metric_names::kCheckpointInvalidations);
+  ProgressReporter& progress = ProgressReporter::Global();
+
+  Span run_span("multipass-run");
+  run_span.AddArg("keys", static_cast<uint64_t>(keys.size()));
+
   MultiPassResult result;
   for (size_t i = 0; i < keys.size(); ++i) {
     const KeySpec& key = keys[i];
+    Span pass_span("pass");
+    pass_span.AddArg("index", static_cast<uint64_t>(i));
+    pass_span.AddArg("key", key.name);
 
     if (checkpointing) {
       Result<PassManifest> manifest = ReadPassManifest(checkpoint_dir, i);
@@ -98,10 +129,19 @@ Result<MultiPassResult> MultiPass::Run(
         }
         // A manifest whose pairs file is unreadable falls through to a
         // recompute — the checkpoint is advisory, never authoritative.
+      } else if (manifest.ok()) {
+        // A manifest exists but no longer describes this dataset/key/
+        // config: the checkpointed pass is stale and will be recomputed.
+        invalidations->Increment();
       }
     }
 
+    progress.BeginPhase(
+        StringPrintf("pass %zu/%zu (%s)", i + 1, keys.size(),
+                     key.name.c_str()),
+        dataset.size());
     Result<PassResult> pass = RunOnePass(dataset, key, theory);
+    progress.FinishPhase();
     if (!pass.ok()) return pass.status();
     result.total_seconds += pass->total_seconds;
 
@@ -119,6 +159,7 @@ Result<MultiPassResult> MultiPass::Run(
     result.passes.push_back(std::move(*pass));
   }
 
+  progress.BeginPhase("transitive closure");
   Timer closure_timer;
   PairSet all_pairs;
   std::vector<const PairSet*> pair_sets;
@@ -131,6 +172,7 @@ Result<MultiPassResult> MultiPass::Run(
   result.component_of = TransitiveClosure(pair_sets, dataset.size());
   result.closure_seconds = closure_timer.ElapsedSeconds();
   result.total_seconds += result.closure_seconds;
+  progress.FinishPhase();
   return result;
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <numeric>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "sort/external_sort.h"
 #include "util/timer.h"
 
@@ -31,6 +34,16 @@ Result<PassResult> SortedNeighborhood::Run(
   KeyBuilder builder(key);
   MERGEPURGE_RETURN_NOT_OK(builder.Validate(dataset.schema()));
 
+  static Counter* const passes_counter =
+      MetricsRegistry::Global().GetCounter(metric_names::kSnmPasses);
+  static LatencyHistogram* const sort_us =
+      MetricsRegistry::Global().GetHistogram(metric_names::kSnmSortUs);
+  static LatencyHistogram* const scan_us =
+      MetricsRegistry::Global().GetHistogram(metric_names::kSnmScanUs);
+
+  Span pass_span("snm-pass");
+  pass_span.AddArg("key", key.name);
+
   PassResult result;
   result.key_name = key.name;
   Timer total;
@@ -40,6 +53,7 @@ Result<PassResult> SortedNeighborhood::Run(
   if (options_.external_sort_memory > 0) {
     // I/O-bound regime: key creation is folded into run formation inside
     // the external sorter, so both phases are reported as sort time.
+    Span span("external-sort");
     ExternalSortOptions sort_options;
     sort_options.memory_records = options_.external_sort_memory;
     sort_options.fan_in = options_.external_sort_fan_in;
@@ -49,29 +63,50 @@ Result<PassResult> SortedNeighborhood::Run(
     if (!sorted.ok()) return sorted.status();
     order = std::move(*sorted);
     result.sort_seconds = phase.ElapsedSeconds();
+    sort_us->Record(static_cast<double>(phase.ElapsedMicros()));
   } else {
     // Phase 1: create keys.
-    std::vector<std::string> keys = builder.BuildKeys(dataset);
+    std::vector<std::string> keys;
+    {
+      Span span("create-keys");
+      keys = builder.BuildKeys(dataset);
+    }
     result.create_keys_seconds = phase.ElapsedSeconds();
 
     // Phase 2: sort.
     phase.Restart();
-    order.resize(dataset.size());
-    std::iota(order.begin(), order.end(), 0);
-    std::sort(order.begin(), order.end(), [&keys](TupleId a, TupleId b) {
-      int cmp = keys[a].compare(keys[b]);
-      if (cmp != 0) return cmp < 0;
-      return a < b;
-    });
+    {
+      Span span("sort");
+      order.resize(dataset.size());
+      std::iota(order.begin(), order.end(), 0);
+      std::sort(order.begin(), order.end(), [&keys](TupleId a, TupleId b) {
+        int cmp = keys[a].compare(keys[b]);
+        if (cmp != 0) return cmp < 0;
+        return a < b;
+      });
+    }
     result.sort_seconds = phase.ElapsedSeconds();
+    sort_us->Record(static_cast<double>(phase.ElapsedMicros()));
   }
 
   // Phase 3: window scan (merge).
   phase.Restart();
-  WindowScanner scanner(options_.window);
-  ScanStats stats = scanner.Scan(dataset, order, theory, &result.pairs);
+  ScanStats stats;
+  {
+    Span span("window-scan");
+    WindowScanner scanner(options_.window);
+    stats = scanner.Scan(dataset, order, theory, &result.pairs);
+    span.AddArg("windows", stats.windows);
+    span.AddArg("comparisons", stats.comparisons);
+  }
   result.scan_seconds = phase.ElapsedSeconds();
+  scan_us->Record(static_cast<double>(phase.ElapsedMicros()));
 
+  FlushScanStats(stats);
+  theory.FlushMetrics();
+  passes_counter->Increment();
+
+  result.windows = stats.windows;
   result.comparisons = stats.comparisons;
   result.matches = stats.matches;
   result.total_seconds = total.ElapsedSeconds();

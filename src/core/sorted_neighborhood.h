@@ -22,6 +22,7 @@ namespace mergepurge {
 struct PassResult {
   std::string key_name;
   PairSet pairs;
+  uint64_t windows = 0;  // Window positions scanned.
   uint64_t comparisons = 0;
   uint64_t matches = 0;
   double create_keys_seconds = 0.0;

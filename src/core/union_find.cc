@@ -16,12 +16,14 @@ uint32_t UnionFind::Find(uint32_t x) {
   while (parent_[x] != root) {
     uint32_t next = parent_[x];
     parent_[x] = root;
+    ++path_compressions_;
     x = next;
   }
   return root;
 }
 
 bool UnionFind::Union(uint32_t a, uint32_t b) {
+  ++union_calls_;
   uint32_t ra = Find(a);
   uint32_t rb = Find(b);
   if (ra == rb) return false;
@@ -29,6 +31,7 @@ bool UnionFind::Union(uint32_t a, uint32_t b) {
   parent_[rb] = ra;
   size_[ra] += size_[rb];
   --num_sets_;
+  ++unions_performed_;
   return true;
 }
 

@@ -43,10 +43,23 @@ class UnionFind {
   // from differently-ordered (but equal) pair sets label identically.
   std::vector<uint32_t> ComponentLabels();
 
+  // --- Work counters (plain members: UnionFind is single-threaded).
+  // The closure driver flushes these to the global registry. ---
+
+  // Union(a, b) calls that actually merged two distinct sets.
+  uint64_t unions_performed() const { return unions_performed_; }
+  // All Union(a, b) calls, including no-ops on already-joined sets.
+  uint64_t union_calls() const { return union_calls_; }
+  // Parent pointers rewritten by path compression inside Find().
+  uint64_t path_compressions() const { return path_compressions_; }
+
  private:
   std::vector<uint32_t> parent_;
   std::vector<uint32_t> size_;
   size_t num_sets_;
+  uint64_t unions_performed_ = 0;
+  uint64_t union_calls_ = 0;
+  uint64_t path_compressions_ = 0;
 };
 
 }  // namespace mergepurge

@@ -1,6 +1,22 @@
 #include "core/window_scanner.h"
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/progress.h"
+
 namespace mergepurge {
+
+void FlushScanStats(const ScanStats& stats) {
+  static Counter* const windows =
+      MetricsRegistry::Global().GetCounter(metric_names::kSnmWindows);
+  static Counter* const comparisons =
+      MetricsRegistry::Global().GetCounter(metric_names::kSnmComparisons);
+  static Counter* const matches =
+      MetricsRegistry::Global().GetCounter(metric_names::kSnmMatches);
+  windows->Add(stats.windows);
+  comparisons->Add(stats.comparisons);
+  matches->Add(stats.matches);
+}
 
 ScanStats WindowScanner::Scan(const Dataset& dataset,
                               const std::vector<TupleId>& order,
@@ -14,6 +30,10 @@ ScanStats WindowScanner::ScanRange(const Dataset& dataset,
                                    size_t begin, size_t end,
                                    const EquationalTheory& theory,
                                    PairSet* pairs) const {
+  // Progress is reported in chunks so the hot loop sees only local
+  // arithmetic between chunk boundaries.
+  constexpr uint64_t kProgressChunk = 8192;
+  ProgressReporter& progress = ProgressReporter::Global();
   ScanStats stats;
   if (window_ < 2 || begin >= end) return stats;
   for (size_t i = begin + 1; i < end; ++i) {
@@ -21,6 +41,10 @@ ScanStats WindowScanner::ScanRange(const Dataset& dataset,
     const Record& new_record = dataset.record(entering);
     const size_t window_start =
         (i - begin >= window_ - 1) ? i - (window_ - 1) : begin;
+    ++stats.windows;
+    if ((stats.windows & (kProgressChunk - 1)) == 0) {
+      progress.Advance(kProgressChunk);
+    }
     for (size_t j = window_start; j < i; ++j) {
       ++stats.comparisons;
       const TupleId other = order[j];
@@ -30,6 +54,7 @@ ScanStats WindowScanner::ScanRange(const Dataset& dataset,
       }
     }
   }
+  progress.Advance(stats.windows & (kProgressChunk - 1));
   return stats;
 }
 

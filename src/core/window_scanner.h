@@ -19,9 +19,23 @@
 namespace mergepurge {
 
 struct ScanStats {
+  uint64_t windows = 0;  // Window positions advanced (records entering).
   uint64_t comparisons = 0;
   uint64_t matches = 0;
+
+  ScanStats& operator+=(const ScanStats& other) {
+    windows += other.windows;
+    comparisons += other.comparisons;
+    matches += other.matches;
+    return *this;
+  }
 };
+
+// Adds `stats` to the global snm.* counters. Call once per completed
+// scan (serial) or inside the task commit (parallel) so speculative or
+// retried executions are counted exactly once per committed unit of
+// work. Kept out of the scan loop: the loop accumulates plain locals.
+void FlushScanStats(const ScanStats& stats);
 
 class WindowScanner {
  public:

@@ -5,6 +5,8 @@
 
 #include "gen/names_data.h"
 #include "gen/places_data.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "text/nicknames.h"
 #include "util/string_util.h"
 
@@ -259,6 +261,13 @@ Result<GeneratedDatabase> DatabaseGenerator::Generate() const {
   out.dataset.Reserve(records.size());
   for (Record& r : records) out.dataset.Append(std::move(r));
   out.truth = GroundTruth(std::move(origin_of));
+
+  static Counter* const gen_records =
+      MetricsRegistry::Global().GetCounter(metric_names::kGenRecords);
+  static Counter* const gen_duplicates =
+      MetricsRegistry::Global().GetCounter(metric_names::kGenDuplicates);
+  gen_records->Add(out.dataset.size());
+  gen_duplicates->Add(out.dataset.size() - config_.num_records);
   return out;
 }
 

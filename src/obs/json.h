@@ -1,0 +1,108 @@
+// A small JSON document model shared by the observability sinks: the
+// metrics/report/trace writers build JsonValue trees and Dump() them, and
+// the validation tooling (tools/validate_report, tests) Parse()s emitted
+// files back to check structure. Self-contained on purpose — the container
+// bakes no JSON library, and the artifact formats (run reports, Chrome
+// traces) are simple enough that a dependency would be all cost.
+//
+// Supported faithfully: null, booleans, 64-bit integers (kept exact, not
+// coerced through double), doubles, strings (with \uXXXX escapes decoded
+// to UTF-8), arrays and objects. Objects preserve insertion order so
+// reports render stably and diffs stay readable.
+
+#ifndef MERGEPURGE_OBS_JSON_H_
+#define MERGEPURGE_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mergepurge {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}
+  JsonValue(int value) : kind_(Kind::kInt), int_(value) {}
+  JsonValue(int64_t value) : kind_(Kind::kInt), int_(value) {}
+  JsonValue(uint64_t value)
+      : kind_(Kind::kInt), int_(static_cast<int64_t>(value)) {}
+  JsonValue(double value) : kind_(Kind::kDouble), double_(value) {}
+  JsonValue(std::string value)
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(std::string_view value)
+      : kind_(Kind::kString), string_(value) {}
+  JsonValue(const char* value) : kind_(Kind::kString), string_(value) {}
+
+  static JsonValue Object() { return JsonValue(Kind::kObject); }
+  static JsonValue Array() { return JsonValue(Kind::kArray); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const {
+    return kind_ == Kind::kInt || kind_ == Kind::kDouble;
+  }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  bool bool_value() const { return bool_; }
+  int64_t int_value() const {
+    return kind_ == Kind::kDouble ? static_cast<int64_t>(double_) : int_;
+  }
+  double double_value() const {
+    return kind_ == Kind::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& string_value() const { return string_; }
+
+  // --- Object operations (no-ops / empty on other kinds). ---
+
+  // Adds or replaces a member; insertion order is preserved.
+  void Set(std::string key, JsonValue value);
+
+  // Member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  // --- Array operations. ---
+  void Append(JsonValue value);
+  size_t size() const;
+  const JsonValue& at(size_t index) const { return elements_[index]; }
+  const std::vector<JsonValue>& elements() const { return elements_; }
+
+  // Serializes the tree. indent > 0 pretty-prints with that many spaces
+  // per level; 0 emits compact single-line JSON.
+  std::string Dump(int indent = 0) const;
+
+  // Parses a complete JSON document (trailing non-whitespace is an error).
+  static Result<JsonValue> Parse(std::string_view text);
+
+ private:
+  explicit JsonValue(Kind kind) : kind_(kind) {}
+
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> elements_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+// Escapes `s` as the contents of a JSON string literal (no quotes added).
+std::string JsonEscape(std::string_view s);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_OBS_JSON_H_

@@ -1,0 +1,85 @@
+// The stable metric name catalog. Names are dot-delimited,
+// lowercase, and NEVER renamed once shipped — downstream perf tooling
+// (bench/BENCH_snm.json trajectories, tools/validate_report) keys on them.
+// New metrics may be added freely; document additions in
+// docs/observability.md.
+//
+// Two families take a dynamic suffix:
+//   rules.fired.<rule-id>          one counter per equational-theory rule
+//   parallel.worker_tasks.<w>      committed tasks per virtual worker
+
+#ifndef MERGEPURGE_OBS_METRIC_NAMES_H_
+#define MERGEPURGE_OBS_METRIC_NAMES_H_
+
+namespace mergepurge {
+
+class MetricsRegistry;
+
+namespace metric_names {
+
+// --- Generator (src/gen). ---
+inline constexpr char kGenRecords[] = "gen.records";
+inline constexpr char kGenDuplicates[] = "gen.duplicates";
+
+// --- External sort (src/sort). ---
+inline constexpr char kSortSpills[] = "sort.spills";
+inline constexpr char kSortMergePasses[] = "sort.merge_passes";
+inline constexpr char kSortEntriesWritten[] = "sort.entries_written";
+inline constexpr char kSortEntriesRead[] = "sort.entries_read";
+inline constexpr char kSortInitialRuns[] = "sort.initial_runs";
+
+// --- Window scan / SNM merge phase (both methods, serial + parallel).
+// Counts COMMITTED work only: parallel fragments flush inside the
+// exactly-once commit, so a retried or speculated fragment contributes
+// once no matter how many attempts ran (see docs/observability.md). ---
+inline constexpr char kSnmWindows[] = "snm.windows";
+inline constexpr char kSnmComparisons[] = "snm.comparisons";
+inline constexpr char kSnmMatches[] = "snm.matches";
+inline constexpr char kSnmPasses[] = "snm.passes";
+inline constexpr char kSnmScanUs[] = "snm.scan_us";          // Histogram.
+inline constexpr char kSnmSortUs[] = "snm.sort_us";          // Histogram.
+
+// --- Equational theories (src/rules). ---
+inline constexpr char kRulesFiredPrefix[] = "rules.fired.";  // + rule id.
+inline constexpr char kRulesDistanceCalls[] = "rules.distance_calls";
+inline constexpr char kRulesEarlyExits[] = "rules.early_exits";
+
+// --- Transitive closure (union-find). ---
+inline constexpr char kClosureUnions[] = "closure.unions";
+inline constexpr char kClosureUnionCalls[] = "closure.union_calls";
+inline constexpr char kClosurePathCompressions[] =
+    "closure.path_compressions";
+inline constexpr char kClosureUs[] = "closure.us";           // Histogram.
+
+// --- Parallel executors (src/parallel). ---
+inline constexpr char kParallelTasks[] = "parallel.tasks";
+inline constexpr char kParallelWorkerTasksPrefix[] =
+    "parallel.worker_tasks.";                                // + worker id.
+
+// --- ResilientRunner fault-tolerance accounting. ---
+inline constexpr char kResilientRetries[] = "resilient.retries";
+inline constexpr char kResilientSpeculations[] = "resilient.speculations";
+inline constexpr char kResilientExhausted[] = "resilient.exhausted";
+inline constexpr char kResilientQueueWaitUs[] =
+    "resilient.queue_wait_us";                               // Histogram.
+
+// --- Fault injection (src/util/fault_injector). ---
+inline constexpr char kFaultsTripped[] = "faults.tripped";
+
+// --- Checkpoint/resume (src/core/checkpoint). ---
+inline constexpr char kCheckpointSaves[] = "checkpoint.saves";
+inline constexpr char kCheckpointLoads[] = "checkpoint.loads";
+inline constexpr char kCheckpointInvalidations[] =
+    "checkpoint.invalidations";
+
+}  // namespace metric_names
+
+// Registers every catalogued fixed-name metric in `registry` so snapshots
+// and run reports always contain the full key set, zero-valued when a
+// stage never ran (e.g. resilient.retries in a serial run). RunReport
+// calls this on construction; tests call it directly.
+void PreregisterStandardMetrics(MetricsRegistry& registry);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_OBS_METRIC_NAMES_H_

@@ -1,0 +1,83 @@
+#include "obs/progress.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace mergepurge {
+
+namespace {
+
+constexpr int64_t kPaintIntervalNs = 200'000'000;  // 5 Hz.
+
+int64_t NowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+ProgressReporter& ProgressReporter::Global() {
+  static ProgressReporter* reporter = new ProgressReporter();
+  return *reporter;
+}
+
+void ProgressReporter::Disable() {
+  FinishPhase();
+  enabled_.store(false, std::memory_order_relaxed);
+}
+
+void ProgressReporter::BeginPhase(std::string_view name, uint64_t total) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (line_open_) {
+    std::fputc('\n', stderr);
+    line_open_ = false;
+  }
+  phase_ = std::string(name);
+  total_ = total;
+  done_ = 0;
+  last_paint_ns_ = 0;
+  Paint(/*force=*/true);
+}
+
+void ProgressReporter::Advance(uint64_t items) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  done_ += items;
+  Paint(/*force=*/false);
+}
+
+void ProgressReporter::FinishPhase() {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!phase_.empty()) Paint(/*force=*/true);
+  if (line_open_) {
+    std::fputc('\n', stderr);
+    line_open_ = false;
+  }
+  phase_.clear();
+  total_ = 0;
+  done_ = 0;
+}
+
+void ProgressReporter::Paint(bool force) {
+  int64_t now = NowNanos();
+  if (!force && now - last_paint_ns_ < kPaintIntervalNs) return;
+  last_paint_ns_ = now;
+  if (total_ > 0) {
+    double pct = 100.0 * static_cast<double>(done_) /
+                 static_cast<double>(total_);
+    if (pct > 100.0) pct = 100.0;
+    std::fprintf(stderr, "\r[mergepurge] %s: %llu/%llu (%.1f%%)   ",
+                 phase_.c_str(), static_cast<unsigned long long>(done_),
+                 static_cast<unsigned long long>(total_), pct);
+  } else {
+    std::fprintf(stderr, "\r[mergepurge] %s: %llu   ", phase_.c_str(),
+                 static_cast<unsigned long long>(done_));
+  }
+  std::fflush(stderr);
+  line_open_ = true;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,61 @@
+// A throttled one-line stderr progress display for long pipeline runs,
+// enabled by mergepurge_cli --progress. Library code reports phases and
+// item counts; the reporter rewrites a single status line at most a few
+// times per second. When disabled (the default), Advance() is one
+// relaxed load — cheap enough for chunked calls from scan loops.
+
+#ifndef MERGEPURGE_OBS_PROGRESS_H_
+#define MERGEPURGE_OBS_PROGRESS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace mergepurge {
+
+class ProgressReporter {
+ public:
+  ProgressReporter() = default;
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  // The process-wide reporter library code advances. Disabled by default.
+  static ProgressReporter& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+
+  // Finishes any pending line and disables further output.
+  void Disable();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Starts a named phase ("pass 1/3: sort", "closure"). `total` is the
+  // expected item count for the phase, or 0 when unknown.
+  void BeginPhase(std::string_view name, uint64_t total = 0);
+
+  // Adds `items` completed units to the current phase; repaints the
+  // status line if the throttle interval has elapsed.
+  void Advance(uint64_t items);
+
+  // Terminates the status line (if one was painted) so subsequent normal
+  // output starts on a fresh line. Called at phase/run boundaries.
+  void FinishPhase();
+
+ private:
+  void Paint(bool force);
+
+  std::atomic<bool> enabled_{false};
+  std::mutex mu_;
+  std::string phase_;
+  uint64_t total_ = 0;
+  uint64_t done_ = 0;
+  // steady_clock ticks (ns) of the last repaint; throttles to ~5 Hz.
+  int64_t last_paint_ns_ = 0;
+  bool line_open_ = false;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_OBS_PROGRESS_H_

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <fstream>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+namespace {
+
+// Innermost open span on this thread; children link to it as parent.
+thread_local uint64_t tls_current_span_id = 0;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder() = default;
+
+TraceRecorder& TraceRecorder::Global() {
+  // Leaked intentionally, like MetricsRegistry::Global(): spans may close
+  // during static destruction of other objects.
+  static TraceRecorder* recorder = new TraceRecorder();
+  return *recorder;
+}
+
+void TraceRecorder::Record(TraceSpan span) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(span));
+}
+
+std::vector<TraceSpan> TraceRecorder::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t TraceRecorder::span_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  next_span_id_.store(1, std::memory_order_relaxed);
+  epoch_.Restart();
+}
+
+JsonValue TraceRecorder::ToChromeJson() const {
+  JsonValue events = JsonValue::Array();
+  std::vector<TraceSpan> spans = Spans();
+  for (const TraceSpan& span : spans) {
+    JsonValue event = JsonValue::Object();
+    event.Set("name", JsonValue(span.name));
+    event.Set("ph", JsonValue("X"));
+    event.Set("pid", JsonValue(1));
+    event.Set("tid", JsonValue(static_cast<uint64_t>(span.thread_ordinal)));
+    event.Set("ts", JsonValue(span.start_us));
+    event.Set("dur", JsonValue(span.duration_us));
+    JsonValue args = JsonValue::Object();
+    args.Set("span_id", JsonValue(span.id));
+    if (span.parent_id != 0) {
+      args.Set("parent_id", JsonValue(span.parent_id));
+    }
+    for (const auto& [key, value] : span.args) {
+      args.Set(key, JsonValue(value));
+    }
+    event.Set("args", std::move(args));
+    events.Append(std::move(event));
+  }
+  JsonValue out = JsonValue::Object();
+  out.Set("traceEvents", std::move(events));
+  out.Set("displayTimeUnit", JsonValue("ms"));
+  return out;
+}
+
+Status TraceRecorder::ExportChromeJson(const std::string& path) const {
+  std::ofstream file(path, std::ios::trunc);
+  if (!file) {
+    return Status::IoError(
+        StringPrintf("cannot open trace output '%s'", path.c_str()));
+  }
+  file << ToChromeJson().Dump(/*indent=*/1) << '\n';
+  if (!file.good()) {
+    return Status::IoError(
+        StringPrintf("failed writing trace output '%s'", path.c_str()));
+  }
+  return Status::OK();
+}
+
+Span::Span(TraceRecorder& recorder, std::string_view name)
+    : recorder_(&recorder), active_(recorder.enabled()) {
+  if (!active_) return;
+  span_.name = std::string(name);
+  span_.id = recorder_->NextSpanId();
+  span_.parent_id = tls_current_span_id;
+  span_.thread_ordinal = CurrentThreadOrdinal();
+  span_.start_us = recorder_->NowMicros();
+  tls_current_span_id = span_.id;
+}
+
+Span::Span(std::string_view name) : Span(TraceRecorder::Global(), name) {}
+
+Span::~Span() {
+  if (!active_) return;
+  span_.duration_us = recorder_->NowMicros() - span_.start_us;
+  tls_current_span_id = span_.parent_id;
+  recorder_->Record(std::move(span_));
+}
+
+void Span::AddArg(std::string_view key, std::string value) {
+  if (!active_) return;
+  span_.args.emplace_back(std::string(key), std::move(value));
+}
+
+void Span::AddArg(std::string_view key, uint64_t value) {
+  AddArg(key, std::to_string(value));
+}
+
+}  // namespace mergepurge

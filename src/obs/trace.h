@@ -1,0 +1,128 @@
+// Phase-scoped tracing for the merge/purge pipeline.
+//
+//   TraceRecorder& tracer = TraceRecorder::Global();
+//   {
+//     Span span(tracer, "sort-pass-2");   // opens a span on this thread
+//     ...                                  // nested Spans become children
+//   }                                      // closes and records it
+//
+// Spans nest per thread via a thread-local parent stack; cross-thread
+// spans (parallel workers) appear side by side under their own thread
+// ids. The recorder is disabled by default, making Span construction a
+// single relaxed load plus nothing — pipelines that never ask for a
+// trace pay essentially zero.
+//
+// ExportChromeJson() writes the Chrome trace-event format ("ph":"X"
+// complete events) loadable by chrome://tracing and ui.perfetto.dev; see
+// docs/observability.md for the exact schema.
+
+#ifndef MERGEPURGE_OBS_TRACE_H_
+#define MERGEPURGE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/status.h"
+#include "util/thread_id.h"
+#include "util/timer.h"
+
+namespace mergepurge {
+
+// One completed span. Timestamps are microseconds relative to the
+// recorder's epoch (its construction or last Clear()).
+struct TraceSpan {
+  std::string name;
+  uint64_t id = 0;         // Unique per recorder; 0 is never assigned.
+  uint64_t parent_id = 0;  // 0 when the span is a root on its thread.
+  uint32_t thread_ordinal = 0;
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+  // Optional key=value annotations, exported as the event's "args".
+  std::vector<std::pair<std::string, std::string>> args;
+};
+
+class TraceRecorder {
+ public:
+  TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  // The process-wide recorder all library Spans attach to. Disabled
+  // until a sink enables it (e.g. mergepurge_cli --trace-out=...).
+  static TraceRecorder& Global();
+
+  void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  // Microseconds since the recorder epoch.
+  uint64_t NowMicros() const { return epoch_.ElapsedMicros(); }
+
+  // Appends a finished span. Thread-safe.
+  void Record(TraceSpan span);
+
+  // Copies out all recorded spans (ordered by completion time per thread).
+  std::vector<TraceSpan> Spans() const;
+
+  size_t span_count() const;
+
+  // Drops all spans and restarts the epoch. Not thread-safe with respect
+  // to open Spans — call only between runs.
+  void Clear();
+
+  // {"traceEvents":[...], "displayTimeUnit":"ms"} per the Chrome
+  // trace-event format.
+  JsonValue ToChromeJson() const;
+
+  // Serializes ToChromeJson() to `path`.
+  Status ExportChromeJson(const std::string& path) const;
+
+  uint64_t NextSpanId() {
+    return next_span_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> next_span_id_{1};
+  Timer epoch_;
+  mutable std::mutex mu_;
+  std::vector<TraceSpan> spans_;
+};
+
+// RAII handle for one span. Construction opens it (if the recorder is
+// enabled), destruction records it. Must be closed on the thread that
+// opened it, in LIFO order per thread — scope-bound usage guarantees
+// both.
+class Span {
+ public:
+  Span(TraceRecorder& recorder, std::string_view name);
+
+  // Convenience: attaches to TraceRecorder::Global().
+  explicit Span(std::string_view name);
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span();
+
+  // Annotates the span; shows up under "args" in the trace viewer.
+  // No-op when the recorder was disabled at construction.
+  void AddArg(std::string_view key, std::string value);
+  void AddArg(std::string_view key, uint64_t value);
+
+  bool active() const { return active_; }
+
+ private:
+  TraceRecorder* recorder_;
+  bool active_;
+  TraceSpan span_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_OBS_TRACE_H_

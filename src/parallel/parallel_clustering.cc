@@ -4,6 +4,9 @@
 
 #include "cluster/partitioner.h"
 #include "core/window_scanner.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault_injector.h"
 #include "util/timer.h"
 
@@ -26,6 +29,15 @@ Result<ParallelRunResult> ParallelClustering::Run(
   }
   KeyBuilder full_builder(key);
   MERGEPURGE_RETURN_NOT_OK(full_builder.Validate(dataset.schema()));
+
+  static LatencyHistogram* const scan_us =
+      MetricsRegistry::Global().GetHistogram(metric_names::kSnmScanUs);
+  static Counter* const passes_counter =
+      MetricsRegistry::Global().GetCounter(metric_names::kSnmPasses);
+
+  Span run_span("parallel-clustering");
+  run_span.AddArg("key", key.name);
+  run_span.AddArg("processors", static_cast<uint64_t>(num_processors_));
 
   ParallelRunResult result;
   if (dataset.empty()) return result;
@@ -91,10 +103,14 @@ Result<ParallelRunResult> ParallelClustering::Run(
                 });
       ScanStats stats = scanner.Scan(dataset, sorted, *theory, &local_pairs);
       double busy_seconds = busy.ElapsedSeconds();
+      // Metrics flush rides the commit: an attempt that loses the
+      // exactly-once race contributes nothing to the global registry.
       ctx.Commit([&] {
         result.pairs.Merge(local_pairs);
         result.comparisons += stats.comparisons;
         result.worker_busy_seconds[ctx.worker] += busy_seconds;
+        FlushScanStats(stats);
+        theory->FlushMetrics();
       });
       return Status::OK();
     });
@@ -107,6 +123,8 @@ Result<ParallelRunResult> ParallelClustering::Run(
   if (!report.status.ok()) return report.status;
 
   result.scan_seconds = phase.ElapsedSeconds();
+  scan_us->Record(static_cast<double>(phase.ElapsedMicros()));
+  passes_counter->Increment();
   result.total_seconds = total.ElapsedSeconds();
   return result;
 }

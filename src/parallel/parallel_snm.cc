@@ -2,6 +2,9 @@
 
 #include "core/sorted_neighborhood.h"
 #include "core/window_scanner.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/coordinator.h"
 #include "util/fault_injector.h"
 #include "util/timer.h"
@@ -26,6 +29,17 @@ Result<ParallelRunResult> ParallelSnm::Run(
   KeyBuilder builder(key);
   MERGEPURGE_RETURN_NOT_OK(builder.Validate(dataset.schema()));
 
+  static LatencyHistogram* const sort_us =
+      MetricsRegistry::Global().GetHistogram(metric_names::kSnmSortUs);
+  static LatencyHistogram* const scan_us =
+      MetricsRegistry::Global().GetHistogram(metric_names::kSnmScanUs);
+  static Counter* const passes_counter =
+      MetricsRegistry::Global().GetCounter(metric_names::kSnmPasses);
+
+  Span run_span("parallel-snm");
+  run_span.AddArg("key", key.name);
+  run_span.AddArg("processors", static_cast<uint64_t>(num_processors_));
+
   ParallelRunResult result;
   Timer total;
 
@@ -33,8 +47,13 @@ Result<ParallelRunResult> ParallelSnm::Run(
   // is modeled in the cost model — on one machine a shared sort is both
   // simpler and faster than simulating the exchange.)
   Timer phase;
-  std::vector<TupleId> order = SortedNeighborhood::SortByKey(dataset, key);
+  std::vector<TupleId> order;
+  {
+    Span span("sort");
+    order = SortedNeighborhood::SortByKey(dataset, key);
+  }
   result.sort_seconds = phase.ElapsedSeconds();
+  sort_us->Record(static_cast<double>(phase.ElapsedMicros()));
 
   // Merge phase: banded fragments — either one large fragment per
   // processor, or the coordinator's block-cyclic deal. Each fragment is
@@ -62,6 +81,9 @@ Result<ParallelRunResult> ParallelSnm::Run(
       MERGEPURGE_RETURN_NOT_OK(
           FaultInjector::Global().OnPoint(fault_points::kFragmentScan));
       Timer busy;
+      Span span("fragment-scan");
+      span.AddArg("begin", static_cast<uint64_t>(fragment.begin));
+      span.AddArg("end", static_cast<uint64_t>(fragment.end));
       std::unique_ptr<EquationalTheory> theory = theory_factory();
       WindowScanner scanner(window_);
       PairSet local_pairs;
@@ -69,10 +91,14 @@ Result<ParallelRunResult> ParallelSnm::Run(
                                           fragment.end, *theory,
                                           &local_pairs);
       double busy_seconds = busy.ElapsedSeconds();
+      // Metrics flush rides the commit: an attempt that loses the
+      // exactly-once race contributes nothing to the global registry.
       ctx.Commit([&] {
         result.pairs.Merge(local_pairs);
         result.comparisons += stats.comparisons;
         result.worker_busy_seconds[ctx.worker] += busy_seconds;
+        FlushScanStats(stats);
+        theory->FlushMetrics();
       });
       return Status::OK();
     });
@@ -85,6 +111,8 @@ Result<ParallelRunResult> ParallelSnm::Run(
   if (!report.status.ok()) return report.status;
 
   result.scan_seconds = phase.ElapsedSeconds();
+  scan_us->Record(static_cast<double>(phase.ElapsedMicros()));
+  passes_counter->Increment();
   result.total_seconds = total.ElapsedSeconds();
   return result;
 }

@@ -7,6 +7,9 @@
 #include <mutex>
 #include <thread>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -66,6 +69,10 @@ ResilientReport ResilientRunner::Run(
     report.status = Status::OK();
     return report;
   }
+
+  Span run_span("resilient-run");
+  run_span.AddArg("tasks", static_cast<uint64_t>(tasks.size()));
+  run_span.AddArg("workers", static_cast<uint64_t>(options_.num_workers));
 
   RunContext run(options_.num_workers);
   run.tasks = &tasks;
@@ -147,6 +154,40 @@ ResilientReport ResilientRunner::Run(
   }
   run_ = nullptr;
 
+  // One flush per Run: attempt bookkeeping is exact here (pool drained).
+  {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    static Counter* const retries =
+        registry.GetCounter(metric_names::kResilientRetries);
+    static Counter* const speculations =
+        registry.GetCounter(metric_names::kResilientSpeculations);
+    static Counter* const exhausted =
+        registry.GetCounter(metric_names::kResilientExhausted);
+    static Counter* const parallel_tasks =
+        registry.GetCounter(metric_names::kParallelTasks);
+    retries->Add(report.retries);
+    speculations->Add(report.speculations);
+    exhausted->Add(static_cast<uint64_t>(report.unprocessed.size()));
+
+    std::vector<uint64_t> per_worker(options_.num_workers, 0);
+    uint64_t committed = 0;
+    for (const TaskOutcome& outcome : report.outcomes) {
+      if (!outcome.committed) continue;
+      ++committed;
+      if (outcome.final_worker < per_worker.size()) {
+        ++per_worker[outcome.final_worker];
+      }
+    }
+    parallel_tasks->Add(committed);
+    for (size_t w = 0; w < per_worker.size(); ++w) {
+      if (per_worker[w] == 0) continue;
+      registry
+          .GetCounter(std::string(metric_names::kParallelWorkerTasksPrefix) +
+                      std::to_string(w))
+          ->Add(per_worker[w]);
+    }
+  }
+
   if (report.unprocessed.empty()) {
     report.status = Status::OK();
   } else {
@@ -175,7 +216,17 @@ void ResilientRunner::StartAttempt(size_t task_index, size_t attempt,
       delay_ms = BackoffDelayMs(state, attempt);
     }
   }
-  run.pool.Submit([this, task_index, attempt, worker, delay_ms] {
+  const Clock::time_point submitted = Clock::now();
+  run.pool.Submit([this, task_index, attempt, worker, delay_ms, submitted] {
+    // Queue wait: submission until a pool thread picks the attempt up
+    // (before any backoff sleep, which is intentional delay, not queueing).
+    static LatencyHistogram* const queue_wait_us =
+        MetricsRegistry::Global().GetHistogram(
+            metric_names::kResilientQueueWaitUs);
+    queue_wait_us->Record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              submitted)
+            .count()));
     ExecuteAttempt(task_index, attempt, worker, delay_ms);
   });
 }

@@ -4,6 +4,8 @@
 #include <array>
 #include <optional>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "record/schema.h"
 #include "text/edit_distance.h"
 #include "text/keyboard_distance.h"
@@ -74,8 +76,35 @@ std::string_view EmployeeTheory::RuleName(size_t index) {
   return kRuleNames[index];
 }
 
+void EmployeeTheory::FlushMetrics() const {
+  // Counter handles resolved once per process; the names are stable.
+  static const std::array<Counter*, kNumRules>& fired = [] {
+    static std::array<Counter*, kNumRules> counters;
+    for (size_t i = 0; i < kNumRules; ++i) {
+      counters[i] = MetricsRegistry::Global().GetCounter(
+          std::string(metric_names::kRulesFiredPrefix) +
+          std::string(kRuleNames[i]));
+    }
+    return counters;
+  }();
+  static Counter* const distance_calls =
+      MetricsRegistry::Global().GetCounter(metric_names::kRulesDistanceCalls);
+  static Counter* const early_exits =
+      MetricsRegistry::Global().GetCounter(metric_names::kRulesEarlyExits);
+
+  for (size_t i = 0; i < kNumRules; ++i) {
+    if (fire_counts_[i] != 0) fired[i]->Add(fire_counts_[i]);
+  }
+  distance_calls->Add(distance_calls_);
+  early_exits->Add(distance_early_exits_);
+  fire_counts_.fill(0);
+  distance_calls_ = 0;
+  distance_early_exits_ = 0;
+}
+
 double EmployeeTheory::Similarity(std::string_view x,
                                   std::string_view y) const {
+  ++distance_calls_;
   size_t longest = std::max(x.size(), y.size());
   if (longest == 0) return 1.0;
   switch (options_.distance) {
@@ -102,6 +131,7 @@ bool EmployeeTheory::SimilarityAtLeast(std::string_view x,
     // Keyboard distance has fractional costs; no bounded variant.
     return Similarity(x, y) >= threshold;
   }
+  ++distance_calls_;
 
   // Largest integer distance d with (1.0 - d/L) >= threshold, found by
   // evaluating the SAME floating-point expression Similarity() uses so
@@ -117,12 +147,17 @@ bool EmployeeTheory::SimilarityAtLeast(std::string_view x,
          1.0 - static_cast<double>(max_distance) / length < threshold) {
     --max_distance;
   }
-  if (max_distance < 0) return false;
+  if (max_distance < 0) {
+    // Length difference alone rules the pair out; no cells computed.
+    ++distance_early_exits_;
+    return false;
+  }
 
   int distance =
       options_.distance == EmployeeTheoryOptions::Distance::kEdit
           ? BoundedEditDistance(x, y, max_distance)
           : BoundedDamerauDistance(x, y, max_distance);
+  if (distance > max_distance) ++distance_early_exits_;
   return distance <= max_distance;
 }
 
@@ -367,6 +402,12 @@ class PairContext {
 
 int EmployeeTheory::MatchingRule(const Record& a, const Record& b) const {
   ++comparison_count_;
+  int rule = EvalRules(a, b);
+  if (rule >= 0) ++fire_counts_[static_cast<size_t>(rule)];
+  return rule;
+}
+
+int EmployeeTheory::EvalRules(const Record& a, const Record& b) const {
   const PairContext ctx(a, b, *this, options_);
 
   // Rules are checked most-specific first; the index returned matches

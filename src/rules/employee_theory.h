@@ -14,6 +14,8 @@
 #ifndef MERGEPURGE_RULES_EMPLOYEE_THEORY_H_
 #define MERGEPURGE_RULES_EMPLOYEE_THEORY_H_
 
+#include <array>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -61,6 +63,11 @@ class EmployeeTheory final : public EquationalTheory {
   uint64_t comparison_count() const override { return comparison_count_; }
   void reset_comparison_count() override { comparison_count_ = 0; }
 
+  // Adds per-rule firing counts (rules.fired.<rule-name>), distance-call
+  // and early-exit counts to the global registry and zeroes the local
+  // accumulators.
+  void FlushMetrics() const override;
+
   // Index (0-based) of the rule that declared the pair equivalent, or -1.
   int MatchingRule(const Record& a, const Record& b) const;
 
@@ -83,8 +90,17 @@ class EmployeeTheory final : public EquationalTheory {
                          double threshold) const;
 
  private:
+  // The rule cascade itself (no counting); MatchingRule wraps it with the
+  // instrumentation.
+  int EvalRules(const Record& a, const Record& b) const;
+
   EmployeeTheoryOptions options_;
   mutable uint64_t comparison_count_ = 0;
+  // Rule-level stats batched locally (instances are not shared across
+  // threads) and drained by FlushMetrics().
+  mutable std::array<uint64_t, kNumRules> fire_counts_{};
+  mutable uint64_t distance_calls_ = 0;
+  mutable uint64_t distance_early_exits_ = 0;
 };
 
 }  // namespace mergepurge

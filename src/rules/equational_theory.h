@@ -36,6 +36,15 @@ class EquationalTheory {
   // phase; used to fit the analytic model's alpha and c constants).
   virtual uint64_t comparison_count() const = 0;
   virtual void reset_comparison_count() = 0;
+
+  // Adds this theory's accumulated rule-level statistics (rule firings,
+  // distance calls, early exits) to the global MetricsRegistry and clears
+  // the local accumulators. Theories batch stats in plain members —
+  // instances are not shared across threads — and the pipeline flushes
+  // at pass boundaries (serial) or task commit (parallel), so retried or
+  // speculative executions that were abandoned never reach the registry.
+  // Default: theory exposes no rule-level metrics.
+  virtual void FlushMetrics() const {}
 };
 
 }  // namespace mergepurge

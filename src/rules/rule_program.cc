@@ -4,6 +4,8 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "rules/ast.h"
 #include "rules/parser.h"
 #include "text/edit_distance.h"
@@ -451,17 +453,35 @@ Result<RuleProgram> RuleProgram::Compile(std::string_view source,
 RuleProgram::RuleProgram(
     std::shared_ptr<const rules_internal::CompiledProgram> program)
     : program_(std::move(program)),
-      rule_fire_counts_(program_->rules.size(), 0) {}
+      rule_fire_counts_(program_->rules.size(), 0),
+      flushed_fire_counts_(program_->rules.size(), 0) {}
 
 RuleProgram::RuleProgram(const RuleProgram& other)
     : program_(other.program_),
-      rule_fire_counts_(program_->rules.size(), 0) {}
+      rule_fire_counts_(program_->rules.size(), 0),
+      flushed_fire_counts_(program_->rules.size(), 0) {}
 
 RuleProgram& RuleProgram::operator=(const RuleProgram& other) {
   program_ = other.program_;
   comparison_count_ = 0;
   rule_fire_counts_.assign(program_->rules.size(), 0);
+  flushed_fire_counts_.assign(program_->rules.size(), 0);
   return *this;
+}
+
+void RuleProgram::FlushMetrics() const {
+  // Rule names vary per program, so handles cannot be cached in statics;
+  // flushes happen once per pass/commit, not per comparison.
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (size_t i = 0; i < rule_fire_counts_.size(); ++i) {
+    uint64_t delta = rule_fire_counts_[i] - flushed_fire_counts_[i];
+    if (delta == 0) continue;
+    registry
+        .GetCounter(std::string(metric_names::kRulesFiredPrefix) +
+                    program_->rules[i].name)
+        ->Add(delta);
+    flushed_fire_counts_[i] = rule_fire_counts_[i];
+  }
 }
 
 RuleProgram::~RuleProgram() = default;

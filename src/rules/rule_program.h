@@ -70,6 +70,11 @@ class RuleProgram final : public EquationalTheory {
     return rule_fire_counts_;
   }
 
+  // Adds rule firings since the previous flush to the global registry as
+  // rules.fired.<rule-name>. rule_fire_counts() is cumulative and is NOT
+  // reset — a high-water mirror tracks what was already flushed.
+  void FlushMetrics() const override;
+
   // The purge policy assembled from the program's `merge <field>: prefer
   // <strategy>` directives (fields without a directive keep the default).
   const PurgePolicy& purge_policy() const;
@@ -81,6 +86,8 @@ class RuleProgram final : public EquationalTheory {
   std::shared_ptr<const rules_internal::CompiledProgram> program_;
   mutable uint64_t comparison_count_ = 0;
   mutable std::vector<uint64_t> rule_fire_counts_;
+  // Per-rule counts already flushed to the registry (see FlushMetrics).
+  mutable std::vector<uint64_t> flushed_fire_counts_;
 };
 
 }  // namespace mergepurge

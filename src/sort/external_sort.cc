@@ -7,12 +7,36 @@
 #include <queue>
 #include <utility>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault_injector.h"
 #include "util/string_util.h"
 
 namespace mergepurge {
 
 namespace {
+
+// `spills` is the number of run files written to disk in phase 1 (zero on
+// the in-memory fast path, where the single "run" never leaves memory).
+void FlushIoStats(const IoStats& stats, uint64_t spills) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  static Counter* const spills_counter =
+      registry.GetCounter(metric_names::kSortSpills);
+  static Counter* const merge_passes =
+      registry.GetCounter(metric_names::kSortMergePasses);
+  static Counter* const entries_written =
+      registry.GetCounter(metric_names::kSortEntriesWritten);
+  static Counter* const entries_read =
+      registry.GetCounter(metric_names::kSortEntriesRead);
+  static Counter* const initial_runs =
+      registry.GetCounter(metric_names::kSortInitialRuns);
+  spills_counter->Add(spills);
+  merge_passes->Add(static_cast<uint64_t>(stats.merge_passes));
+  entries_written->Add(stats.entries_written);
+  entries_read->Add(stats.entries_read);
+  initial_runs->Add(static_cast<uint64_t>(stats.initial_runs));
+}
 
 struct Entry {
   std::string key;
@@ -100,9 +124,12 @@ Result<std::vector<TupleId>> ExternalSorter::Sort(const Dataset& dataset,
     order.reserve(n);
     for (const Entry& entry : entries) order.push_back(entry.tid);
     local_stats.initial_runs = n > 0 ? 1 : 0;
+    FlushIoStats(local_stats, /*spills=*/0);
     if (stats != nullptr) *stats = local_stats;
     return order;
   }
+
+  Span sort_span("external-sort-spill-merge");
 
   // Phase 1: form sorted runs of at most memory_records entries.
   uint64_t unique_id =
@@ -227,6 +254,13 @@ Result<std::vector<TupleId>> ExternalSorter::Sort(const Dataset& dataset,
     runs = std::move(next_runs);
   }
 
+  sort_span.AddArg("initial_runs",
+                   static_cast<uint64_t>(local_stats.initial_runs));
+  sort_span.AddArg("merge_passes",
+                   static_cast<uint64_t>(local_stats.merge_passes));
+  sort_span.AddArg("fan_in", static_cast<uint64_t>(options_.fan_in));
+  FlushIoStats(local_stats,
+               /*spills=*/static_cast<uint64_t>(local_stats.initial_runs));
   if (stats != nullptr) *stats = local_stats;
   return order;
 }

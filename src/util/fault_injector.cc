@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <thread>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace mergepurge {
@@ -160,6 +162,9 @@ Status FaultInjector::OnPoint(const char* point) {
   }
   if (!verdict.ok()) {
     faults_injected_.fetch_add(1, std::memory_order_relaxed);
+    static Counter* const tripped =
+        MetricsRegistry::Global().GetCounter(metric_names::kFaultsTripped);
+    tripped->Increment();
     return verdict;
   }
   if (straggle_ms > 0) {

@@ -1,14 +1,20 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
 #include <cstdio>
+#include <ctime>
 #include <mutex>
+
+#include "util/thread_id.h"
 
 namespace mergepurge {
 
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<bool> g_thread_ids{false};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -29,6 +35,22 @@ std::mutex& LogMutex() {
   return *mu;
 }
 
+// "HH:MM:SS.mmm" wall-clock timestamp into `out` (size >= 16).
+void FormatTimestamp(char* out, size_t out_size) {
+  using std::chrono::system_clock;
+  const auto now = system_clock::now();
+  const std::time_t seconds = system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          now.time_since_epoch())
+          .count() %
+      1000);
+  std::tm tm_buf{};
+  localtime_r(&seconds, &tm_buf);
+  std::snprintf(out, out_size, "%02d:%02d:%02d.%03d", tm_buf.tm_hour,
+                tm_buf.tm_min, tm_buf.tm_sec, millis);
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
@@ -39,13 +61,39 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+std::optional<LogLevel> ParseLogLevel(std::string_view name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+void SetLogThreadIds(bool enabled) {
+  g_thread_ids.store(enabled, std::memory_order_relaxed);
+}
+
 void LogMessage(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) <
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
+  char timestamp[16];
+  FormatTimestamp(timestamp, sizeof(timestamp));
   std::lock_guard<std::mutex> lock(LogMutex());
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  if (g_thread_ids.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "[%s] [%s] [t%u] %s\n", timestamp,
+                 LevelName(level), CurrentThreadOrdinal(), message.c_str());
+  } else {
+    std::fprintf(stderr, "[%s] [%s] %s\n", timestamp, LevelName(level),
+                 message.c_str());
+  }
 }
 
 }  // namespace mergepurge

@@ -1,11 +1,17 @@
 // Minimal leveled logging to stderr. Used by benches and the parallel
 // coordinator; library hot paths never log.
+//
+// Line format: "[HH:MM:SS.mmm] [LEVEL] message" — with thread-id
+// prefixes enabled (SetLogThreadIds), "[HH:MM:SS.mmm] [LEVEL] [tN]
+// message", where N is the thread's dense ordinal (util/thread_id.h).
 
 #ifndef MERGEPURGE_UTIL_LOGGING_H_
 #define MERGEPURGE_UTIL_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace mergepurge {
 
@@ -15,7 +21,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
-// Emits one formatted line ("[LEVEL] message\n") to stderr if enabled.
+// Parses "debug" / "info" / "warning" (or "warn") / "error"
+// (case-insensitive); nullopt on anything else. Backs the --log-level=
+// CLI flag.
+std::optional<LogLevel> ParseLogLevel(std::string_view name);
+
+// When enabled, each line carries the emitting thread's dense ordinal —
+// useful when reading interleaved parallel-runner output. Off by default.
+void SetLogThreadIds(bool enabled);
+
+// Emits one formatted line to stderr if enabled.
 void LogMessage(LogLevel level, const std::string& message);
 
 namespace internal_logging {

@@ -1,0 +1,14 @@
+#include "util/thread_id.h"
+
+#include <atomic>
+
+namespace mergepurge {
+
+uint32_t CurrentThreadOrdinal() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+}  // namespace mergepurge

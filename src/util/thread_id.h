@@ -1,0 +1,20 @@
+// Small dense thread ids. std::this_thread::get_id() is opaque and wide;
+// observability wants compact ordinals ("t3") for log prefixes, trace
+// events and counter striping. Ordinals are assigned on first use per
+// thread, in order of first call, and are never reused within a process.
+
+#ifndef MERGEPURGE_UTIL_THREAD_ID_H_
+#define MERGEPURGE_UTIL_THREAD_ID_H_
+
+#include <cstdint>
+
+namespace mergepurge {
+
+// This thread's dense ordinal: 0 for the first thread that asks, 1 for the
+// next, and so on. Constant for the lifetime of the thread; the first call
+// pays one atomic increment, later calls read a thread-local.
+uint32_t CurrentThreadOrdinal();
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_UTIL_THREAD_ID_H_

@@ -4,6 +4,7 @@
 #define MERGEPURGE_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace mergepurge {
 
@@ -19,6 +20,15 @@ class Timer {
   }
 
   double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  // Integral microseconds, the unit trace spans are recorded in
+  // (chrome://tracing timestamps are microsecond ticks).
+  uint64_t ElapsedMicros() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                              start_)
+            .count());
+  }
 
  private:
   using Clock = std::chrono::steady_clock;

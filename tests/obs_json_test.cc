@@ -1,0 +1,120 @@
+// JsonValue: dump/parse round-trips, string escaping (including \uXXXX
+// decoding to UTF-8), 64-bit integer exactness, object order
+// preservation, and parse-error reporting.
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/json.h"
+
+namespace mergepurge {
+namespace {
+
+TEST(JsonTest, CompactDumpOfScalars) {
+  EXPECT_EQ(JsonValue().Dump(), "null");
+  EXPECT_EQ(JsonValue(true).Dump(), "true");
+  EXPECT_EQ(JsonValue(false).Dump(), "false");
+  EXPECT_EQ(JsonValue(42).Dump(), "42");
+  EXPECT_EQ(JsonValue("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrder) {
+  JsonValue object = JsonValue::Object();
+  object.Set("zebra", JsonValue(1));
+  object.Set("apple", JsonValue(2));
+  object.Set("mango", JsonValue(3));
+  EXPECT_EQ(object.Dump(), "{\"zebra\":1,\"apple\":2,\"mango\":3}");
+  object.Set("zebra", JsonValue(9));  // Replace keeps position.
+  EXPECT_EQ(object.Dump(), "{\"zebra\":9,\"apple\":2,\"mango\":3}");
+}
+
+TEST(JsonTest, RoundTripNestedDocument) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("name", JsonValue("merge/purge"));
+  doc.Set("ok", JsonValue(true));
+  doc.Set("ratio", JsonValue(0.25));
+  JsonValue passes = JsonValue::Array();
+  for (int i = 0; i < 3; ++i) {
+    JsonValue pass = JsonValue::Object();
+    pass.Set("index", JsonValue(i));
+    passes.Append(std::move(pass));
+  }
+  doc.Set("passes", std::move(passes));
+
+  for (int indent : {0, 1, 2}) {
+    Result<JsonValue> parsed = JsonValue::Parse(doc.Dump(indent));
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    EXPECT_EQ(parsed->Find("name")->string_value(), "merge/purge");
+    EXPECT_TRUE(parsed->Find("ok")->bool_value());
+    EXPECT_DOUBLE_EQ(parsed->Find("ratio")->double_value(), 0.25);
+    ASSERT_EQ(parsed->Find("passes")->size(), 3u);
+    EXPECT_EQ(parsed->Find("passes")->at(2).Find("index")->int_value(), 2);
+  }
+}
+
+TEST(JsonTest, Int64KeptExactNotCoercedThroughDouble) {
+  // 2^63 - 1 is not representable as a double; the model must keep it.
+  const int64_t big = std::numeric_limits<int64_t>::max();
+  JsonValue doc = JsonValue::Object();
+  doc.Set("big", JsonValue(big));
+  Result<JsonValue> parsed = JsonValue::Parse(doc.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("big")->kind(), JsonValue::Kind::kInt);
+  EXPECT_EQ(parsed->Find("big")->int_value(), big);
+}
+
+TEST(JsonTest, EscapesControlCharactersAndQuotes) {
+  JsonValue value(std::string("a\"b\\c\n\t\x01"));
+  std::string dumped = value.Dump();
+  EXPECT_EQ(dumped, "\"a\\\"b\\\\c\\n\\t\\u0001\"");
+  Result<JsonValue> parsed = JsonValue::Parse(dumped);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->string_value(), "a\"b\\c\n\t\x01");
+}
+
+TEST(JsonTest, DecodesUnicodeEscapesToUtf8) {
+  // U+00E9 (é) -> 2 bytes; U+2603 (snowman) -> 3 bytes.
+  Result<JsonValue> parsed = JsonValue::Parse("\"caf\\u00e9 \\u2603\"");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->string_value(), "caf\xC3\xA9 \xE2\x98\x83");
+}
+
+TEST(JsonTest, ParseErrorsAreParseStatus) {
+  const char* kBadDocs[] = {
+      "",             // Empty.
+      "{",            // Unterminated object.
+      "[1, 2",        // Unterminated array.
+      "{\"a\" 1}",    // Missing colon.
+      "\"unclosed",   // Unterminated string.
+      "nul",          // Bad literal.
+      "1 trailing",   // Trailing garbage.
+      "{\"a\":1,}",   // Trailing comma.
+  };
+  for (const char* text : kBadDocs) {
+    Result<JsonValue> parsed = JsonValue::Parse(text);
+    EXPECT_FALSE(parsed.ok()) << "should reject: " << text;
+  }
+}
+
+TEST(JsonTest, ParsesWhitespaceAndNegativeNumbers) {
+  Result<JsonValue> parsed =
+      JsonValue::Parse("  { \"a\" : [ -5 , -2.5 , 1e3 ] }  ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const JsonValue* array = parsed->Find("a");
+  ASSERT_NE(array, nullptr);
+  EXPECT_EQ(array->at(0).int_value(), -5);
+  EXPECT_DOUBLE_EQ(array->at(1).double_value(), -2.5);
+  EXPECT_DOUBLE_EQ(array->at(2).double_value(), 1000.0);
+}
+
+TEST(JsonTest, JsonEscapeHelperMatchesDump) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("line\nbreak"), "line\\nbreak");
+}
+
+}  // namespace
+}  // namespace mergepurge

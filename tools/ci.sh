@@ -24,4 +24,21 @@ run_suite() {
 run_suite "${root}/build" -DMERGEPURGE_SANITIZE=""
 run_suite "${root}/build-san" "-DMERGEPURGE_SANITIZE=address;undefined"
 
-echo "ci: plain and sanitized suites passed"
+# End-to-end observability contract: a generated CLI run must produce a
+# run report and a Chrome trace whose required keys all resolve
+# (docs/observability.md documents both schemas).
+obs_dir="$(mktemp -d)"
+trap 'rm -rf "${obs_dir}"' EXIT
+echo "=== obs e2e (${obs_dir}) ==="
+"${root}/build/tools/mergepurge" --gen=2000 --output="${obs_dir}/out.csv" \
+  --metrics-out="${obs_dir}/metrics.json" \
+  --trace-out="${obs_dir}/trace.json" --progress --log-level=info
+"${root}/build/tools/validate_report" --file="${obs_dir}/metrics.json" \
+  passes closure outcome \
+  counters/snm.windows counters/snm.comparisons counters/snm.matches \
+  counters/closure.unions counters/resilient.retries \
+  counters/faults.tripped histograms/snm.scan_us histograms/closure.us
+"${root}/build/tools/validate_report" --file="${obs_dir}/trace.json" \
+  traceEvents displayTimeUnit
+
+echo "ci: plain and sanitized suites passed; obs e2e validated"

@@ -25,6 +25,19 @@
 //              [--faults=SPEC]             (arm fault-injection points,
 //                                           e.g. "io.pairs_write=fail:1";
 //                                           see util/fault_injector.h)
+//              [--gen=N]                   (instead of --input: synthesize
+//                                           N original records plus
+//                                           duplicates with the paper's
+//                                           generator)
+//              [--gen-seed=S]              (generator seed; default 42)
+//              [--metrics-out=FILE.json]   (machine-readable run report:
+//                                           config, per-pass stats, full
+//                                           metrics snapshot)
+//              [--trace-out=FILE.json]     (phase spans in Chrome
+//                                           trace-event format; load in
+//                                           chrome://tracing or Perfetto)
+//              [--progress]                (live phase progress on stderr)
+//              [--log-level=LEVEL]         (debug|info|warning|error)
 //
 // Exit codes: 0 success, 1 runtime failure (I/O, parse, engine), 2 usage
 // error (unknown flag, bad flag value, missing required flag).
@@ -43,12 +56,17 @@
 #include "eval/experiment.h"
 #include "eval/table_printer.h"
 #include "core/multipass.h"
+#include "gen/generator.h"
 #include "io/csv.h"
 #include "io/pairs_io.h"
 #include "keys/standard_keys.h"
+#include "obs/progress.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
 #include "rules/employee_theory.h"
 #include "rules/rule_program.h"
 #include "util/fault_injector.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 using namespace mergepurge;
@@ -63,13 +81,15 @@ constexpr const char* kUsage =
     "[--method=snm|cluster] [--window=N] [--keys=...] [--rules=FILE] "
     "[--clusters=N] [--spell-city] [--entities=FILE] [--report] "
     "[--pairs-out=PREFIX] [--pairs-in=a.mpp,...] [--resume=DIR] "
-    "[--faults=SPEC]";
+    "[--faults=SPEC] [--gen=N] [--gen-seed=S] [--metrics-out=FILE.json] "
+    "[--trace-out=FILE.json] [--progress] [--log-level=LEVEL]";
 
 // Every flag the tool understands; anything else is a usage error.
 constexpr const char* kKnownFlags[] = {
     "input",    "output",   "method",   "window",   "keys",
     "rules",    "clusters", "spell-city", "entities", "report",
-    "pairs-out", "pairs-in", "resume",  "faults",
+    "pairs-out", "pairs-in", "resume",  "faults",   "gen",
+    "gen-seed", "metrics-out", "trace-out", "progress", "log-level",
 };
 
 int Fail(const std::string& message) {
@@ -122,8 +142,32 @@ int main(int argc, char** argv) {
     }
     if (!known) return UsageError("unknown flag --" + name);
   }
-  if (!args.Has("input") || !args.Has("output")) {
-    return UsageError("--input and --output are required");
+  if (args.Has("input") == args.Has("gen")) {
+    return UsageError("exactly one of --input and --gen is required");
+  }
+  if (!args.Has("output")) {
+    return UsageError("--output is required");
+  }
+
+  if (args.Has("log-level")) {
+    std::string level_name = args.GetString("log-level", "");
+    std::optional<LogLevel> level = ParseLogLevel(level_name);
+    if (!level) {
+      return UsageError("bad --log-level '" + level_name +
+                        "' (expected debug, info, warning, or error)");
+    }
+    SetLogLevel(*level);
+  }
+  int64_t gen_records = args.GetInt("gen", 0);
+  if (args.Has("gen") && gen_records < 1) {
+    return UsageError("--gen must be >= 1 (got " +
+                      args.GetString("gen", "") + ")");
+  }
+  if (args.GetBool("progress", false)) {
+    ProgressReporter::Global().Enable();
+  }
+  if (args.Has("trace-out")) {
+    TraceRecorder::Global().Enable();
   }
 
   if (args.Has("faults")) {
@@ -161,11 +205,25 @@ int main(int argc, char** argv) {
                       "' (expected snm or cluster)");
   }
 
-  // --- Load and concatenate the sources. ---
+  // --- Load and concatenate the sources (or synthesize them). ---
   Schema schema = employee::MakeSchema();
   Dataset combined(schema);
-  const std::string input_list = args.GetString("input", "");
-  for (std::string_view path_view : SplitView(input_list, ',')) {
+  if (args.Has("gen")) {
+    GeneratorConfig gen_config;
+    gen_config.num_records = static_cast<size_t>(gen_records);
+    gen_config.seed = static_cast<uint64_t>(args.GetInt("gen-seed", 42));
+    Result<GeneratedDatabase> generated =
+        DatabaseGenerator(gen_config).Generate();
+    if (!generated.ok()) return Fail(generated.status().ToString());
+    combined = std::move(generated->dataset);
+    std::fprintf(stderr, "generated %zu records (%lld originals)\n",
+                 combined.size(), static_cast<long long>(gen_records));
+  }
+  const std::string input_list =
+      args.Has("input") ? args.GetString("input", "") : std::string();
+  for (std::string_view path_view :
+       input_list.empty() ? std::vector<std::string_view>{}
+                          : SplitView(input_list, ',')) {
     std::string path(path_view);
     Result<Dataset> source = ReadCsvFile(schema, path);
     if (!source.ok()) {
@@ -270,6 +328,42 @@ int main(int argc, char** argv) {
     if (!entities_write.ok()) return Fail(entities_write.ToString());
     std::fprintf(stderr, "wrote entity mapping to %s\n",
                  entities_path.c_str());
+  }
+
+  // --- Observability outputs (after all pipeline work). ---
+  if (args.Has("metrics-out")) {
+    RunReport run_report("mergepurge");
+    run_report.SetConfig("method", JsonValue(method));
+    run_report.SetConfig("window",
+                         JsonValue(static_cast<uint64_t>(options.window)));
+    run_report.SetConfig(
+        "keys", JsonValue(args.GetString("keys",
+                                         "last-name,first-name,address")));
+    if (args.Has("gen")) {
+      run_report.SetConfig("gen",
+                           JsonValue(static_cast<uint64_t>(gen_records)));
+      run_report.SetConfig(
+          "gen_seed",
+          JsonValue(static_cast<uint64_t>(args.GetInt("gen-seed", 42))));
+    } else {
+      run_report.SetConfig("input", JsonValue(input_list));
+    }
+    run_report.SetDataset(combined.size(), schema.num_fields());
+    run_report.SetMultiPass(result->detail);
+    run_report.SetOutcome(true);
+    run_report.CaptureMetrics();
+    std::string metrics_path = args.GetString("metrics-out", "");
+    Status report_write = run_report.WriteToFile(metrics_path);
+    if (!report_write.ok()) return Fail(report_write.ToString());
+    std::fprintf(stderr, "wrote run report to %s\n", metrics_path.c_str());
+  }
+  if (args.Has("trace-out")) {
+    std::string trace_path = args.GetString("trace-out", "");
+    Status trace_write =
+        TraceRecorder::Global().ExportChromeJson(trace_path);
+    if (!trace_write.ok()) return Fail(trace_write.ToString());
+    std::fprintf(stderr, "wrote %zu trace spans to %s\n",
+                 TraceRecorder::Global().span_count(), trace_path.c_str());
   }
   return 0;
 }

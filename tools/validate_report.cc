@@ -1,0 +1,91 @@
+// validate_report — asserts a JSON document contains required key paths.
+//
+//   validate_report --file=report.json counters/snm.comparisons \
+//                   counters/closure.unions passes
+//
+// Each positional argument is a '/'-separated path of object keys; the
+// tool exits 0 iff the file parses as JSON and every path resolves.
+// Used by tools/ci.sh to validate the CLI's --metrics-out and
+// --trace-out documents end to end.
+//
+// Exit codes: 0 all paths present, 1 parse failure or missing path,
+// 2 usage error.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "util/string_util.h"
+
+using namespace mergepurge;
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: validate_report --file=doc.json key/path [key/path...]";
+
+// Walks `path` ("a/b/c") through nested objects from `root`.
+bool ResolvePath(const JsonValue& root, const std::string& path) {
+  const JsonValue* node = &root;
+  for (std::string_view key : SplitView(path, '/')) {
+    if (!node->is_object()) return false;
+    const JsonValue* child = node->Find(key);
+    if (child == nullptr) return false;
+    node = child;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string file;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--file=", 0) == 0) {
+      file = arg.substr(7);
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "validate_report: unknown flag %s\n%s\n",
+                   arg.c_str(), kUsage);
+      return 2;
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  if (file.empty() || paths.empty()) {
+    std::fprintf(stderr, "validate_report: need --file= and >= 1 path\n%s\n",
+                 kUsage);
+    return 2;
+  }
+
+  std::ifstream in(file, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "validate_report: cannot open %s\n", file.c_str());
+    return 1;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  Result<JsonValue> doc = JsonValue::Parse(text.str());
+  if (!doc.ok()) {
+    std::fprintf(stderr, "validate_report: %s: %s\n", file.c_str(),
+                 doc.status().ToString().c_str());
+    return 1;
+  }
+
+  int missing = 0;
+  for (const std::string& path : paths) {
+    if (!ResolvePath(*doc, path)) {
+      std::fprintf(stderr, "validate_report: %s: missing %s\n",
+                   file.c_str(), path.c_str());
+      ++missing;
+    }
+  }
+  if (missing > 0) return 1;
+  std::printf("validate_report: %s: %zu paths present\n", file.c_str(),
+              paths.size());
+  return 0;
+}
