@@ -32,6 +32,13 @@ Result<uint64_t> IncrementalMergePurge::AddBatch(
         "condition_records=true requires the employee schema");
   }
 
+  // Any admitted record changes the partition (at minimum it adds a
+  // singleton), so drop the label cache before mutating.
+  {
+    std::lock_guard<std::mutex> lock(labels_mu_);
+    labels_valid_ = false;
+  }
+
   // Condition a private copy of the batch, then append to the store.
   Dataset conditioned;
   const Dataset* incoming = &batch;
@@ -119,8 +126,72 @@ Result<uint64_t> IncrementalMergePurge::AddBatch(
   return new_pairs;
 }
 
+Result<ProbeResult> IncrementalMergePurge::MatchOnly(
+    const Record& record, const EquationalTheory& theory) const {
+  if (options_.keys.empty()) {
+    return Status::InvalidArgument("no keys configured");
+  }
+  if (options_.window < 2) {
+    return Status::InvalidArgument("window must be >= 2");
+  }
+  ProbeResult result;
+  if (all_.empty()) return result;
+
+  Record probe = record;
+  if (options_.condition_records) ConditionEmployeeRecord(&probe);
+
+  const size_t w = options_.window;
+  std::vector<char> matched(all_.size(), 0);
+  for (const KeyState& state : key_states_) {
+    KeyBuilder builder(state.spec);
+    MERGEPURGE_RETURN_NOT_OK(builder.Validate(all_.schema()));
+    const std::string probe_key = builder.BuildKey(probe);
+    // A probe admitted now would carry the largest tuple id, so among
+    // equal keys it sorts after every existing record (AddBatch's
+    // tie-break): its position is the first entry with a greater key.
+    const auto pos = std::upper_bound(
+        state.order.begin(), state.order.end(), probe_key,
+        [&state](const std::string& key, TupleId t) {
+          return key.compare(state.keys[t]) < 0;
+        });
+    const size_t p = static_cast<size_t>(pos - state.order.begin());
+    // Neighbors that would land at distances 1..w-1 before the probe.
+    const size_t lo = p >= w - 1 ? p - (w - 1) : 0;
+    for (size_t q = lo; q < p; ++q) {
+      const TupleId t = state.order[q];
+      if (matched[t]) continue;
+      if (theory.Matches(all_.record(t), probe)) {
+        matched[t] = 1;
+        result.matches.push_back(t);
+      }
+    }
+    // ... and at distances 1..w-1 after it.
+    const size_t hi = std::min(state.order.size(), p + (w - 1));
+    for (size_t q = p; q < hi; ++q) {
+      const TupleId t = state.order[q];
+      if (matched[t]) continue;
+      if (theory.Matches(probe, all_.record(t))) {
+        matched[t] = 1;
+        result.matches.push_back(t);
+      }
+    }
+  }
+  std::sort(result.matches.begin(), result.matches.end());
+  return result;
+}
+
+const std::vector<uint32_t>& IncrementalMergePurge::CachedComponentLabels()
+    const {
+  std::lock_guard<std::mutex> lock(labels_mu_);
+  if (!labels_valid_) {
+    labels_cache_ = closure_.ComponentLabels();
+    labels_valid_ = true;
+  }
+  return labels_cache_;
+}
+
 std::vector<uint32_t> IncrementalMergePurge::ComponentLabels() const {
-  return closure_.ComponentLabels();
+  return CachedComponentLabels();
 }
 
 Dataset IncrementalMergePurge::Purge() const {

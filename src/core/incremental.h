@@ -24,6 +24,7 @@
 #ifndef MERGEPURGE_CORE_INCREMENTAL_H_
 #define MERGEPURGE_CORE_INCREMENTAL_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,13 @@
 
 namespace mergepurge {
 
+// Result of a read-only probe (MatchOnly): the tuple ids the candidate
+// matched inside the disturbed windows, deduplicated across key passes and
+// sorted ascending. The probe record itself is never admitted.
+struct ProbeResult {
+  std::vector<TupleId> matches;
+};
+
 class IncrementalMergePurge {
  public:
   // keys/window as in MergePurgeOptions; condition_records applies the
@@ -48,6 +56,19 @@ class IncrementalMergePurge {
   Result<uint64_t> AddBatch(const Dataset& batch,
                             const EquationalTheory& theory);
 
+  // Read-only probe: conditions and keys `record` exactly as AddBatch
+  // would, finds its would-be position in every key's sorted order, and
+  // window-scans the neighborhoods it would disturb — without copying the
+  // record into the store or touching any engine state. The tuple ids
+  // returned are exactly the old-record side of the pairs AddBatch would
+  // discover for a singleton batch of `record`.
+  //
+  // Thread-safety: concurrent MatchOnly calls are safe provided no
+  // AddBatch runs concurrently (single-writer / multi-reader; the service
+  // layer enforces this with a shared_mutex).
+  Result<ProbeResult> MatchOnly(const Record& record,
+                                const EquationalTheory& theory) const;
+
   // All records accepted so far (conditioned if the option is on); tuple
   // ids are stable across batches.
   const Dataset& records() const { return all_; }
@@ -58,7 +79,19 @@ class IncrementalMergePurge {
   const PairSet& pairs() const { return pairs_; }
 
   // Current equivalence classes (transitive closure over all batches).
+  // Canonically labeled (smallest tuple id of each class, see
+  // UnionFind::ComponentLabels). The labeling is computed at most once per
+  // batch: results are cached and invalidated by AddBatch, so per-request
+  // callers (the match service) pay O(1) amortized instead of an O(n)
+  // closure walk per call.
   std::vector<uint32_t> ComponentLabels() const;
+
+  // Zero-copy variant: a reference to the internal label cache, rebuilt
+  // if a batch invalidated it. The reference stays valid and constant
+  // until the next AddBatch. Concurrent callers serialize only on the
+  // (cheap) cache check; the union-find itself is never mutated by
+  // readers once the cache is warm.
+  const std::vector<uint32_t>& CachedComponentLabels() const;
 
   // Number of distinct entities so far.
   size_t NumEntities() const { return closure_.NumSets(); }
@@ -78,6 +111,13 @@ class IncrementalMergePurge {
   std::vector<KeyState> key_states_;
   PairSet pairs_;
   mutable UnionFind closure_{0};
+
+  // Component-label cache. labels_mu_ guards both fields AND the path
+  // compression inside closure_.ComponentLabels() during a rebuild, so
+  // concurrent readers never race on the union-find's parent array.
+  mutable std::mutex labels_mu_;
+  mutable bool labels_valid_ = false;
+  mutable std::vector<uint32_t> labels_cache_;
 };
 
 }  // namespace mergepurge

@@ -1,0 +1,82 @@
+// SignalDrain: one SIGINT/SIGTERM story for every long-running binary.
+//
+// Both the batch CLI and the online server must flush their observability
+// sinks (--metrics-out run report, --trace-out Chrome trace) when the
+// operator interrupts them; the server additionally needs a *graceful*
+// drain — stop accepting, finish in-flight requests, then flush. Doing
+// any of that inside a signal handler is undefined behaviour (JSON
+// serialization allocates), so SignalDrain uses the sigwait idiom
+// instead: it blocks SIGINT/SIGTERM in the installing thread — and, via
+// mask inheritance, in every thread spawned afterwards — and parks a
+// dedicated watcher thread in sigwait(). When a signal arrives the
+// watcher runs the registered drain callbacks on its own (ordinary,
+// signal-safe) thread, in registration order.
+//
+// Two termination modes:
+//   * exit mode (default, the CLI): after the callbacks run, the process
+//     _exit()s with the conventional 128+signo code;
+//   * cooperative mode (the server): callbacks only request a drain
+//     (e.g. Server::RequestDrain) and the main thread finishes shutdown
+//     and exits normally.
+//
+// Install() must run before any other thread is created, or those threads
+// keep the default disposition and the process can die without draining.
+
+#ifndef MERGEPURGE_OBS_DRAIN_H_
+#define MERGEPURGE_OBS_DRAIN_H_
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace mergepurge {
+
+class SignalDrain {
+ public:
+  // The process-wide instance; signals are inherently global state.
+  static SignalDrain& Global();
+
+  SignalDrain(const SignalDrain&) = delete;
+  SignalDrain& operator=(const SignalDrain&) = delete;
+
+  // Blocks SIGINT and SIGTERM in the calling thread and starts the
+  // watcher. Idempotent; call first thing in main(), before any thread
+  // (thread pools, batcher) is spawned so they inherit the mask.
+  void Install();
+
+  // Registers a callback to run (watcher thread, registration order) when
+  // a drain signal arrives. The signal number is passed through. Safe to
+  // call before or after Install().
+  void OnSignal(std::function<void(int)> callback);
+
+  // exit mode (default true): _exit(128 + signo) after the callbacks.
+  // Set false for cooperative shutdown (server mode).
+  void set_exit_after_callbacks(bool exit_after) {
+    exit_after_callbacks_.store(exit_after, std::memory_order_relaxed);
+  }
+
+  // True once a drain signal has been received.
+  bool triggered() const {
+    return signal_number_.load(std::memory_order_acquire) != 0;
+  }
+  // The signal received, or 0 if none yet.
+  int signal_number() const {
+    return signal_number_.load(std::memory_order_acquire);
+  }
+
+ private:
+  SignalDrain() = default;
+
+  void WatcherLoop();
+
+  std::atomic<bool> installed_{false};
+  std::atomic<bool> exit_after_callbacks_{true};
+  std::atomic<int> signal_number_{0};
+  std::mutex mu_;  // Guards callbacks_.
+  std::vector<std::function<void(int)>> callbacks_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_OBS_DRAIN_H_

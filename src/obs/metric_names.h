@@ -72,6 +72,35 @@ inline constexpr char kCheckpointLoads[] = "checkpoint.loads";
 inline constexpr char kCheckpointInvalidations[] =
     "checkpoint.invalidations";
 
+// --- Online match/upsert service (src/service). Counted at the server,
+// not the client: loadgen-side latencies live under service.client.*. ---
+inline constexpr char kServiceConnections[] = "service.connections";
+inline constexpr char kServiceConnectionsRejected[] =
+    "service.connections_rejected";
+inline constexpr char kServiceRequests[] = "service.requests";
+inline constexpr char kServiceMatchRequests[] = "service.match_requests";
+inline constexpr char kServiceUpsertRequests[] = "service.upsert_requests";
+inline constexpr char kServiceUpsertRecords[] = "service.upsert_records";
+inline constexpr char kServiceErrors[] = "service.errors";
+inline constexpr char kServiceBatches[] = "service.batches";
+inline constexpr char kServiceRequestUs[] = "service.request_us";   // Hist.
+inline constexpr char kServiceMatchUs[] = "service.match_us";       // Hist.
+inline constexpr char kServiceUpsertUs[] = "service.upsert_us";     // Hist.
+// Time an upsert spends queued in the batcher before its batch commits.
+inline constexpr char kServiceQueueWaitUs[] =
+    "service.queue_wait_us";                                        // Hist.
+// Records per committed batch (coalescing effectiveness).
+inline constexpr char kServiceBatchRecords[] =
+    "service.batch_records";                                        // Hist.
+
+// --- Loadgen client-side measurements (tools/mergepurge_loadgen). ---
+inline constexpr char kServiceClientRequestUs[] =
+    "service.client.request_us";                                    // Hist.
+inline constexpr char kServiceClientMatchUs[] =
+    "service.client.match_us";                                      // Hist.
+inline constexpr char kServiceClientUpsertUs[] =
+    "service.client.upsert_us";                                     // Hist.
+
 }  // namespace metric_names
 
 // Registers every catalogued fixed-name metric in `registry` so snapshots

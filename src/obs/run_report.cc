@@ -19,13 +19,26 @@ void PreregisterStandardMetrics(MetricsRegistry& registry) {
         mn::kClosurePathCompressions, mn::kParallelTasks,
         mn::kResilientRetries, mn::kResilientSpeculations,
         mn::kResilientExhausted, mn::kFaultsTripped, mn::kCheckpointSaves,
-        mn::kCheckpointLoads, mn::kCheckpointInvalidations}) {
+        mn::kCheckpointLoads, mn::kCheckpointInvalidations,
+        mn::kServiceConnections, mn::kServiceConnectionsRejected,
+        mn::kServiceRequests, mn::kServiceMatchRequests,
+        mn::kServiceUpsertRequests, mn::kServiceUpsertRecords,
+        mn::kServiceErrors, mn::kServiceBatches}) {
     registry.GetCounter(name);
   }
-  for (const char* name : {mn::kSnmScanUs, mn::kSnmSortUs, mn::kClosureUs,
-                           mn::kResilientQueueWaitUs}) {
+  for (const char* name :
+       {mn::kSnmScanUs, mn::kSnmSortUs, mn::kClosureUs,
+        mn::kResilientQueueWaitUs, mn::kServiceRequestUs,
+        mn::kServiceMatchUs, mn::kServiceUpsertUs, mn::kServiceQueueWaitUs,
+        mn::kServiceClientRequestUs, mn::kServiceClientMatchUs,
+        mn::kServiceClientUpsertUs}) {
     registry.GetHistogram(name);
   }
+  // Batch sizes are small integers, not microseconds: count-scaled
+  // buckets (1..~1k by x2) instead of the default latency scale.
+  registry.GetHistogram(
+      mn::kServiceBatchRecords,
+      LatencyHistogram::ExponentialBounds(1.0, 2.0, 11));
 }
 
 RunReport::RunReport(std::string tool, MetricsRegistry* registry)

@@ -1,0 +1,144 @@
+#include "service/batcher.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace mergepurge {
+
+UpsertBatcher::UpsertBatcher(BatcherOptions options, CommitFn commit)
+    : options_(options), commit_(std::move(commit)) {
+  if (options_.max_batch_records == 0) options_.max_batch_records = 1;
+  writer_ = std::thread([this] { WriterLoop(); });
+}
+
+UpsertBatcher::~UpsertBatcher() { Drain(); }
+
+std::future<Result<std::vector<uint32_t>>> UpsertBatcher::Submit(
+    std::vector<Record> records) {
+  PendingUpsert pending;
+  pending.records = std::move(records);
+  pending.enqueued_at = std::chrono::steady_clock::now();
+  std::future<Result<std::vector<uint32_t>>> future =
+      pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) {
+      pending.promise.set_value(
+          Status::InvalidArgument("batcher is draining"));
+      return future;
+    }
+    pending_records_ += pending.records.size();
+    pending_.push_back(std::move(pending));
+  }
+  pending_cv_.notify_all();
+  return future;
+}
+
+void UpsertBatcher::Drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (drained_) return;
+    drained_ = true;
+    stop_ = true;
+  }
+  pending_cv_.notify_all();
+  if (writer_.joinable()) writer_.join();
+}
+
+std::vector<size_t> UpsertBatcher::committed_batch_sizes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_sizes_;
+}
+
+uint64_t UpsertBatcher::batches_committed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batch_sizes_.size();
+}
+
+void UpsertBatcher::WriterLoop() {
+  static Counter* const batches =
+      MetricsRegistry::Global().GetCounter(metric_names::kServiceBatches);
+  static LatencyHistogram* const batch_records =
+      MetricsRegistry::Global().GetHistogram(
+          metric_names::kServiceBatchRecords,
+          LatencyHistogram::ExponentialBounds(1.0, 2.0, 11));
+  static LatencyHistogram* const queue_wait_us =
+      MetricsRegistry::Global().GetHistogram(
+          metric_names::kServiceQueueWaitUs);
+
+  const auto max_delay = std::chrono::duration_cast<
+      std::chrono::steady_clock::duration>(
+      std::chrono::duration<double, std::milli>(options_.max_delay_ms));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    pending_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (pending_.empty()) return;  // stop_ and nothing left to flush.
+
+    // Group-commit window: wait for more requests until the batch fills
+    // or the oldest request's deadline expires. A stop request flushes
+    // immediately.
+    const auto deadline = pending_.front().enqueued_at + max_delay;
+    while (!stop_ && pending_records_ < options_.max_batch_records) {
+      if (pending_cv_.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        break;
+      }
+    }
+
+    // Take whole requests until the batch is full (a single request is
+    // never split across batches: its records must land in one AddBatch
+    // so its labels come from one commit).
+    std::vector<PendingUpsert> taken;
+    size_t taken_records = 0;
+    while (!pending_.empty() &&
+           (taken.empty() ||
+            taken_records + pending_.front().records.size() <=
+                options_.max_batch_records)) {
+      taken_records += pending_.front().records.size();
+      taken.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    pending_records_ -= taken_records;
+    lock.unlock();
+
+    const auto commit_start = std::chrono::steady_clock::now();
+    std::vector<Record> combined;
+    combined.reserve(taken_records);
+    for (PendingUpsert& upsert : taken) {
+      for (Record& record : upsert.records) {
+        combined.push_back(std::move(record));
+      }
+      queue_wait_us->Record(
+          std::chrono::duration<double, std::micro>(commit_start -
+                                                    upsert.enqueued_at)
+              .count());
+    }
+
+    Result<std::vector<uint32_t>> labels = commit_(std::move(combined));
+    batches->Increment();
+    batch_records->Record(static_cast<double>(taken_records));
+
+    if (!labels.ok()) {
+      for (PendingUpsert& upsert : taken) {
+        upsert.promise.set_value(labels.status());
+      }
+    } else {
+      size_t offset = 0;
+      for (PendingUpsert& upsert : taken) {
+        const size_t n = upsert.records.size();
+        upsert.promise.set_value(std::vector<uint32_t>(
+            labels->begin() + offset, labels->begin() + offset + n));
+        offset += n;
+      }
+    }
+
+    lock.lock();
+    if (labels.ok()) batch_sizes_.push_back(taken_records);
+  }
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,103 @@
+// UpsertBatcher: coalesces concurrent upsert requests into one engine
+// batch under a latency deadline.
+//
+// Why: IncrementalMergePurge::AddBatch pays one linear merge of the whole
+// sorted order PER KEY PER BATCH — O(keys * n) regardless of batch size —
+// so admitting records one request at a time is quadratic in the number
+// of requests. Coalescing K concurrent requests into one batch amortizes
+// the merges K-fold while adding at most `max_delay_ms` of latency: the
+// classic group-commit trade.
+//
+// One writer thread owns all commits (the engine is single-writer /
+// multi-reader); requesters park on a future. A batch commits as soon as
+// either `max_batch_records` records are pending or `max_delay_ms` has
+// elapsed since the OLDEST pending request arrived — so under light load
+// a lone upsert waits the full deadline at worst, and under heavy load
+// batches fill instantly and the deadline never binds.
+
+#ifndef MERGEPURGE_SERVICE_BATCHER_H_
+#define MERGEPURGE_SERVICE_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "record/record.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+struct BatcherOptions {
+  // Commit as soon as this many records are pending.
+  size_t max_batch_records = 256;
+
+  // Latency deadline: commit no later than this after the oldest pending
+  // request arrived, even if the batch is small.
+  double max_delay_ms = 2.0;
+};
+
+class UpsertBatcher {
+ public:
+  // `commit` admits one coalesced batch and returns one entity label per
+  // record, in order. It runs exclusively on the batcher's writer thread.
+  using CommitFn =
+      std::function<Result<std::vector<uint32_t>>(std::vector<Record>)>;
+
+  UpsertBatcher(BatcherOptions options, CommitFn commit);
+
+  // Drains on destruction if Drain() was not called.
+  ~UpsertBatcher();
+
+  UpsertBatcher(const UpsertBatcher&) = delete;
+  UpsertBatcher& operator=(const UpsertBatcher&) = delete;
+
+  // Enqueues the records and returns a future that resolves to their
+  // entity labels (or the commit error) once the containing batch
+  // commits. After Drain() the future resolves immediately to an error.
+  std::future<Result<std::vector<uint32_t>>> Submit(
+      std::vector<Record> records);
+
+  // Flushes everything pending, then stops the writer thread. Idempotent.
+  void Drain();
+
+  // Sizes (in records) of every committed batch, in commit order. The
+  // exact serial replay schedule: feeding these slices of the admitted
+  // record sequence to AddBatch reproduces the service's partition
+  // (tests/service_test.cc holds the service to that). Call after
+  // Drain(); during operation it returns a snapshot.
+  std::vector<size_t> committed_batch_sizes() const;
+
+  uint64_t batches_committed() const;
+
+ private:
+  struct PendingUpsert {
+    std::vector<Record> records;
+    std::promise<Result<std::vector<uint32_t>>> promise;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
+  void WriterLoop();
+
+  BatcherOptions options_;
+  CommitFn commit_;
+
+  mutable std::mutex mu_;
+  std::condition_variable pending_cv_;
+  std::deque<PendingUpsert> pending_;
+  size_t pending_records_ = 0;
+  bool stop_ = false;
+  bool drained_ = false;
+  std::vector<size_t> batch_sizes_;
+
+  std::thread writer_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_SERVICE_BATCHER_H_

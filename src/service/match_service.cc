@@ -1,0 +1,177 @@
+#include "service/match_service.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "util/timer.h"
+
+namespace mergepurge {
+
+// RAII lease of a theory instance from the pool (see header: theories are
+// not shareable across threads, so each in-flight request gets its own).
+class MatchService::TheoryLease {
+ public:
+  explicit TheoryLease(const MatchService* service) : service_(service) {
+    {
+      std::lock_guard<std::mutex> lock(service_->theory_mu_);
+      if (!service_->theory_pool_.empty()) {
+        theory_ = std::move(service_->theory_pool_.back());
+        service_->theory_pool_.pop_back();
+      }
+    }
+    if (theory_ == nullptr) theory_ = service_->theory_factory_();
+  }
+
+  ~TheoryLease() {
+    std::lock_guard<std::mutex> lock(service_->theory_mu_);
+    service_->theory_pool_.push_back(std::move(theory_));
+  }
+
+  EquationalTheory& operator*() const { return *theory_; }
+
+ private:
+  const MatchService* service_;
+  std::unique_ptr<EquationalTheory> theory_;
+};
+
+MatchService::MatchService(MatchServiceOptions options,
+                           TheoryFactory theory_factory)
+    : options_(options),
+      theory_factory_(std::move(theory_factory)),
+      engine_(options.engine) {
+  batcher_ = std::make_unique<UpsertBatcher>(
+      options_.batcher, [this](std::vector<Record> records) {
+        return CommitBatch(std::move(records));
+      });
+}
+
+MatchService::~MatchService() { Drain(); }
+
+std::shared_lock<std::shared_mutex> MatchService::ReaderLock() const {
+  // Hold off while the writer is waiting (see writer_waiting_ in the
+  // header); otherwise a tight reader loop starves commits forever.
+  while (writer_waiting_.load(std::memory_order_acquire) != 0) {
+    std::this_thread::yield();
+  }
+  return std::shared_lock<std::shared_mutex>(engine_mu_);
+}
+
+Result<MatchService::MatchOutcome> MatchService::Match(
+    const Record& record) const {
+  static LatencyHistogram* const match_us =
+      MetricsRegistry::Global().GetHistogram(metric_names::kServiceMatchUs);
+  static Counter* const match_requests =
+      MetricsRegistry::Global().GetCounter(
+          metric_names::kServiceMatchRequests);
+  Timer timer;
+  match_requests->Increment();
+
+  MatchOutcome outcome;
+  {
+    std::shared_lock<std::shared_mutex> lock = ReaderLock();
+    TheoryLease theory(this);
+    Result<ProbeResult> probe = engine_.MatchOnly(record, *theory);
+    if (!probe.ok()) return probe.status();
+    outcome.matches = std::move(probe->matches);
+    if (!outcome.matches.empty()) {
+      const std::vector<uint32_t>& labels = engine_.CachedComponentLabels();
+      outcome.entities.reserve(outcome.matches.size());
+      for (TupleId t : outcome.matches) {
+        outcome.entities.push_back(labels[t]);
+      }
+      std::sort(outcome.entities.begin(), outcome.entities.end());
+      outcome.entities.erase(
+          std::unique(outcome.entities.begin(), outcome.entities.end()),
+          outcome.entities.end());
+      outcome.entity = outcome.entities.front();
+    }
+  }
+  match_us->Record(static_cast<double>(timer.ElapsedMicros()));
+  return outcome;
+}
+
+Result<MatchService::UpsertOutcome> MatchService::Upsert(
+    std::vector<Record> records) {
+  static LatencyHistogram* const upsert_us =
+      MetricsRegistry::Global().GetHistogram(
+          metric_names::kServiceUpsertUs);
+  static Counter* const upsert_requests =
+      MetricsRegistry::Global().GetCounter(
+          metric_names::kServiceUpsertRequests);
+  static Counter* const upsert_records =
+      MetricsRegistry::Global().GetCounter(
+          metric_names::kServiceUpsertRecords);
+  Timer timer;
+  upsert_requests->Increment();
+  upsert_records->Add(records.size());
+
+  std::future<Result<std::vector<uint32_t>>> future =
+      batcher_->Submit(std::move(records));
+  Result<std::vector<uint32_t>> labels = future.get();
+  if (!labels.ok()) return labels.status();
+
+  UpsertOutcome outcome;
+  outcome.entities = std::move(*labels);
+  outcome.new_pairs =
+      last_batch_new_pairs_.load(std::memory_order_relaxed);
+  upsert_us->Record(static_cast<double>(timer.ElapsedMicros()));
+  return outcome;
+}
+
+Result<std::vector<uint32_t>> MatchService::CommitBatch(
+    std::vector<Record> records) {
+  Dataset batch(engine_.records().schema().num_fields() > 0
+                    ? engine_.records().schema()
+                    : employee::MakeSchema());
+  batch.Reserve(records.size());
+  for (Record& record : records) batch.Append(std::move(record));
+
+  writer_waiting_.fetch_add(1, std::memory_order_acq_rel);
+  std::unique_lock<std::shared_mutex> lock(engine_mu_);
+  writer_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+  TheoryLease theory(this);
+  const size_t first_new = engine_.size();
+  Result<uint64_t> added = engine_.AddBatch(batch, *theory);
+  if (!added.ok()) return added.status();
+  last_batch_new_pairs_.store(*added, std::memory_order_relaxed);
+  // Rebuild the label cache while still exclusive, so concurrent readers
+  // after this commit only ever hit the warm cache.
+  const std::vector<uint32_t>& labels = engine_.CachedComponentLabels();
+  return std::vector<uint32_t>(labels.begin() + first_new, labels.end());
+}
+
+MatchService::Stats MatchService::GetStats() const {
+  std::shared_lock<std::shared_mutex> lock = ReaderLock();
+  Stats stats;
+  stats.records = engine_.size();
+  stats.entities = engine_.NumEntities();
+  stats.pairs = engine_.pairs().size();
+  return stats;
+}
+
+void MatchService::Drain() {
+  batcher_->Drain();
+  // Flush the pooled theories' batched rule statistics into the global
+  // registry so the final run report carries them.
+  std::lock_guard<std::mutex> lock(theory_mu_);
+  for (const auto& theory : theory_pool_) theory->FlushMetrics();
+}
+
+Dataset MatchService::CopyRecords() const {
+  std::shared_lock<std::shared_mutex> lock = ReaderLock();
+  return engine_.records();
+}
+
+std::vector<uint32_t> MatchService::ComponentLabels() const {
+  std::shared_lock<std::shared_mutex> lock = ReaderLock();
+  return engine_.ComponentLabels();
+}
+
+std::vector<size_t> MatchService::committed_batch_sizes() const {
+  return batcher_->committed_batch_sizes();
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,143 @@
+// MatchService: the concurrency façade that turns the single-threaded
+// IncrementalMergePurge into a safely shared online engine.
+//
+// Concurrency model (documented in docs/service.md):
+//   * single writer / multiple readers over a std::shared_mutex;
+//   * ALL writes flow through one UpsertBatcher writer thread, which
+//     takes the exclusive lock only for the AddBatch call itself (plus
+//     the label-cache rebuild) — queueing and coalescing happen outside
+//     the lock, so a Match never serializes behind the batching window,
+//     only behind the (short) commit critical section;
+//   * Match takes the shared lock and uses the engine's read-only probe
+//     (MatchOnly) plus the cached component labels, so readers never
+//     mutate engine state and any number run concurrently.
+//
+// Equational theories batch rule statistics in plain (non-atomic)
+// members, so instances must not be shared across threads. The service
+// therefore takes a theory FACTORY and maintains a pool: each in-flight
+// request leases an instance, and the lease returns it when done. Pool
+// size ≈ peak concurrent requests (bounded by the server's worker count).
+
+#ifndef MERGEPURGE_SERVICE_MATCH_SERVICE_H_
+#define MERGEPURGE_SERVICE_MATCH_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <vector>
+
+#include "core/incremental.h"
+#include "service/batcher.h"
+
+namespace mergepurge {
+
+struct MatchServiceOptions {
+  // Keys / window / conditioning for the resident incremental engine.
+  MergePurgeOptions engine;
+  BatcherOptions batcher;
+};
+
+class MatchService {
+ public:
+  // The factory is called whenever the lease pool is empty; instances
+  // are reused across requests but never across concurrent ones.
+  using TheoryFactory = std::function<std::unique_ptr<EquationalTheory>()>;
+
+  MatchService(MatchServiceOptions options, TheoryFactory theory_factory);
+  ~MatchService();
+
+  MatchService(const MatchService&) = delete;
+  MatchService& operator=(const MatchService&) = delete;
+
+  struct MatchOutcome {
+    // Entity label of the best (smallest-label) matched component, or
+    // nullopt when nothing matched.
+    std::optional<uint32_t> entity;
+    // Matched tuple ids, ascending.
+    std::vector<TupleId> matches;
+    // Distinct entity labels of the matches, ascending. More than one
+    // means the probe bridges components the engine has not (yet) merged.
+    std::vector<uint32_t> entities;
+  };
+
+  // Read-only probe; never admits the record. Safe from any thread.
+  Result<MatchOutcome> Match(const Record& record) const;
+
+  struct UpsertOutcome {
+    // One entity label per submitted record, in submission order.
+    std::vector<uint32_t> entities;
+    // New matching pairs discovered by the COMMITTED BATCH containing
+    // this request (batch-level, not per-request: coalescing makes a
+    // per-request attribution ill-defined).
+    uint64_t new_pairs = 0;
+  };
+
+  // Admits records via the batcher; blocks until their batch commits
+  // (bounded by the batcher deadline plus commit time).
+  Result<UpsertOutcome> Upsert(std::vector<Record> records);
+
+  struct Stats {
+    uint64_t records = 0;
+    uint64_t entities = 0;
+    uint64_t pairs = 0;
+  };
+  Stats GetStats() const;
+
+  // Flushes pending upserts and stops the writer thread. Further Upserts
+  // fail; Match/GetStats keep working on the frozen state. Idempotent.
+  void Drain();
+
+  // --- Post-drain inspection (final reports, contract tests). ---
+
+  // Copy of all admitted records in admission order.
+  Dataset CopyRecords() const;
+
+  // Entity partition over the admitted records.
+  std::vector<uint32_t> ComponentLabels() const;
+
+  // Committed batch sizes in commit order (see UpsertBatcher).
+  std::vector<size_t> committed_batch_sizes() const;
+
+  uint64_t batches_committed() const {
+    return batcher_->batches_committed();
+  }
+
+ private:
+  class TheoryLease;
+
+  // Acquires the shared lock, yielding first while a writer is waiting.
+  std::shared_lock<std::shared_mutex> ReaderLock() const;
+
+  // Batcher commit hook: the only writer of engine_.
+  Result<std::vector<uint32_t>> CommitBatch(std::vector<Record> records);
+
+  MatchServiceOptions options_;
+  TheoryFactory theory_factory_;
+
+  mutable std::shared_mutex engine_mu_;
+  // Write-preference gate. glibc's rwlock is reader-preferring: a steady
+  // stream of Match calls can starve the batcher's writer thread
+  // indefinitely. The writer raises this before blocking on the
+  // exclusive lock; readers spin-yield while it is raised, so in-flight
+  // reads finish but new ones queue behind the commit.
+  mutable std::atomic<int> writer_waiting_{0};
+  IncrementalMergePurge engine_;
+
+  // new_pairs of the most recent committed batch (read by Upsert after
+  // its future resolves; racy reads across batches are acceptable for a
+  // batch-level diagnostic and documented as such).
+  std::atomic<uint64_t> last_batch_new_pairs_{0};
+
+  mutable std::mutex theory_mu_;
+  mutable std::vector<std::unique_ptr<EquationalTheory>> theory_pool_;
+
+  std::unique_ptr<UpsertBatcher> batcher_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_SERVICE_MATCH_SERVICE_H_

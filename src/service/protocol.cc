@@ -1,0 +1,270 @@
+#include "service/protocol.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+const char* ServiceErrorCodeName(ServiceErrorCode code) {
+  switch (code) {
+    case ServiceErrorCode::kBadJson:
+      return "bad_json";
+    case ServiceErrorCode::kBadRequest:
+      return "bad_request";
+    case ServiceErrorCode::kUnknownOp:
+      return "unknown_op";
+    case ServiceErrorCode::kBadRecord:
+      return "bad_record";
+    case ServiceErrorCode::kFrameTooLarge:
+      return "frame_too_large";
+    case ServiceErrorCode::kTooManyConnections:
+      return "too_many_connections";
+    case ServiceErrorCode::kDraining:
+      return "draining";
+    case ServiceErrorCode::kInternal:
+      return "internal";
+  }
+  return "internal";
+}
+
+JsonValue RecordToJson(const Schema& schema, const Record& record) {
+  JsonValue out = JsonValue::Object();
+  for (FieldId f = 0; f < schema.num_fields(); ++f) {
+    std::string_view value = record.field(f);
+    // Empty fields are omitted; decoding treats absent as empty, so the
+    // round trip is exact and match probes stay small on the wire.
+    if (!value.empty()) {
+      out.Set(schema.field_name(f), JsonValue(value));
+    }
+  }
+  return out;
+}
+
+bool RecordFromJson(const Schema& schema, const JsonValue& value,
+                    std::string_view where, Record* out,
+                    ServiceError* error) {
+  if (!value.is_object()) {
+    *error = {ServiceErrorCode::kBadRecord,
+              std::string(where) + " must be a JSON object"};
+    return false;
+  }
+  Record record(std::vector<std::string>(schema.num_fields()));
+  for (const auto& [key, field_value] : value.members()) {
+    FieldId f = schema.FieldIndex(key);
+    if (f == kInvalidField) {
+      *error = {ServiceErrorCode::kBadRecord,
+                std::string(where) + ": unknown field '" + key + "'"};
+      return false;
+    }
+    if (!field_value.is_string()) {
+      *error = {ServiceErrorCode::kBadRecord,
+                std::string(where) + ": field '" + key +
+                    "' must be a string"};
+      return false;
+    }
+    record.set_field(f, field_value.string_value());
+  }
+  *out = std::move(record);
+  return true;
+}
+
+bool ParseRequest(std::string_view line, const Schema& schema,
+                  ServiceRequest* out, ServiceError* error) {
+  Result<JsonValue> parsed = JsonValue::Parse(line);
+  if (!parsed.ok()) {
+    *error = {ServiceErrorCode::kBadJson, parsed.status().message()};
+    return false;
+  }
+  const JsonValue& doc = *parsed;
+  if (!doc.is_object()) {
+    *error = {ServiceErrorCode::kBadJson, "request must be a JSON object"};
+    return false;
+  }
+  // Reject unknown members outright: a misspelled key silently ignored is
+  // a client bug that would otherwise surface as wrong answers.
+  for (const auto& [key, value] : doc.members()) {
+    (void)value;
+    if (key != "op" && key != "id" && key != "record" && key != "records") {
+      *error = {ServiceErrorCode::kBadRequest,
+                "unknown request member '" + key + "'"};
+      return false;
+    }
+  }
+
+  const JsonValue* op = doc.Find("op");
+  if (op == nullptr || !op->is_string()) {
+    *error = {ServiceErrorCode::kBadRequest,
+              "request needs a string \"op\" member"};
+    return false;
+  }
+
+  ServiceRequest request;
+  if (const JsonValue* id = doc.Find("id")) request.id = *id;
+
+  const std::string& name = op->string_value();
+  const JsonValue* record = doc.Find("record");
+  const JsonValue* records = doc.Find("records");
+  if (name == "match") {
+    request.op = ServiceRequest::Op::kMatch;
+    if (record == nullptr || records != nullptr) {
+      *error = {ServiceErrorCode::kBadRequest,
+                "match takes exactly a \"record\" member"};
+      return false;
+    }
+    Record r;
+    if (!RecordFromJson(schema, *record, "record", &r, error)) return false;
+    request.records.push_back(std::move(r));
+  } else if (name == "upsert") {
+    request.op = ServiceRequest::Op::kUpsert;
+    if (records == nullptr || record != nullptr || !records->is_array() ||
+        records->size() == 0) {
+      *error = {ServiceErrorCode::kBadRequest,
+                "upsert takes a non-empty \"records\" array"};
+      return false;
+    }
+    request.records.reserve(records->size());
+    for (size_t i = 0; i < records->size(); ++i) {
+      Record r;
+      if (!RecordFromJson(schema, records->at(i),
+                          "records[" + std::to_string(i) + "]", &r, error)) {
+        return false;
+      }
+      request.records.push_back(std::move(r));
+    }
+  } else if (name == "ping" || name == "stats") {
+    request.op = name == "ping" ? ServiceRequest::Op::kPing
+                                : ServiceRequest::Op::kStats;
+    if (record != nullptr || records != nullptr) {
+      *error = {ServiceErrorCode::kBadRequest,
+                name + " takes no record payload"};
+      return false;
+    }
+  } else {
+    *error = {ServiceErrorCode::kUnknownOp,
+              "unknown op '" + name +
+                  "' (expected match, upsert, ping, or stats)"};
+    return false;
+  }
+  *out = std::move(request);
+  return true;
+}
+
+namespace {
+
+JsonValue ResponseBase(const JsonValue* id, bool ok) {
+  JsonValue out = JsonValue::Object();
+  out.Set("ok", JsonValue(ok));
+  if (id != nullptr) out.Set("id", *id);
+  return out;
+}
+
+std::string FinishLine(JsonValue doc) { return doc.Dump(0) + "\n"; }
+
+}  // namespace
+
+std::string MatchResponseLine(const JsonValue* id,
+                              std::optional<uint32_t> entity,
+                              const std::vector<TupleId>& matches,
+                              const std::vector<uint32_t>& entities) {
+  JsonValue out = ResponseBase(id, true);
+  out.Set("entity", entity.has_value()
+                        ? JsonValue(static_cast<uint64_t>(*entity))
+                        : JsonValue());
+  JsonValue match_array = JsonValue::Array();
+  for (TupleId t : matches) {
+    match_array.Append(JsonValue(static_cast<uint64_t>(t)));
+  }
+  out.Set("matches", std::move(match_array));
+  JsonValue entity_array = JsonValue::Array();
+  for (uint32_t e : entities) {
+    entity_array.Append(JsonValue(static_cast<uint64_t>(e)));
+  }
+  out.Set("entities", std::move(entity_array));
+  return FinishLine(std::move(out));
+}
+
+std::string UpsertResponseLine(const JsonValue* id,
+                               const std::vector<uint32_t>& entities,
+                               uint64_t new_pairs) {
+  JsonValue out = ResponseBase(id, true);
+  JsonValue entity_array = JsonValue::Array();
+  for (uint32_t e : entities) {
+    entity_array.Append(JsonValue(static_cast<uint64_t>(e)));
+  }
+  out.Set("entities", std::move(entity_array));
+  out.Set("new_pairs", JsonValue(new_pairs));
+  return FinishLine(std::move(out));
+}
+
+std::string PingResponseLine(const JsonValue* id) {
+  JsonValue out = ResponseBase(id, true);
+  out.Set("pong", JsonValue(true));
+  return FinishLine(std::move(out));
+}
+
+std::string StatsResponseLine(const JsonValue* id, uint64_t records,
+                              uint64_t entities, uint64_t pairs) {
+  JsonValue out = ResponseBase(id, true);
+  out.Set("records", JsonValue(records));
+  out.Set("entities", JsonValue(entities));
+  out.Set("pairs", JsonValue(pairs));
+  return FinishLine(std::move(out));
+}
+
+std::string ErrorResponseLine(const JsonValue* id,
+                              const ServiceError& error) {
+  JsonValue out = ResponseBase(id, false);
+  JsonValue err = JsonValue::Object();
+  err.Set("code", JsonValue(ServiceErrorCodeName(error.code)));
+  err.Set("message", JsonValue(error.message));
+  out.Set("error", std::move(err));
+  return FinishLine(std::move(out));
+}
+
+Result<JsonValue> ParseResponseLine(std::string_view line) {
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  return JsonValue::Parse(line);
+}
+
+// --- LineFrameReader. ---
+
+bool LineFrameReader::Append(std::string_view data) {
+  if (overflowed_) return false;
+  buffer_.append(data.data(), data.size());
+  // Only the first pending line can be checked here; NextLine() checks
+  // each subsequent one as it surfaces.
+  if (buffer_.find('\n', consumed_) == std::string::npos &&
+      buffer_.size() - consumed_ > max_line_bytes_) {
+    overflowed_ = true;
+  }
+  return !overflowed_;
+}
+
+bool LineFrameReader::NextLine(std::string* out) {
+  if (overflowed_) return false;
+  const size_t nl = buffer_.find('\n', consumed_);
+  if (nl == std::string::npos) {
+    if (buffer_.size() - consumed_ > max_line_bytes_) overflowed_ = true;
+    // Compact the consumed prefix while idle so long-lived connections
+    // don't grow the buffer without bound.
+    if (consumed_ > 0) {
+      buffer_.erase(0, consumed_);
+      consumed_ = 0;
+    }
+    return false;
+  }
+  if (nl - consumed_ > max_line_bytes_) {
+    overflowed_ = true;
+    return false;
+  }
+  size_t length = nl - consumed_;
+  if (length > 0 && buffer_[consumed_ + length - 1] == '\r') --length;
+  out->assign(buffer_, consumed_, length);
+  consumed_ = nl + 1;
+  return true;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,141 @@
+// Wire protocol of the online merge/purge service: newline-delimited JSON
+// (one request object per line, one response object per line) over a
+// byte stream. The full request/response shapes and error codes are
+// specified in docs/service.md; this header is the single in-process
+// source of truth for both the server and the loadgen client.
+//
+// Requests:
+//   {"op":"match","record":{<field>:<string>,...}[,"id":<any>]}
+//   {"op":"upsert","records":[{...},...][,"id":<any>]}
+//   {"op":"ping"[,"id":<any>]}
+//   {"op":"stats"[,"id":<any>]}
+//
+// Responses always carry "ok" and echo "id" when the request had one:
+//   {"ok":true,...}                          — op-specific payload
+//   {"ok":false,"error":{"code":..,"message":..}}
+//
+// Framing is LineFrameReader below: requests are split on '\n' ('\r'
+// tolerated before it), with a hard per-line byte limit. A line that
+// exceeds the limit is unrecoverable (the reader cannot tell where the
+// next request starts reliably without buffering the oversized payload),
+// so the server answers frame_too_large and closes the connection.
+
+#ifndef MERGEPURGE_SERVICE_PROTOCOL_H_
+#define MERGEPURGE_SERVICE_PROTOCOL_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+#include "record/dataset.h"
+#include "record/record.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+// Typed error vocabulary of the wire protocol. Names (ErrorCodeName) are
+// part of the public contract — never renamed once shipped.
+enum class ServiceErrorCode {
+  kBadJson,          // Line is not a JSON object.
+  kBadRequest,       // Valid JSON, wrong shape (missing/ill-typed member).
+  kUnknownOp,        // "op" is none of match/upsert/ping/stats.
+  kBadRecord,        // A record object has unknown fields or non-strings.
+  kFrameTooLarge,    // Line exceeded the server's byte limit; fatal.
+  kTooManyConnections,  // Connection cap reached; fatal.
+  kDraining,         // Server is shutting down; request not admitted.
+  kInternal,         // Engine-side failure.
+};
+
+// Stable wire name, e.g. "bad_json".
+const char* ServiceErrorCodeName(ServiceErrorCode code);
+
+struct ServiceError {
+  ServiceErrorCode code = ServiceErrorCode::kInternal;
+  std::string message;
+};
+
+struct ServiceRequest {
+  enum class Op { kMatch, kUpsert, kPing, kStats };
+
+  Op op = Op::kPing;
+  // Echoed verbatim into the response when present.
+  std::optional<JsonValue> id;
+  // kMatch: exactly one record; kUpsert: one or more.
+  std::vector<Record> records;
+};
+
+// --- Record <-> JSON. Records travel as objects keyed by schema field
+// name; all values are strings (the record model is string fields).
+// Absent fields decode as empty; unknown keys and non-string values are
+// kBadRecord errors rather than silently dropped, so client bugs surface
+// immediately. ---
+
+JsonValue RecordToJson(const Schema& schema, const Record& record);
+
+// `where` names the record in error messages ("record", "records[3]").
+bool RecordFromJson(const Schema& schema, const JsonValue& value,
+                    std::string_view where, Record* out, ServiceError* error);
+
+// Parses one request line. Returns false and fills `error` on any
+// protocol violation; `out` is valid only on success.
+bool ParseRequest(std::string_view line, const Schema& schema,
+                  ServiceRequest* out, ServiceError* error);
+
+// --- Response builders. Every builder returns one complete line
+// including the trailing '\n'. `id` may be nullptr (no echo). ---
+
+std::string MatchResponseLine(const JsonValue* id,
+                              std::optional<uint32_t> entity,
+                              const std::vector<TupleId>& matches,
+                              const std::vector<uint32_t>& entities);
+
+std::string UpsertResponseLine(const JsonValue* id,
+                               const std::vector<uint32_t>& entities,
+                               uint64_t new_pairs);
+
+std::string PingResponseLine(const JsonValue* id);
+
+std::string StatsResponseLine(const JsonValue* id, uint64_t records,
+                              uint64_t entities, uint64_t pairs);
+
+std::string ErrorResponseLine(const JsonValue* id, const ServiceError& error);
+
+// Parses a response line (loadgen / tests). Returns the parsed object;
+// error status when the line is not valid JSON.
+Result<JsonValue> ParseResponseLine(std::string_view line);
+
+// --- Framing. ---
+
+// Incremental newline-splitter with a hard per-line byte limit. Feed raw
+// socket reads with Append(); drain complete lines with NextLine(). Once
+// the buffered partial line exceeds max_line_bytes the reader enters the
+// overflowed state permanently (the connection must be closed).
+class LineFrameReader {
+ public:
+  explicit LineFrameReader(size_t max_line_bytes)
+      : max_line_bytes_(max_line_bytes) {}
+
+  // Appends raw bytes. Returns false if the reader (now) overflowed.
+  bool Append(std::string_view data);
+
+  // Pops the next complete line (without the newline; a trailing '\r' is
+  // stripped). Returns false when no complete line is buffered.
+  bool NextLine(std::string* out);
+
+  bool overflowed() const { return overflowed_; }
+
+  // Bytes of the current incomplete line (diagnostics / tests).
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  size_t max_line_bytes_;
+  std::string buffer_;
+  size_t consumed_ = 0;  // Prefix of buffer_ already returned as lines.
+  bool overflowed_ = false;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_SERVICE_PROTOCOL_H_

@@ -1,0 +1,314 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace mergepurge {
+
+namespace {
+
+// One socket read per iteration of the connection loop.
+constexpr size_t kReadChunkBytes = 16 * 1024;
+
+void CloseQuietly(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options, MatchService* service)
+    : options_(std::move(options)),
+      service_(service),
+      schema_(employee::MakeSchema()) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.max_connections == 0) options_.max_connections = 1;
+}
+
+Server::~Server() {
+  RequestDrain();
+  Join();
+}
+
+Result<uint16_t> Server::Start() {
+  // A peer closing mid-write must surface as a send() error on that
+  // connection, not kill the process.
+  ::signal(SIGPIPE, SIG_IGN);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    return Status::IoError(StringPrintf("socket: %s", strerror(errno)));
+  }
+  int on = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &on, sizeof(on));
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(),
+                  &addr.sin_addr) != 1) {
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    return Status::InvalidArgument("bad bind address '" +
+                                   options_.bind_address + "'");
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    Status status = Status::IoError(
+        StringPrintf("bind %s:%u: %s", options_.bind_address.c_str(),
+                     options_.port, strerror(errno)));
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    Status status =
+        Status::IoError(StringPrintf("listen: %s", strerror(errno)));
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) != 0) {
+    Status status =
+        Status::IoError(StringPrintf("getsockname: %s", strerror(errno)));
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  pool_ = std::make_unique<ThreadPool>(options_.num_workers);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  MERGEPURGE_LOG(kInfo) << "serving on " << options_.bind_address << ":" << port_
+           << " (" << options_.num_workers << " workers, cap "
+           << options_.max_connections << " connections)";
+  return port_;
+}
+
+void Server::RequestDrain() {
+  bool expected = false;
+  if (!draining_.compare_exchange_strong(expected, true)) return;
+  // Wake the blocked accept() (Linux returns EINVAL after shutdown).
+  if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
+  // Wake every blocked read; SHUT_RD leaves response writes working.
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (int fd : open_fds_) ::shutdown(fd, SHUT_RD);
+}
+
+void Server::Join() {
+  bool expected = false;
+  if (!joined_.compare_exchange_strong(expected, true)) return;
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (pool_ != nullptr) pool_->Wait();
+  if (listen_fd_ >= 0) {
+    CloseQuietly(listen_fd_);
+    listen_fd_ = -1;
+  }
+  service_->Drain();
+  MERGEPURGE_LOG(kInfo) << "drained: " << connections_accepted_.load()
+           << " connections served";
+}
+
+void Server::AcceptLoop() {
+  static Counter* const connections = MetricsRegistry::Global().GetCounter(
+      metric_names::kServiceConnections);
+  static Counter* const rejected = MetricsRegistry::Global().GetCounter(
+      metric_names::kServiceConnectionsRejected);
+
+  while (!draining()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      if (draining()) break;
+      MERGEPURGE_LOG(kWarning) << "accept: " << strerror(errno);
+      break;
+    }
+    if (draining()) {
+      CloseQuietly(fd);
+      break;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    if (active_connections_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      rejected->Increment();
+      WriteAll(fd, ErrorResponseLine(
+                       nullptr, {ServiceErrorCode::kTooManyConnections,
+                                 "connection cap reached"}));
+      CloseQuietly(fd);
+      continue;
+    }
+    connections->Increment();
+    active_connections_.fetch_add(1, std::memory_order_relaxed);
+    RegisterConnection(fd);
+    pool_->Submit([this, fd] { HandleConnection(fd); });
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  if (options_.idle_timeout_ms > 0) {
+    timeval tv;
+    tv.tv_sec = options_.idle_timeout_ms / 1000;
+    tv.tv_usec = (options_.idle_timeout_ms % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  LineFrameReader reader(options_.max_line_bytes);
+  char buffer[kReadChunkBytes];
+  std::string line;
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, buffer, sizeof(buffer), 0);
+    if (n == 0) break;  // Peer closed (or drain shut the read side).
+    if (n < 0) {
+      // EAGAIN/EWOULDBLOCK is the idle timeout firing; anything else is
+      // a dead peer. Either way the connection is done.
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (!reader.Append(std::string_view(buffer, static_cast<size_t>(n)))) {
+      WriteAll(fd, ErrorResponseLine(
+                       nullptr, {ServiceErrorCode::kFrameTooLarge,
+                                 StringPrintf("request line exceeds %zu "
+                                              "bytes",
+                                              options_.max_line_bytes)}));
+      break;
+    }
+    while (reader.NextLine(&line)) {
+      if (!WriteAll(fd, ProcessLine(line))) {
+        open = false;
+        break;
+      }
+    }
+    if (open && reader.overflowed()) {
+      WriteAll(fd, ErrorResponseLine(
+                       nullptr, {ServiceErrorCode::kFrameTooLarge,
+                                 StringPrintf("request line exceeds %zu "
+                                              "bytes",
+                                              options_.max_line_bytes)}));
+      break;
+    }
+  }
+  UnregisterConnection(fd);
+  CloseQuietly(fd);
+  active_connections_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::string Server::ProcessLine(const std::string& line) {
+  static Counter* const requests = MetricsRegistry::Global().GetCounter(
+      metric_names::kServiceRequests);
+  static Counter* const errors =
+      MetricsRegistry::Global().GetCounter(metric_names::kServiceErrors);
+  static LatencyHistogram* const request_us =
+      MetricsRegistry::Global().GetHistogram(
+          metric_names::kServiceRequestUs);
+
+  Timer timer;
+  requests->Increment();
+
+  ServiceRequest request;
+  ServiceError error;
+  if (!ParseRequest(line, schema_, &request, &error)) {
+    errors->Increment();
+    request_us->Record(static_cast<double>(timer.ElapsedMicros()));
+    return ErrorResponseLine(nullptr, error);
+  }
+  const JsonValue* id =
+      request.id.has_value() ? &request.id.value() : nullptr;
+
+  std::string response;
+  switch (request.op) {
+    case ServiceRequest::Op::kPing:
+      response = PingResponseLine(id);
+      break;
+    case ServiceRequest::Op::kStats: {
+      Span span("service-stats");
+      MatchService::Stats stats = service_->GetStats();
+      response = StatsResponseLine(id, stats.records, stats.entities,
+                                   stats.pairs);
+      break;
+    }
+    case ServiceRequest::Op::kMatch: {
+      Span span("service-match");
+      Result<MatchService::MatchOutcome> outcome =
+          service_->Match(request.records.front());
+      if (!outcome.ok()) {
+        errors->Increment();
+        response = ErrorResponseLine(
+            id, {ServiceErrorCode::kInternal,
+                 outcome.status().ToString()});
+      } else {
+        response = MatchResponseLine(id, outcome->entity,
+                                     outcome->matches, outcome->entities);
+      }
+      break;
+    }
+    case ServiceRequest::Op::kUpsert: {
+      if (draining()) {
+        errors->Increment();
+        response = ErrorResponseLine(
+            id, {ServiceErrorCode::kDraining,
+                 "server is draining; upsert not admitted"});
+        break;
+      }
+      Span span("service-upsert");
+      span.AddArg("records",
+                  static_cast<uint64_t>(request.records.size()));
+      Result<MatchService::UpsertOutcome> outcome =
+          service_->Upsert(std::move(request.records));
+      if (!outcome.ok()) {
+        errors->Increment();
+        response = ErrorResponseLine(
+            id, {ServiceErrorCode::kInternal,
+                 outcome.status().ToString()});
+      } else {
+        response =
+            UpsertResponseLine(id, outcome->entities, outcome->new_pairs);
+      }
+      break;
+    }
+  }
+  request_us->Record(static_cast<double>(timer.ElapsedMicros()));
+  return response;
+}
+
+bool Server::WriteAll(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n =
+        ::send(fd, data.data(), data.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+void Server::RegisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  open_fds_.insert(fd);
+  // Registering during a drain means the accept raced RequestDrain's fd
+  // sweep; shut the read side now so the worker sees EOF immediately.
+  if (draining()) ::shutdown(fd, SHUT_RD);
+}
+
+void Server::UnregisterConnection(int fd) {
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  open_fds_.erase(fd);
+}
+
+}  // namespace mergepurge

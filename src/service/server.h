@@ -1,0 +1,132 @@
+// Server: the socket front end of the online merge/purge service.
+//
+// A dedicated accept thread hands each connection to the shared
+// ThreadPool (util/thread_pool.h); a worker owns the connection for its
+// lifetime — reads newline-delimited JSON requests (service/protocol.h),
+// dispatches them to the MatchService, and writes one response line per
+// request. Defences, all testable without a real client:
+//
+//   * per-line byte limit (LineFrameReader): oversized frames get a
+//     frame_too_large error and the connection is closed;
+//   * idle timeout: a connection that sends nothing for idle_timeout_ms
+//     is closed (SO_RCVTIMEO, no timer thread);
+//   * connection cap: beyond max_connections, new connections receive a
+//     too_many_connections error line and are closed immediately;
+//   * malformed input (bad JSON, wrong shape, bad records) gets a typed
+//     error line and the connection STAYS open — line framing preserves
+//     sync;
+//   * abrupt disconnects and mid-frame closes just end the connection;
+//     the worker returns to the pool.
+//
+// Graceful drain (SIGTERM via obs/drain.h, or RequestDrain() directly):
+// stop accepting, wake every blocked read, finish requests already
+// buffered (upserts arriving after the drain began are refused with a
+// "draining" error), flush the batcher, then Join() returns so the
+// binary can write its final --metrics-out report.
+
+#ifndef MERGEPURGE_SERVICE_SERVER_H_
+#define MERGEPURGE_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "record/schema.h"
+#include "service/match_service.h"
+#include "service/protocol.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace mergepurge {
+
+struct ServerOptions {
+  // IPv4 address to bind; the service is a backend, loopback by default.
+  std::string bind_address = "127.0.0.1";
+
+  // 0 picks an ephemeral port (Start() returns the actual one).
+  uint16_t port = 7733;
+
+  // Connection-handling workers. A worker owns one connection at a time,
+  // so this is also the number of connections served CONCURRENTLY;
+  // accepted connections beyond it wait for a free worker.
+  size_t num_workers = 8;
+
+  // Hard cap on connections admitted at once (serving + waiting).
+  size_t max_connections = 64;
+
+  // Per-request-line byte limit.
+  size_t max_line_bytes = 1 << 20;
+
+  // Close a connection after this long without a complete read.
+  // 0 disables the timeout.
+  int idle_timeout_ms = 30000;
+};
+
+class Server {
+ public:
+  // `service` must outlive the server.
+  Server(ServerOptions options, MatchService* service);
+
+  // Drains and joins if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  // Binds, listens, and starts the accept thread. Returns the bound port.
+  Result<uint16_t> Start();
+
+  uint16_t port() const { return port_; }
+
+  // Begins a graceful drain: stops accepting and wakes blocked reads.
+  // Thread-safe and idempotent; callable from a SignalDrain callback.
+  void RequestDrain();
+
+  // Blocks until the accept thread and every connection have finished,
+  // then drains the MatchService. Call after RequestDrain() (or let a
+  // signal trigger it). Idempotent.
+  void Join();
+
+  bool draining() const {
+    return draining_.load(std::memory_order_acquire);
+  }
+
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  // Parses and dispatches one request line; returns the response line.
+  std::string ProcessLine(const std::string& line);
+  static bool WriteAll(int fd, std::string_view data);
+
+  void RegisterConnection(int fd);
+  void UnregisterConnection(int fd);
+
+  ServerOptions options_;
+  MatchService* service_;
+  Schema schema_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> joined_{false};
+
+  std::unique_ptr<ThreadPool> pool_;
+  std::thread accept_thread_;
+
+  std::mutex conn_mu_;
+  std::set<int> open_fds_;
+  std::atomic<size_t> active_connections_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_SERVICE_SERVER_H_

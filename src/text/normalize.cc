@@ -117,27 +117,32 @@ std::string NormalizeDigits(std::string_view s) {
   return out;
 }
 
+void ConditionEmployeeRecord(Record* record) {
+  Record& r = *record;
+  r.set_field(employee::kSsn,
+              NormalizeDigits(r.field(employee::kSsn)));
+  r.set_field(employee::kFirstName,
+              NormalizeName(r.field(employee::kFirstName)));
+  r.set_field(employee::kInitial,
+              NormalizeBasic(r.field(employee::kInitial)));
+  r.set_field(employee::kLastName,
+              NormalizeName(r.field(employee::kLastName)));
+  r.set_field(employee::kAddress,
+              NormalizeAddress(r.field(employee::kAddress)));
+  r.set_field(employee::kApartment,
+              NormalizeAddress(r.field(employee::kApartment)));
+  r.set_field(employee::kCity,
+              NormalizeBasic(r.field(employee::kCity)));
+  r.set_field(employee::kState,
+              NormalizeBasic(r.field(employee::kState)));
+  r.set_field(employee::kZip,
+              NormalizeDigits(r.field(employee::kZip)));
+}
+
 void ConditionEmployeeDataset(Dataset* dataset) {
   for (size_t i = 0; i < dataset->size(); ++i) {
-    Record& r = dataset->mutable_record(static_cast<TupleId>(i));
-    r.set_field(employee::kSsn,
-                NormalizeDigits(r.field(employee::kSsn)));
-    r.set_field(employee::kFirstName,
-                NormalizeName(r.field(employee::kFirstName)));
-    r.set_field(employee::kInitial,
-                NormalizeBasic(r.field(employee::kInitial)));
-    r.set_field(employee::kLastName,
-                NormalizeName(r.field(employee::kLastName)));
-    r.set_field(employee::kAddress,
-                NormalizeAddress(r.field(employee::kAddress)));
-    r.set_field(employee::kApartment,
-                NormalizeAddress(r.field(employee::kApartment)));
-    r.set_field(employee::kCity,
-                NormalizeBasic(r.field(employee::kCity)));
-    r.set_field(employee::kState,
-                NormalizeBasic(r.field(employee::kState)));
-    r.set_field(employee::kZip,
-                NormalizeDigits(r.field(employee::kZip)));
+    ConditionEmployeeRecord(
+        &dataset->mutable_record(static_cast<TupleId>(i)));
   }
 }
 

@@ -29,6 +29,12 @@ std::string NormalizeAddress(std::string_view s);
 // Keeps only digits (for ssn / zip fields).
 std::string NormalizeDigits(std::string_view s);
 
+// Conditions one employee-schema record in place, applying the
+// appropriate normalizer per field. Used by the dataset conditioner below
+// and by read-only probes that must key a candidate record exactly as an
+// admitted one without touching a Dataset.
+void ConditionEmployeeRecord(Record* record);
+
 // Conditions every record of an employee-schema dataset in place, applying
 // the appropriate normalizer per field.
 void ConditionEmployeeDataset(Dataset* dataset);

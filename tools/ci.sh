@@ -41,4 +41,52 @@ echo "=== obs e2e (${obs_dir}) ==="
 "${root}/build/tools/validate_report" --file="${obs_dir}/trace.json" \
   traceEvents displayTimeUnit
 
-echo "ci: plain and sanitized suites passed; obs e2e validated"
+# Service e2e: serve on an ephemeral loopback port, drive a >=10k-record
+# match+upsert mix with the loadgen, validate both run reports, then
+# SIGTERM the server and require a clean (exit 0) graceful drain
+# (docs/service.md documents the protocol and drain semantics).
+svc_dir="$(mktemp -d)"
+echo "=== service e2e (${svc_dir}) ==="
+"${root}/build/tools/mergepurge_serve" --port=0 \
+  --port-file="${svc_dir}/port.txt" \
+  --metrics-out="${svc_dir}/serve_metrics.json" \
+  --batch-delay-ms=1 --log-level=info 2>"${svc_dir}/serve.log" &
+serve_pid=$!
+trap 'kill "${serve_pid}" 2>/dev/null || true; rm -rf "${obs_dir}" "${svc_dir}"' EXIT
+for _ in $(seq 1 50); do
+  [ -s "${svc_dir}/port.txt" ] && break
+  sleep 0.1
+done
+[ -s "${svc_dir}/port.txt" ] || {
+  echo "ci: server did not write its port file" >&2
+  cat "${svc_dir}/serve.log" >&2
+  exit 1
+}
+"${root}/build/tools/mergepurge_loadgen" \
+  --port="$(cat "${svc_dir}/port.txt")" --records=10000 --threads=4 \
+  --match-frac=0.4 --out="${svc_dir}/BENCH_service.json"
+"${root}/build/tools/validate_report" \
+  --file="${svc_dir}/BENCH_service.json" outcome \
+  config/summary/requests_per_second \
+  config/summary/latency_request/p50_us \
+  config/summary/latency_request/p99_us \
+  histograms/service.client.request_us \
+  histograms/service.client.match_us histograms/service.client.upsert_us
+kill -TERM "${serve_pid}"
+serve_status=0
+wait "${serve_pid}" || serve_status=$?
+if [ "${serve_status}" -ne 0 ]; then
+  echo "ci: mergepurge_serve did not drain cleanly (exit ${serve_status})" >&2
+  cat "${svc_dir}/serve.log" >&2
+  exit 1
+fi
+"${root}/build/tools/validate_report" \
+  --file="${svc_dir}/serve_metrics.json" outcome \
+  config/service/records config/service/entities config/service/batches \
+  counters/service.requests counters/service.upsert_records \
+  counters/service.batches histograms/service.request_us \
+  histograms/service.match_us histograms/service.upsert_us \
+  histograms/service.queue_wait_us histograms/service.batch_records
+cp "${svc_dir}/BENCH_service.json" "${root}/BENCH_service.json"
+
+echo "ci: plain and sanitized suites passed; obs + service e2e validated"

@@ -60,6 +60,7 @@
 #include "io/csv.h"
 #include "io/pairs_io.h"
 #include "keys/standard_keys.h"
+#include "obs/drain.h"
 #include "obs/progress.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
@@ -128,6 +129,9 @@ Result<std::vector<KeySpec>> ResolveKeys(const std::string& names) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Before any thread exists, so every thread inherits the blocked mask.
+  SignalDrain::Global().Install();
+
   ArgParser args(argc, argv);
   if (!args.status().ok()) {
     return UsageError(args.status().message());
@@ -168,6 +172,36 @@ int main(int argc, char** argv) {
   }
   if (args.Has("trace-out")) {
     TraceRecorder::Global().Enable();
+  }
+
+  // SIGINT/SIGTERM mid-run still flush the observability outputs (the
+  // same drain helper the service uses, obs/drain.h): the report is
+  // marked interrupted so downstream tooling can tell a partial run from
+  // a complete one. SignalDrain then exits with the conventional 128+sig.
+  if (args.Has("metrics-out") || args.Has("trace-out")) {
+    const std::string metrics_path = args.GetString("metrics-out", "");
+    const std::string trace_path = args.GetString("trace-out", "");
+    SignalDrain::Global().OnSignal([metrics_path, trace_path](int signo) {
+      if (!metrics_path.empty()) {
+        RunReport run_report("mergepurge");
+        run_report.SetOutcome(
+            false, StringPrintf("interrupted by signal %d", signo));
+        run_report.CaptureMetrics();
+        Status report_write = run_report.WriteToFile(metrics_path);
+        if (report_write.ok()) {
+          std::fprintf(stderr, "wrote interrupted run report to %s\n",
+                       metrics_path.c_str());
+        }
+      }
+      if (!trace_path.empty()) {
+        Status trace_write =
+            TraceRecorder::Global().ExportChromeJson(trace_path);
+        if (trace_write.ok()) {
+          std::fprintf(stderr, "wrote interrupted trace to %s\n",
+                       trace_path.c_str());
+        }
+      }
+    });
   }
 
   if (args.Has("faults")) {

@@ -1,0 +1,441 @@
+// mergepurge_loadgen — closed-loop load generator for mergepurge_serve.
+//
+// Spawns N client threads, each with its own connection, driving an
+// interleaved mix of upsert batches and match probes against a running
+// server. Records per-request latency and writes a RunReport
+// (BENCH_service.json) with throughput and exact p50/p90/p99 latency
+// alongside the service.client.* histograms.
+//
+//   mergepurge_loadgen --port=N [--host=127.0.0.1] [--threads=4]
+//                      [--records=10000]    (total records to upsert)
+//                      [--match-frac=0.5]   (fraction of requests that
+//                                            are match probes)
+//                      [--upsert-batch=8]   (records per upsert request)
+//                      [--seed=42]
+//                      [--out=BENCH_service.json]
+//
+// Every response is validated (ok:true, upsert entity count == batch
+// size); any failure makes the run exit 1. Exit 2 on usage errors.
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "gen/generator.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/run_report.h"
+#include "service/protocol.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+using namespace mergepurge;
+
+namespace {
+
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
+constexpr const char* kUsage =
+    "usage: mergepurge_loadgen --port=N [--host=ADDR] [--threads=N] "
+    "[--records=N] [--match-frac=F] [--upsert-batch=N] [--seed=N] "
+    "[--out=FILE.json]";
+
+constexpr const char* kKnownFlags[] = {
+    "port", "host", "threads", "records", "match-frac", "upsert-batch",
+    "seed", "out",
+};
+
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "mergepurge_loadgen: %s\n%s\n", message.c_str(),
+               kUsage);
+  return kExitUsage;
+}
+
+// One blocking NDJSON request/response connection.
+class Client {
+ public:
+  ~Client() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Connect(const std::string& host, uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return Status::IoError(StringPrintf("socket: %s", strerror(errno)));
+    }
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("bad host address '" + host + "'");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return Status::IoError(StringPrintf("connect %s:%u: %s", host.c_str(),
+                                          port, strerror(errno)));
+    }
+    return Status::OK();
+  }
+
+  // Sends one request line and reads one response line.
+  Result<JsonValue> Call(std::string_view request_line) {
+    std::string_view rest = request_line;
+    while (!rest.empty()) {
+      const ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(StringPrintf("send: %s", strerror(errno)));
+      }
+      rest.remove_prefix(static_cast<size_t>(n));
+    }
+    std::string line;
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        break;
+      }
+      char chunk[16 * 1024];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) {
+        return Status::IoError("server closed the connection mid-response");
+      }
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IoError(StringPrintf("recv: %s", strerror(errno)));
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+    return ParseResponseLine(line);
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+struct WorkerResult {
+  std::vector<double> request_us;  // Every request.
+  std::vector<double> match_us;
+  std::vector<double> upsert_us;
+  uint64_t records_sent = 0;
+  uint64_t failures = 0;
+  std::string first_error;
+
+  void Fail(const std::string& message) {
+    ++failures;
+    if (first_error.empty()) first_error = message;
+  }
+};
+
+// The per-thread closed loop: upserts its slice of the dataset in batches,
+// interleaving match probes against records it has already admitted.
+void RunWorker(const std::string& host, uint16_t port, const Schema& schema,
+               const Dataset& dataset, size_t begin, size_t end,
+               double match_frac, size_t upsert_batch, Rng rng,
+               WorkerResult* result) {
+  Client client;
+  Status connected = client.Connect(host, port);
+  if (!connected.ok()) {
+    result->Fail(connected.ToString());
+    return;
+  }
+
+  size_t next = begin;
+  size_t sent_end = begin;  // Records in [begin, sent_end) were admitted.
+  while (next < end) {
+    const bool probe =
+        sent_end > begin && rng.NextBernoulli(match_frac);
+    std::string request_line;
+    bool is_match = false;
+    size_t batch_records = 0;
+    if (probe) {
+      is_match = true;
+      const size_t pick =
+          begin + static_cast<size_t>(rng.NextBounded(sent_end - begin));
+      JsonValue doc = JsonValue::Object();
+      doc.Set("op", JsonValue("match"));
+      doc.Set("record", RecordToJson(schema, dataset.record(static_cast<TupleId>(pick))));
+      request_line = doc.Dump(0) + "\n";
+    } else {
+      batch_records = std::min(upsert_batch, end - next);
+      JsonValue records = JsonValue::Array();
+      for (size_t i = next; i < next + batch_records; ++i) {
+        records.Append(RecordToJson(schema, dataset.record(static_cast<TupleId>(i))));
+      }
+      JsonValue doc = JsonValue::Object();
+      doc.Set("op", JsonValue("upsert"));
+      doc.Set("records", std::move(records));
+      request_line = doc.Dump(0) + "\n";
+    }
+
+    Timer timer;
+    Result<JsonValue> response = client.Call(request_line);
+    const double micros = static_cast<double>(timer.ElapsedMicros());
+    if (!response.ok()) {
+      result->Fail(response.status().ToString());
+      return;  // The connection is unusable after a transport error.
+    }
+    const JsonValue* ok = response->Find("ok");
+    if (ok == nullptr || !ok->bool_value()) {
+      const JsonValue* error = response->Find("error");
+      result->Fail("server error: " +
+                   (error != nullptr ? error->Dump(0) : response->Dump(0)));
+      continue;
+    }
+    result->request_us.push_back(micros);
+    if (is_match) {
+      result->match_us.push_back(micros);
+    } else {
+      const JsonValue* entities = response->Find("entities");
+      if (entities == nullptr ||
+          entities->elements().size() != batch_records) {
+        result->Fail(StringPrintf(
+            "upsert returned %zu entity ids for %zu records",
+            entities == nullptr ? size_t{0} : entities->elements().size(),
+            batch_records));
+      }
+      result->upsert_us.push_back(micros);
+      result->records_sent += batch_records;
+      next += batch_records;
+      sent_end = next;
+    }
+  }
+}
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                       p * static_cast<double>(sorted.size())));
+  return sorted[index];
+}
+
+JsonValue LatencySummary(std::vector<double>& samples) {
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  for (double v : samples) sum += v;
+  JsonValue out = JsonValue::Object();
+  out.Set("count", JsonValue(static_cast<uint64_t>(samples.size())));
+  out.Set("p50_us", JsonValue(Percentile(samples, 0.50)));
+  out.Set("p90_us", JsonValue(Percentile(samples, 0.90)));
+  out.Set("p99_us", JsonValue(Percentile(samples, 0.99)));
+  out.Set("max_us",
+          JsonValue(samples.empty() ? 0.0 : samples.back()));
+  out.Set("mean_us",
+          JsonValue(samples.empty()
+                        ? 0.0
+                        : sum / static_cast<double>(samples.size())));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (!args.status().ok()) return UsageError(args.status().message());
+  for (const std::string& name : args.Names()) {
+    bool known = false;
+    for (const char* flag : kKnownFlags) {
+      if (name == flag) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return UsageError("unknown flag --" + name);
+  }
+
+  if (!args.Has("port")) return UsageError("--port is required");
+  const int64_t port = args.GetInt("port", 0);
+  if (port < 1 || port > 65535) {
+    return UsageError("--port must be in [1, 65535] (got " +
+                      args.GetString("port", "") + ")");
+  }
+  const std::string host = args.GetString("host", "127.0.0.1");
+  const int64_t threads = args.GetInt("threads", 4);
+  if (threads < 1) return UsageError("--threads must be >= 1");
+  const int64_t records = args.GetInt("records", 10000);
+  if (records < 1) return UsageError("--records must be >= 1");
+  const double match_frac = args.GetDouble("match-frac", 0.5);
+  if (match_frac < 0.0 || match_frac >= 1.0) {
+    return UsageError("--match-frac must be in [0, 1)");
+  }
+  const int64_t upsert_batch = args.GetInt("upsert-batch", 8);
+  if (upsert_batch < 1) return UsageError("--upsert-batch must be >= 1");
+  const uint64_t seed =
+      static_cast<uint64_t>(args.GetInt("seed", 42));
+  const std::string out_path = args.GetString("out", "BENCH_service.json");
+
+  // Generate the workload: originals + duplicates gives the match probes
+  // realistic hit rates. The generator emits more than num_records total
+  // (duplicates ride along), so truncate to exactly --records.
+  GeneratorConfig gen_config;
+  gen_config.num_records = static_cast<size_t>(records);
+  gen_config.seed = seed;
+  Result<GeneratedDatabase> generated =
+      DatabaseGenerator(gen_config).Generate();
+  if (!generated.ok()) {
+    std::fprintf(stderr, "mergepurge_loadgen: generator: %s\n",
+                 generated.status().ToString().c_str());
+    return kExitRuntime;
+  }
+  const Dataset& dataset = generated->dataset;
+  const size_t total_records =
+      std::min(dataset.size(), static_cast<size_t>(records));
+  const Schema schema = employee::MakeSchema();
+
+  const size_t num_threads =
+      std::min(static_cast<size_t>(threads), total_records);
+  std::vector<WorkerResult> results(num_threads);
+  std::vector<std::thread> workers;
+  workers.reserve(num_threads);
+  Rng root_rng(seed ^ 0x10adULL);
+
+  std::fprintf(stderr,
+               "mergepurge_loadgen: %zu records, %zu threads, "
+               "match-frac %.2f, upsert-batch %lld -> %s:%lld\n",
+               total_records, num_threads, match_frac,
+               static_cast<long long>(upsert_batch), host.c_str(),
+               static_cast<long long>(port));
+
+  Timer wall;
+  for (size_t i = 0; i < num_threads; ++i) {
+    const size_t begin = total_records * i / num_threads;
+    const size_t end = total_records * (i + 1) / num_threads;
+    workers.emplace_back(RunWorker, host, static_cast<uint16_t>(port),
+                         std::cref(schema), std::cref(dataset), begin, end,
+                         match_frac, static_cast<size_t>(upsert_batch),
+                         root_rng.Fork(), &results[i]);
+  }
+  for (std::thread& t : workers) t.join();
+  const double wall_seconds =
+      static_cast<double>(wall.ElapsedMicros()) / 1e6;
+
+  // Merge per-thread samples and feed the client-side histograms so the
+  // run report carries full distributions, not just the percentiles.
+  std::vector<double> request_us;
+  std::vector<double> match_us;
+  std::vector<double> upsert_us;
+  uint64_t records_sent = 0;
+  uint64_t failures = 0;
+  std::string first_error;
+  for (WorkerResult& r : results) {
+    request_us.insert(request_us.end(), r.request_us.begin(),
+                      r.request_us.end());
+    match_us.insert(match_us.end(), r.match_us.begin(), r.match_us.end());
+    upsert_us.insert(upsert_us.end(), r.upsert_us.begin(),
+                     r.upsert_us.end());
+    records_sent += r.records_sent;
+    failures += r.failures;
+    if (first_error.empty()) first_error = r.first_error;
+  }
+  LatencyHistogram* client_request = MetricsRegistry::Global().GetHistogram(
+      metric_names::kServiceClientRequestUs);
+  LatencyHistogram* client_match = MetricsRegistry::Global().GetHistogram(
+      metric_names::kServiceClientMatchUs);
+  LatencyHistogram* client_upsert = MetricsRegistry::Global().GetHistogram(
+      metric_names::kServiceClientUpsertUs);
+  for (double v : request_us) client_request->Record(v);
+  for (double v : match_us) client_match->Record(v);
+  for (double v : upsert_us) client_upsert->Record(v);
+
+  // A final stats round-trip: the server's view of what we admitted.
+  JsonValue server_stats = JsonValue::Object();
+  {
+    Client client;
+    if (client.Connect(host, static_cast<uint16_t>(port)).ok()) {
+      Result<JsonValue> response =
+          client.Call("{\"op\":\"stats\"}\n");
+      if (response.ok() && response->Find("ok") != nullptr &&
+          response->Find("ok")->bool_value()) {
+        for (const char* key : {"records", "entities", "pairs"}) {
+          if (const JsonValue* v = response->Find(key)) {
+            server_stats.Set(key, *v);
+          }
+        }
+      }
+    }
+  }
+
+  const uint64_t total_requests =
+      static_cast<uint64_t>(request_us.size());
+  const double requests_per_second =
+      wall_seconds > 0.0
+          ? static_cast<double>(total_requests) / wall_seconds
+          : 0.0;
+  const double records_per_second =
+      wall_seconds > 0.0
+          ? static_cast<double>(records_sent) / wall_seconds
+          : 0.0;
+
+  RunReport report("mergepurge_loadgen");
+  report.SetConfig("host", JsonValue(host));
+  report.SetConfig("port", JsonValue(static_cast<uint64_t>(port)));
+  report.SetConfig("threads",
+                   JsonValue(static_cast<uint64_t>(num_threads)));
+  report.SetConfig("records",
+                   JsonValue(static_cast<uint64_t>(total_records)));
+  report.SetConfig("match_frac", JsonValue(match_frac));
+  report.SetConfig("upsert_batch",
+                   JsonValue(static_cast<uint64_t>(upsert_batch)));
+  report.SetConfig("seed", JsonValue(seed));
+  report.SetDataset(total_records, employee::kNumFields);
+
+  JsonValue summary = JsonValue::Object();
+  summary.Set("requests", JsonValue(total_requests));
+  summary.Set("match_requests",
+              JsonValue(static_cast<uint64_t>(match_us.size())));
+  summary.Set("upsert_requests",
+              JsonValue(static_cast<uint64_t>(upsert_us.size())));
+  summary.Set("records_sent", JsonValue(records_sent));
+  summary.Set("failures", JsonValue(failures));
+  summary.Set("wall_seconds", JsonValue(wall_seconds));
+  summary.Set("requests_per_second", JsonValue(requests_per_second));
+  summary.Set("records_per_second", JsonValue(records_per_second));
+  summary.Set("latency_request", LatencySummary(request_us));
+  summary.Set("latency_match", LatencySummary(match_us));
+  summary.Set("latency_upsert", LatencySummary(upsert_us));
+  summary.Set("server", std::move(server_stats));
+  report.SetConfig("summary", std::move(summary));
+
+  const bool ok = failures == 0 && records_sent == total_records;
+  report.SetOutcome(ok, ok ? "" : first_error);
+  report.CaptureMetrics();
+  Status write = report.WriteToFile(out_path);
+  if (!write.ok()) {
+    std::fprintf(stderr, "mergepurge_loadgen: %s\n",
+                 write.ToString().c_str());
+    return kExitRuntime;
+  }
+
+  std::fprintf(stderr,
+               "mergepurge_loadgen: %llu requests in %.2fs "
+               "(%.0f req/s, %.0f rec/s), p50 %.0fus p99 %.0fus, "
+               "%llu failures -> %s\n",
+               static_cast<unsigned long long>(total_requests),
+               wall_seconds, requests_per_second, records_per_second,
+               Percentile(request_us, 0.50), Percentile(request_us, 0.99),
+               static_cast<unsigned long long>(failures), out_path.c_str());
+  if (!ok && !first_error.empty()) {
+    std::fprintf(stderr, "mergepurge_loadgen: first error: %s\n",
+                 first_error.c_str());
+  }
+  return ok ? 0 : kExitRuntime;
+}

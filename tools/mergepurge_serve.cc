@@ -1,0 +1,285 @@
+// mergepurge_serve — the online merge/purge service (docs/service.md).
+//
+// Keeps the multi-pass incremental engine resident and answers match /
+// upsert / ping / stats requests over newline-delimited JSON on TCP.
+//
+//   mergepurge_serve [--port=7733]            (0 = ephemeral port)
+//                    [--port-file=PATH]       (write the bound port; lets
+//                                              scripts use --port=0)
+//                    [--window=10]
+//                    [--keys=last-name,first-name,address]
+//                    [--rules=theory.rules]   (default: built-in employee
+//                                              theory)
+//                    [--workers=8]            (connection workers)
+//                    [--max-conn=64]          (connection cap)
+//                    [--max-line-bytes=1048576]
+//                    [--idle-timeout-ms=30000]
+//                    [--batch-records=256]    (upsert batcher fill limit)
+//                    [--batch-delay-ms=2.0]   (upsert batcher deadline)
+//                    [--metrics-out=FILE.json] [--trace-out=FILE.json]
+//                    [--log-level=LEVEL]
+//
+// SIGINT/SIGTERM trigger a graceful drain: stop accepting, finish
+// in-flight requests, flush the upsert batcher, then write the
+// --metrics-out run report and --trace-out trace before exiting 0.
+//
+// Exit codes: 0 clean drain, 1 runtime failure, 2 usage error.
+
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "eval/experiment.h"
+#include "keys/standard_keys.h"
+#include "obs/drain.h"
+#include "obs/run_report.h"
+#include "obs/trace.h"
+#include "rules/employee_theory.h"
+#include "rules/rule_program.h"
+#include "service/match_service.h"
+#include "service/server.h"
+#include "util/logging.h"
+#include "util/string_util.h"
+
+using namespace mergepurge;
+
+namespace {
+
+constexpr int kExitRuntime = 1;
+constexpr int kExitUsage = 2;
+
+constexpr const char* kUsage =
+    "usage: mergepurge_serve [--port=N] [--port-file=PATH] [--window=N] "
+    "[--keys=...] [--rules=FILE] [--workers=N] [--max-conn=N] "
+    "[--max-line-bytes=N] [--idle-timeout-ms=N] [--batch-records=N] "
+    "[--batch-delay-ms=F] [--metrics-out=FILE.json] "
+    "[--trace-out=FILE.json] [--log-level=LEVEL]";
+
+constexpr const char* kKnownFlags[] = {
+    "port",           "port-file",     "window",
+    "keys",           "rules",         "workers",
+    "max-conn",       "max-line-bytes", "idle-timeout-ms",
+    "batch-records",  "batch-delay-ms", "metrics-out",
+    "trace-out",      "log-level",
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "mergepurge_serve: %s\n", message.c_str());
+  return kExitRuntime;
+}
+
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "mergepurge_serve: %s\n%s\n", message.c_str(),
+               kUsage);
+  return kExitUsage;
+}
+
+Result<std::vector<KeySpec>> ResolveKeys(const std::string& names) {
+  std::vector<KeySpec> keys;
+  for (std::string_view name : SplitView(names, ',')) {
+    if (name == "last-name") {
+      keys.push_back(LastNameKey());
+    } else if (name == "first-name") {
+      keys.push_back(FirstNameKey());
+    } else if (name == "address") {
+      keys.push_back(AddressKey());
+    } else if (name == "soundex-last-name") {
+      keys.push_back(PhoneticLastNameKey());
+    } else {
+      return Status::InvalidArgument(
+          "unknown key '" + std::string(name) +
+          "' (expected last-name, first-name, address, soundex-last-name)");
+    }
+  }
+  if (keys.empty()) {
+    return Status::InvalidArgument("no keys given");
+  }
+  return keys;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Before any thread exists, so every thread inherits the blocked mask.
+  SignalDrain::Global().Install();
+  SignalDrain::Global().set_exit_after_callbacks(false);
+
+  ArgParser args(argc, argv);
+  if (!args.status().ok()) return UsageError(args.status().message());
+  for (const std::string& name : args.Names()) {
+    bool known = false;
+    for (const char* flag : kKnownFlags) {
+      if (name == flag) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return UsageError("unknown flag --" + name);
+  }
+
+  if (args.Has("log-level")) {
+    std::string level_name = args.GetString("log-level", "");
+    std::optional<LogLevel> level = ParseLogLevel(level_name);
+    if (!level) {
+      return UsageError("bad --log-level '" + level_name +
+                        "' (expected debug, info, warning, or error)");
+    }
+    SetLogLevel(*level);
+  }
+  if (args.Has("trace-out")) TraceRecorder::Global().Enable();
+
+  // --- Engine configuration. ---
+  MatchServiceOptions service_options;
+  Result<std::vector<KeySpec>> keys = ResolveKeys(
+      args.GetString("keys", "last-name,first-name,address"));
+  if (!keys.ok()) return UsageError(keys.status().message());
+  service_options.engine.keys = std::move(*keys);
+  const int64_t window = args.GetInt("window", 10);
+  if (window < 2) {
+    return UsageError("--window must be >= 2 (got " +
+                      args.GetString("window", "") + ")");
+  }
+  service_options.engine.window = static_cast<size_t>(window);
+  const int64_t batch_records = args.GetInt("batch-records", 256);
+  if (batch_records < 1) {
+    return UsageError("--batch-records must be >= 1 (got " +
+                      args.GetString("batch-records", "") + ")");
+  }
+  service_options.batcher.max_batch_records =
+      static_cast<size_t>(batch_records);
+  const double batch_delay_ms = args.GetDouble("batch-delay-ms", 2.0);
+  if (batch_delay_ms < 0.0) {
+    return UsageError("--batch-delay-ms must be >= 0 (got " +
+                      args.GetString("batch-delay-ms", "") + ")");
+  }
+  service_options.batcher.max_delay_ms = batch_delay_ms;
+
+  // --- Server configuration. ---
+  ServerOptions server_options;
+  const int64_t port = args.GetInt("port", 7733);
+  if (port < 0 || port > 65535) {
+    return UsageError("--port must be in [0, 65535] (got " +
+                      args.GetString("port", "") + ")");
+  }
+  server_options.port = static_cast<uint16_t>(port);
+  const int64_t workers = args.GetInt("workers", 8);
+  if (workers < 1) {
+    return UsageError("--workers must be >= 1 (got " +
+                      args.GetString("workers", "") + ")");
+  }
+  server_options.num_workers = static_cast<size_t>(workers);
+  const int64_t max_conn = args.GetInt("max-conn", 64);
+  if (max_conn < 1) {
+    return UsageError("--max-conn must be >= 1 (got " +
+                      args.GetString("max-conn", "") + ")");
+  }
+  server_options.max_connections = static_cast<size_t>(max_conn);
+  const int64_t max_line = args.GetInt("max-line-bytes", 1 << 20);
+  if (max_line < 64) {
+    return UsageError("--max-line-bytes must be >= 64 (got " +
+                      args.GetString("max-line-bytes", "") + ")");
+  }
+  server_options.max_line_bytes = static_cast<size_t>(max_line);
+  const int64_t idle_timeout = args.GetInt("idle-timeout-ms", 30000);
+  if (idle_timeout < 0) {
+    return UsageError("--idle-timeout-ms must be >= 0 (got " +
+                      args.GetString("idle-timeout-ms", "") + ")");
+  }
+  server_options.idle_timeout_ms = static_cast<int>(idle_timeout);
+
+  // --- Theory factory: compile once, instantiate per lease. ---
+  MatchService::TheoryFactory theory_factory;
+  if (args.Has("rules")) {
+    std::string path = args.GetString("rules", "");
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return Fail("cannot open rules file: " + path);
+    std::ostringstream text;
+    text << in.rdbuf();
+    Result<RuleProgram> program =
+        RuleProgram::Compile(text.str(), employee::MakeSchema());
+    if (!program.ok()) {
+      return Fail(path + ": " + program.status().ToString());
+    }
+    std::fprintf(stderr, "compiled %zu rules from %s\n",
+                 program->num_rules(), path.c_str());
+    auto shared = std::make_shared<RuleProgram>(std::move(*program));
+    theory_factory = [shared]() -> std::unique_ptr<EquationalTheory> {
+      return std::make_unique<RuleProgram>(*shared);
+    };
+  } else {
+    theory_factory = []() -> std::unique_ptr<EquationalTheory> {
+      return std::make_unique<EmployeeTheory>();
+    };
+  }
+
+  MatchService service(std::move(service_options),
+                       std::move(theory_factory));
+  Server server(server_options, &service);
+  SignalDrain::Global().OnSignal(
+      [&server](int) { server.RequestDrain(); });
+
+  Result<uint16_t> bound = server.Start();
+  if (!bound.ok()) return Fail(bound.status().ToString());
+  std::fprintf(stderr, "mergepurge_serve: listening on %s:%u\n",
+               server_options.bind_address.c_str(), *bound);
+  if (args.Has("port-file")) {
+    std::string port_path = args.GetString("port-file", "");
+    std::ofstream port_file(port_path, std::ios::trunc);
+    port_file << *bound << "\n";
+    if (!port_file.good()) {
+      server.RequestDrain();
+      server.Join();
+      return Fail("cannot write port file: " + port_path);
+    }
+  }
+
+  // Blocks until a drain signal (or RequestDrain) stops the server.
+  server.Join();
+
+  MatchService::Stats stats = service.GetStats();
+  if (args.Has("metrics-out")) {
+    RunReport report("mergepurge_serve");
+    report.SetConfig("port", JsonValue(static_cast<uint64_t>(*bound)));
+    report.SetConfig(
+        "keys", JsonValue(args.GetString(
+                    "keys", "last-name,first-name,address")));
+    report.SetConfig("window",
+                     JsonValue(static_cast<uint64_t>(window)));
+    report.SetConfig("workers",
+                     JsonValue(static_cast<uint64_t>(workers)));
+    report.SetConfig("batch_records",
+                     JsonValue(static_cast<uint64_t>(batch_records)));
+    report.SetConfig("batch_delay_ms", JsonValue(batch_delay_ms));
+    report.SetDataset(stats.records, employee::kNumFields);
+    JsonValue service_json = JsonValue::Object();
+    service_json.Set("records", JsonValue(stats.records));
+    service_json.Set("entities", JsonValue(stats.entities));
+    service_json.Set("pairs", JsonValue(stats.pairs));
+    service_json.Set("batches", JsonValue(service.batches_committed()));
+    service_json.Set("connections",
+                     JsonValue(server.connections_accepted()));
+    report.SetConfig("service", std::move(service_json));
+    report.SetOutcome(true);
+    report.CaptureMetrics();
+    std::string metrics_path = args.GetString("metrics-out", "");
+    Status write = report.WriteToFile(metrics_path);
+    if (!write.ok()) return Fail(write.ToString());
+    std::fprintf(stderr, "wrote run report to %s\n", metrics_path.c_str());
+  }
+  if (args.Has("trace-out")) {
+    std::string trace_path = args.GetString("trace-out", "");
+    Status write = TraceRecorder::Global().ExportChromeJson(trace_path);
+    if (!write.ok()) return Fail(write.ToString());
+    std::fprintf(stderr, "wrote %zu trace spans to %s\n",
+                 TraceRecorder::Global().span_count(), trace_path.c_str());
+  }
+  std::fprintf(stderr,
+               "mergepurge_serve: drained (%llu records, %llu entities, "
+               "%llu pairs)\n",
+               static_cast<unsigned long long>(stats.records),
+               static_cast<unsigned long long>(stats.entities),
+               static_cast<unsigned long long>(stats.pairs));
+  return 0;
+}
