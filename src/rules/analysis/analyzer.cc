@@ -1,0 +1,662 @@
+#include "rules/analysis/analyzer.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <optional>
+#include <utility>
+
+#include "core/purge_policy.h"
+#include "rules/ast_util.h"
+#include "rules/builtins.h"
+#include "rules/parser.h"
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+namespace {
+
+using rules_internal::FindFunction;
+using rules_internal::FuncSignature;
+using rules_internal::NumericRange;
+using rules_internal::Value;
+using rules_internal::ValueType;
+
+// --- Suppressions -----------------------------------------------------------
+
+bool LineAllows(const AnalyzerOptions& options, int line,
+                const std::string& id) {
+  auto it = options.allows.find(line);
+  if (it == options.allows.end()) return false;
+  return std::find(it->second.begin(), it->second.end(), id) !=
+         it->second.end();
+}
+
+// Routes a finding to the report, honoring `# rulecheck: allow(...)`
+// comments on either the finding's own line or its owning construct's line.
+void Emit(const AnalyzerOptions& options, int owner_line, Diagnostic d,
+          AnalysisReport* report) {
+  if (LineAllows(options, d.line, d.id) ||
+      LineAllows(options, owner_line, d.id)) {
+    report->AddSuppressed();
+    return;
+  }
+  report->Add(std::move(d));
+}
+
+// --- Constant evaluation (shared by blank-merge and constant-comparison) ---
+
+// Evaluates an expression with every field reference replaced by
+// `blank_fields` semantics (all fields read as ""). Returns nullopt for
+// programs the compiler would reject anyway (unknown function, arity or
+// argument-type mismatch) — the analyzer never guesses there.
+std::optional<Value> EvalExprBlank(const Expr& expr) {
+  Value out;
+  switch (expr.kind) {
+    case ExprKind::kStringLiteral:
+      out.type = ValueType::kString;
+      out.s = expr.string_value;
+      return out;
+    case ExprKind::kNumberLiteral:
+      out.type = ValueType::kNumber;
+      out.n = expr.number_value;
+      return out;
+    case ExprKind::kFieldRef:
+      out.type = ValueType::kString;
+      return out;  // Every field of a blank record is "".
+    case ExprKind::kFuncCall:
+      break;
+  }
+  const FuncSignature* signature = FindFunction(expr.func_name);
+  if (signature == nullptr ||
+      expr.args.size() != signature->arg_types.size()) {
+    return std::nullopt;
+  }
+  std::vector<Value> args;
+  args.reserve(expr.args.size());
+  for (size_t i = 0; i < expr.args.size(); ++i) {
+    std::optional<Value> arg = EvalExprBlank(*expr.args[i]);
+    if (!arg.has_value() || arg->type != signature->arg_types[i]) {
+      return std::nullopt;
+    }
+    args.push_back(std::move(*arg));
+  }
+  return rules_internal::EvalBuiltin(signature->id, signature->return_type,
+                                     args);
+}
+
+std::optional<bool> EvalCompareBlank(const BoolExpr& node) {
+  std::optional<Value> lhs = EvalExprBlank(*node.lhs);
+  std::optional<Value> rhs = EvalExprBlank(*node.rhs);
+  if (!lhs.has_value() || !rhs.has_value() || lhs->type != rhs->type) {
+    return std::nullopt;
+  }
+  if (lhs->type == ValueType::kBool && node.op != CompareOp::kEq &&
+      node.op != CompareOp::kNe) {
+    return std::nullopt;
+  }
+  return rules_internal::CompareValues(node.op, *lhs, *rhs);
+}
+
+// Three-valued evaluation of a condition on two all-blank records: nullopt
+// means "cannot decide" (only possible for ill-typed programs).
+std::optional<bool> EvalBoolBlank(const BoolExpr& node) {
+  switch (node.kind) {
+    case BoolKind::kAnd: {
+      bool unknown = false;
+      for (const std::unique_ptr<BoolExpr>& child : node.children) {
+        std::optional<bool> v = EvalBoolBlank(*child);
+        if (!v.has_value()) {
+          unknown = true;
+        } else if (!*v) {
+          return false;
+        }
+      }
+      if (unknown) return std::nullopt;
+      return true;
+    }
+    case BoolKind::kOr: {
+      bool unknown = false;
+      for (const std::unique_ptr<BoolExpr>& child : node.children) {
+        std::optional<bool> v = EvalBoolBlank(*child);
+        if (!v.has_value()) {
+          unknown = true;
+        } else if (*v) {
+          return true;
+        }
+      }
+      if (unknown) return std::nullopt;
+      return false;
+    }
+    case BoolKind::kNot: {
+      std::optional<bool> v = EvalBoolBlank(*node.children[0]);
+      if (!v.has_value()) return std::nullopt;
+      return !*v;
+    }
+    case BoolKind::kCompare:
+      return EvalCompareBlank(node);
+    case BoolKind::kBare: {
+      std::optional<Value> v = EvalExprBlank(*node.lhs);
+      if (!v.has_value() || v->type != ValueType::kBool) return std::nullopt;
+      return v->b;
+    }
+  }
+  return std::nullopt;
+}
+
+bool HasFieldRef(const Expr& expr) {
+  if (expr.kind == ExprKind::kFieldRef) return true;
+  for (const std::unique_ptr<Expr>& arg : expr.args) {
+    if (HasFieldRef(*arg)) return true;
+  }
+  return false;
+}
+
+// --- Interval analysis ------------------------------------------------------
+
+// Output range of a numeric expression, when one is statically known.
+std::optional<NumericRange> RangeOf(const Expr& expr) {
+  if (expr.kind == ExprKind::kNumberLiteral) {
+    return NumericRange{expr.number_value, expr.number_value};
+  }
+  if (expr.kind == ExprKind::kFuncCall) {
+    const FuncSignature* signature = FindFunction(expr.func_name);
+    if (signature != nullptr &&
+        signature->return_type == ValueType::kNumber) {
+      return signature->range;
+    }
+  }
+  return std::nullopt;
+}
+
+CompareOp Negate(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return CompareOp::kEq;
+}
+
+// True when `a op b` holds for every a in [a.lo,a.hi], b in [b.lo,b.hi].
+bool AlwaysTrue(CompareOp op, const NumericRange& a, const NumericRange& b) {
+  switch (op) {
+    case CompareOp::kLt:
+      return a.hi < b.lo;
+    case CompareOp::kLe:
+      return a.hi <= b.lo;
+    case CompareOp::kGt:
+      return a.lo > b.hi;
+    case CompareOp::kGe:
+      return a.lo >= b.hi;
+    case CompareOp::kEq:
+      return a.lo == a.hi && b.lo == b.hi && a.lo == b.lo;
+    case CompareOp::kNe:
+      return a.hi < b.lo || b.hi < a.lo;
+  }
+  return false;
+}
+
+bool AlwaysFalse(CompareOp op, const NumericRange& a, const NumericRange& b) {
+  return AlwaysTrue(Negate(op), a, b);
+}
+
+const char* OpText(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "==";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string DescribeRange(const NumericRange& range) {
+  if (range.lo == range.hi) return StringPrintf("%g", range.lo);
+  if (range.hi == std::numeric_limits<double>::infinity()) {
+    return StringPrintf("[%g, inf)", range.lo);
+  }
+  return StringPrintf("[%g, %g]", range.lo, range.hi);
+}
+
+// Per-comparison lints: constant-comparison, then self-comparison and
+// interval contradiction/tautology.
+void CheckComparisonLeaf(const BoolExpr& node, const Rule& rule,
+                         const AnalyzerOptions& options,
+                         AnalysisReport* report) {
+  // A leaf that reads neither record is decided before any data arrives.
+  if (!HasFieldRef(*node.lhs) && !HasFieldRef(*node.rhs)) {
+    std::optional<bool> value = EvalCompareBlank(node);
+    if (value.has_value()) {
+      Emit(options, rule.source_line,
+           {"constant-comparison", LintSeverity::kWarning, node.source_line,
+            rule.name,
+            StringPrintf("comparison reads neither record and is always %s",
+                         *value ? "true" : "false"),
+            "drop the comparison, or compare against a field of r1/r2"},
+           report);
+    }
+    return;
+  }
+
+  // Identical canonical operands: `x == x` and friends.
+  if (CanonicalPrint(*node.lhs) == CanonicalPrint(*node.rhs)) {
+    bool always = node.op == CompareOp::kEq || node.op == CompareOp::kLe ||
+                  node.op == CompareOp::kGe;
+    Emit(options, rule.source_line,
+         {always ? "tautological-condition" : "unsatisfiable-condition",
+          LintSeverity::kWarning, node.source_line, rule.name,
+          StringPrintf("both sides of '%s' are the same expression, so the "
+                       "comparison is always %s",
+                       OpText(node.op), always ? "true" : "false"),
+          "compare r1's field against r2's, not against itself"},
+         report);
+    return;
+  }
+
+  std::optional<NumericRange> lhs = RangeOf(*node.lhs);
+  std::optional<NumericRange> rhs = RangeOf(*node.rhs);
+  if (!lhs.has_value() || !rhs.has_value()) return;
+  if (AlwaysTrue(node.op, *lhs, *rhs)) {
+    Emit(options, rule.source_line,
+         {"tautological-condition", LintSeverity::kWarning, node.source_line,
+          rule.name,
+          StringPrintf("always true: left side ranges over %s, right side "
+                       "over %s",
+                       DescribeRange(*lhs).c_str(),
+                       DescribeRange(*rhs).c_str()),
+          "the threshold is outside the function's output range"},
+         report);
+  } else if (AlwaysFalse(node.op, *lhs, *rhs)) {
+    Emit(options, rule.source_line,
+         {"unsatisfiable-condition", LintSeverity::kWarning,
+          node.source_line, rule.name,
+          StringPrintf("never true: left side ranges over %s, right side "
+                       "over %s",
+                       DescribeRange(*lhs).c_str(),
+                       DescribeRange(*rhs).c_str()),
+          "the threshold is outside the function's output range"},
+         report);
+  }
+}
+
+void CheckConditionTree(const BoolExpr& node, const Rule& rule,
+                        const AnalyzerOptions& options,
+                        AnalysisReport* report) {
+  switch (node.kind) {
+    case BoolKind::kAnd:
+    case BoolKind::kOr:
+    case BoolKind::kNot:
+      for (const std::unique_ptr<BoolExpr>& child : node.children) {
+        CheckConditionTree(*child, rule, options, report);
+      }
+      return;
+    case BoolKind::kCompare:
+      CheckComparisonLeaf(node, rule, options, report);
+      return;
+    case BoolKind::kBare:
+      if (!HasFieldRef(*node.lhs)) {
+        std::optional<Value> value = EvalExprBlank(*node.lhs);
+        if (value.has_value() && value->type == ValueType::kBool) {
+          Emit(options, rule.source_line,
+               {"constant-comparison", LintSeverity::kWarning,
+                node.source_line, rule.name,
+                StringPrintf(
+                    "condition reads neither record and is always %s",
+                    value->b ? "true" : "false"),
+                "drop the condition, or apply it to a field of r1/r2"},
+               report);
+        }
+      }
+      return;
+  }
+}
+
+// --- Subsumption ------------------------------------------------------------
+
+// True when `print` is exactly a canonical number literal.
+bool ParseNumberPrint(const std::string& print, double* out) {
+  if (print.empty()) return false;
+  char* end = nullptr;
+  double value = std::strtod(print.c_str(), &end);
+  if (end != print.c_str() + print.size()) return false;
+  *out = value;
+  return true;
+}
+
+// A conjunct of the form expr-vs-number-literal, in solved form.
+struct ThresholdAtom {
+  enum Kind { kLower, kUpper, kPoint } kind = kPoint;  // e > k, e < k, e == k
+  std::string expr;  // canonical print of the non-literal side
+  double k = 0.0;
+  bool strict = false;  // meaningful for kLower / kUpper
+};
+
+std::optional<ThresholdAtom> AtomOf(const LeafConjunct& conjunct) {
+  if (!conjunct.is_compare) return std::nullopt;
+  double lhs_k = 0.0;
+  double rhs_k = 0.0;
+  bool lhs_num = ParseNumberPrint(conjunct.lhs_print, &lhs_k);
+  bool rhs_num = ParseNumberPrint(conjunct.rhs_print, &rhs_k);
+  if (lhs_num == rhs_num) return std::nullopt;  // zero or two literals
+  ThresholdAtom atom;
+  switch (conjunct.op) {  // canonical: only kEq / kNe / kLt / kLe occur
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      atom.strict = conjunct.op == CompareOp::kLt;
+      if (lhs_num) {  // k < e  =>  lower bound on e
+        atom.kind = ThresholdAtom::kLower;
+        atom.expr = conjunct.rhs_print;
+        atom.k = lhs_k;
+      } else {  // e < k  =>  upper bound on e
+        atom.kind = ThresholdAtom::kUpper;
+        atom.expr = conjunct.lhs_print;
+        atom.k = rhs_k;
+      }
+      return atom;
+    case CompareOp::kEq:
+      atom.kind = ThresholdAtom::kPoint;
+      atom.expr = lhs_num ? conjunct.rhs_print : conjunct.lhs_print;
+      atom.k = lhs_num ? lhs_k : rhs_k;
+      return atom;
+    default:
+      return std::nullopt;
+  }
+}
+
+bool AtomImplies(const ThresholdAtom& c, const ThresholdAtom& a) {
+  if (c.expr != a.expr) return false;
+  switch (a.kind) {
+    case ThresholdAtom::kLower:  // a: e > k (strict) or e >= k
+      if (c.kind == ThresholdAtom::kLower) {
+        return c.k > a.k || (c.k == a.k && (c.strict || !a.strict));
+      }
+      if (c.kind == ThresholdAtom::kPoint) {
+        return a.strict ? c.k > a.k : c.k >= a.k;
+      }
+      return false;
+    case ThresholdAtom::kUpper:
+      if (c.kind == ThresholdAtom::kUpper) {
+        return c.k < a.k || (c.k == a.k && (c.strict || !a.strict));
+      }
+      if (c.kind == ThresholdAtom::kPoint) {
+        return a.strict ? c.k < a.k : c.k <= a.k;
+      }
+      return false;
+    case ThresholdAtom::kPoint:
+      return c.kind == ThresholdAtom::kPoint && c.k == a.k;
+  }
+  return false;
+}
+
+// True when conjunct `c` logically implies conjunct `a`: identical prints,
+// or both are thresholds on the same expression and c's is at least as
+// tight.
+bool ConjunctImplies(const LeafConjunct& c, const LeafConjunct& a) {
+  if (c.print == a.print) return true;
+  std::optional<ThresholdAtom> c_atom = AtomOf(c);
+  std::optional<ThresholdAtom> a_atom = AtomOf(a);
+  if (!c_atom.has_value() || !a_atom.has_value()) return false;
+  return AtomImplies(*c_atom, *a_atom);
+}
+
+using Dnf = std::vector<std::vector<LeafConjunct>>;
+
+// True when condition B implies condition A: every disjunct of B entails
+// some disjunct of A (all of that disjunct's conjuncts are implied).
+bool ConditionImplies(const Dnf& b, const Dnf& a) {
+  for (const std::vector<LeafConjunct>& d : b) {
+    bool entailed = false;
+    for (const std::vector<LeafConjunct>& e : a) {
+      bool all = true;
+      for (const LeafConjunct& want : e) {
+        bool found = false;
+        for (const LeafConjunct& have : d) {
+          if (ConjunctImplies(have, want)) {
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          all = false;
+          break;
+        }
+      }
+      if (all) {
+        entailed = true;
+        break;
+      }
+    }
+    if (!entailed) return false;
+  }
+  return true;
+}
+
+// --- Per-lint drivers -------------------------------------------------------
+
+void CheckSymmetry(const RuleProgramAst& ast, const AnalyzerOptions& options,
+                   AnalysisReport* report) {
+  for (const Rule& rule : ast.rules) {
+    if (IsSymmetric(*rule.condition)) continue;
+    Emit(options, rule.source_line,
+         {"asymmetric-rule", LintSeverity::kWarning, rule.source_line,
+          rule.name,
+          "condition is not invariant under swapping r1 and r2, so whether "
+          "a pair matches depends on record order within a window",
+          "make every conjunct symmetric, e.g. guard both records "
+          "('not empty(r1.f) and not empty(r2.f)') or compare both "
+          "directions"},
+         report);
+  }
+}
+
+void CheckBlankMerge(const RuleProgramAst& ast, const AnalyzerOptions& options,
+                     AnalysisReport* report) {
+  for (const Rule& rule : ast.rules) {
+    std::optional<bool> fires = EvalBoolBlank(*rule.condition);
+    if (!fires.has_value() || !*fires) continue;
+    Emit(options, rule.source_line,
+         {"blank-merge", LintSeverity::kError, rule.source_line, rule.name,
+          "condition holds for two records whose fields are all empty; "
+          "under transitive closure this rule folds every blank-keyed "
+          "record into one giant cluster",
+          "add 'and not empty(r1.<field>)' for at least one field the rule "
+          "relies on (similarity(\"\", \"\") is 1.0, so thresholds alone do "
+          "not protect you)"},
+         report);
+  }
+}
+
+void CheckConditions(const RuleProgramAst& ast, const AnalyzerOptions& options,
+                     AnalysisReport* report) {
+  for (const Rule& rule : ast.rules) {
+    CheckConditionTree(*rule.condition, rule, options, report);
+  }
+}
+
+void CheckDuplicatesAndSubsumption(const RuleProgramAst& ast,
+                                   const AnalyzerOptions& options,
+                                   AnalysisReport* report) {
+  std::vector<std::string> prints;
+  std::vector<Dnf> dnfs;
+  prints.reserve(ast.rules.size());
+  dnfs.reserve(ast.rules.size());
+  for (const Rule& rule : ast.rules) {
+    prints.push_back(CanonicalPrint(*rule.condition));
+    dnfs.push_back(DisjunctiveLeafPrints(*rule.condition));
+  }
+  for (size_t i = 0; i < ast.rules.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (prints[i] == prints[j]) {
+        Emit(options, ast.rules[i].source_line,
+             {"duplicate-rule", LintSeverity::kWarning,
+              ast.rules[i].source_line, ast.rules[i].name,
+              StringPrintf("condition is identical to rule '%s' (line %d); "
+                           "this rule can never be the first to fire",
+                           ast.rules[j].name.c_str(),
+                           ast.rules[j].source_line),
+              "delete one of the two rules"},
+             report);
+        break;
+      }
+      if (ConditionImplies(dnfs[i], dnfs[j])) {
+        Emit(options, ast.rules[i].source_line,
+             {"subsumed-rule", LintSeverity::kWarning,
+              ast.rules[i].source_line, ast.rules[i].name,
+              StringPrintf("every pair this rule matches is already "
+                           "matched by the earlier rule '%s' (line %d)",
+                           ast.rules[j].name.c_str(),
+                           ast.rules[j].source_line),
+              "delete this rule, or loosen its thresholds if it was meant "
+              "to match more pairs"},
+             report);
+        break;
+      }
+    }
+  }
+}
+
+void CheckRuleNames(const RuleProgramAst& ast, const AnalyzerOptions& options,
+                    AnalysisReport* report) {
+  for (size_t i = 0; i < ast.rules.size(); ++i) {
+    for (size_t j = 0; j < i; ++j) {
+      if (ast.rules[i].name != ast.rules[j].name) continue;
+      Emit(options, ast.rules[i].source_line,
+           {"duplicate-rule-name", LintSeverity::kWarning,
+            ast.rules[i].source_line, ast.rules[i].name,
+            StringPrintf("rule name already used at line %d; per-rule fire "
+                         "metrics for the two rules are indistinguishable",
+                         ast.rules[j].source_line),
+            "rename one of the rules"},
+           report);
+      break;
+    }
+  }
+}
+
+void CheckMergeDirectives(const RuleProgramAst& ast,
+                          const AnalyzerOptions& options,
+                          AnalysisReport* report) {
+  for (size_t i = 0; i < ast.merge_directives.size(); ++i) {
+    const MergeDirective& directive = ast.merge_directives[i];
+    if (!MergeStrategyFromName(directive.strategy_name).ok()) {
+      Emit(options, directive.source_line,
+           {"unknown-merge-strategy", LintSeverity::kError,
+            directive.source_line, "",
+            StringPrintf("'%s' is not a merge strategy",
+                         directive.strategy_name.c_str()),
+            "see core/purge_policy.h for the strategy names"},
+           report);
+    }
+    for (size_t j = 0; j < i; ++j) {
+      if (ast.merge_directives[j].field_name != directive.field_name) {
+        continue;
+      }
+      Emit(options, directive.source_line,
+           {"duplicate-merge-directive", LintSeverity::kWarning,
+            directive.source_line, "",
+            StringPrintf("field '%s' already has a merge directive at line "
+                         "%d; the later directive wins silently",
+                         directive.field_name.c_str(),
+                         ast.merge_directives[j].source_line),
+            "keep a single directive per field"},
+           report);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::map<int, std::vector<std::string>> ExtractSuppressions(
+    std::string_view source) {
+  std::map<int, std::vector<std::string>> allows;
+  std::vector<std::string> pending;
+  int line_number = 0;
+  size_t start = 0;
+  while (start <= source.size()) {
+    size_t end = source.find('\n', start);
+    if (end == std::string_view::npos) end = source.size();
+    std::string_view line = source.substr(start, end - start);
+    ++line_number;
+    start = end + 1;
+
+    size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string_view::npos) continue;  // blank: keep pending
+    if (line[first] != '#') {
+      // A code line: pending allows attach here.
+      if (!pending.empty()) {
+        std::vector<std::string>& slot = allows[line_number];
+        slot.insert(slot.end(), pending.begin(), pending.end());
+        pending.clear();
+      }
+      continue;
+    }
+    constexpr std::string_view kMarker = "rulecheck:";
+    size_t marker = line.find(kMarker, first);
+    if (marker == std::string_view::npos) continue;
+    size_t open = line.find("allow(", marker + kMarker.size());
+    if (open == std::string_view::npos) continue;
+    size_t close = line.find(')', open);
+    if (close == std::string_view::npos) continue;
+    std::string_view ids = line.substr(open + 6, close - open - 6);
+    size_t pos = 0;
+    while (pos <= ids.size()) {
+      size_t comma = ids.find(',', pos);
+      if (comma == std::string_view::npos) comma = ids.size();
+      std::string_view id = ids.substr(pos, comma - pos);
+      size_t id_start = id.find_first_not_of(" \t");
+      if (id_start != std::string_view::npos) {
+        size_t id_end = id.find_last_not_of(" \t");
+        pending.emplace_back(id.substr(id_start, id_end - id_start + 1));
+      }
+      pos = comma + 1;
+    }
+  }
+  return allows;
+}
+
+AnalysisReport AnalyzeRuleProgram(const RuleProgramAst& ast,
+                                  const AnalyzerOptions& options) {
+  AnalysisReport report;
+  report.SetProgramShape(ast.rules.size(), ast.merge_directives.size());
+  CheckBlankMerge(ast, options, &report);
+  CheckSymmetry(ast, options, &report);
+  CheckConditions(ast, options, &report);
+  CheckDuplicatesAndSubsumption(ast, options, &report);
+  CheckRuleNames(ast, options, &report);
+  CheckMergeDirectives(ast, options, &report);
+  return report;
+}
+
+AnalysisReport AnalyzeRuleSource(std::string_view source) {
+  Result<RuleProgramAst> ast = ParseRuleProgram(source);
+  if (!ast.ok()) {
+    AnalysisReport report;
+    report.Add({"parse-error", LintSeverity::kError, 0, "",
+                ast.status().message(), ""});
+    return report;
+  }
+  AnalyzerOptions options;
+  options.allows = ExtractSuppressions(source);
+  return AnalyzeRuleProgram(*ast, options);
+}
+
+}  // namespace mergepurge

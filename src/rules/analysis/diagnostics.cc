@@ -1,0 +1,104 @@
+#include "rules/analysis/diagnostics.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+const char* LintSeverityName(LintSeverity severity) {
+  switch (severity) {
+    case LintSeverity::kNote:
+      return "note";
+    case LintSeverity::kWarning:
+      return "warning";
+    case LintSeverity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void AnalysisReport::Add(Diagnostic diagnostic) {
+  diagnostics_.push_back(std::move(diagnostic));
+}
+
+size_t AnalysisReport::CountAtSeverity(LintSeverity severity) const {
+  return static_cast<size_t>(
+      std::count_if(diagnostics_.begin(), diagnostics_.end(),
+                    [severity](const Diagnostic& d) {
+                      return d.severity == severity;
+                    }));
+}
+
+void AnalysisReport::SetProgramShape(size_t rules, size_t merge_directives) {
+  rule_count_ = rules;
+  directive_count_ = merge_directives;
+}
+
+std::string AnalysisReport::ToText(std::string_view source_name) const {
+  std::string out;
+  for (const Diagnostic& d : diagnostics_) {
+    out += StringPrintf("%.*s:%d: %s: [%s]",
+                        static_cast<int>(source_name.size()),
+                        source_name.data(), d.line,
+                        LintSeverityName(d.severity), d.id.c_str());
+    if (!d.rule_name.empty()) out += " rule '" + d.rule_name + "':";
+    out += " " + d.message + "\n";
+    if (!d.hint.empty()) out += "    hint: " + d.hint + "\n";
+  }
+  out += StringPrintf(
+      "%.*s: %zu rule(s), %zu merge directive(s): "
+      "%zu error(s), %zu warning(s), %zu note(s), %zu suppressed\n",
+      static_cast<int>(source_name.size()), source_name.data(), rule_count_,
+      directive_count_, CountAtSeverity(LintSeverity::kError),
+      CountAtSeverity(LintSeverity::kWarning),
+      CountAtSeverity(LintSeverity::kNote), suppressed_count_);
+  return out;
+}
+
+JsonValue AnalysisReport::ToJson(std::string_view source_name) const {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("tool", JsonValue("rulecheck"));
+  doc.Set("source", JsonValue(source_name));
+
+  JsonValue outcome = JsonValue::Object();
+  outcome.Set("ok", JsonValue(!HasErrors()));
+  outcome.Set("detail",
+              JsonValue(HasErrors() ? "theory has lint errors"
+                                    : "no lint errors"));
+  doc.Set("outcome", std::move(outcome));
+
+  JsonValue program = JsonValue::Object();
+  program.Set("rules", JsonValue(static_cast<uint64_t>(rule_count_)));
+  program.Set("merge_directives",
+              JsonValue(static_cast<uint64_t>(directive_count_)));
+  doc.Set("program", std::move(program));
+
+  JsonValue counts = JsonValue::Object();
+  counts.Set("error", JsonValue(static_cast<uint64_t>(
+                          CountAtSeverity(LintSeverity::kError))));
+  counts.Set("warning", JsonValue(static_cast<uint64_t>(
+                            CountAtSeverity(LintSeverity::kWarning))));
+  counts.Set("note", JsonValue(static_cast<uint64_t>(
+                         CountAtSeverity(LintSeverity::kNote))));
+  counts.Set("suppressed",
+             JsonValue(static_cast<uint64_t>(suppressed_count_)));
+  doc.Set("counts", std::move(counts));
+
+  JsonValue findings = JsonValue::Array();
+  for (const Diagnostic& d : diagnostics_) {
+    JsonValue entry = JsonValue::Object();
+    entry.Set("id", JsonValue(d.id));
+    entry.Set("severity", JsonValue(LintSeverityName(d.severity)));
+    entry.Set("line", JsonValue(static_cast<int64_t>(d.line)));
+    if (!d.rule_name.empty()) entry.Set("rule", JsonValue(d.rule_name));
+    entry.Set("message", JsonValue(d.message));
+    if (!d.hint.empty()) entry.Set("hint", JsonValue(d.hint));
+    findings.Append(std::move(entry));
+  }
+  doc.Set("diagnostics", std::move(findings));
+  return doc;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,67 @@
+// Diagnostics for the rule-theory static analyzer (docs/rule_lints.md
+// catalogs every lint id). A diagnostic names the lint, the severity, the
+// offending rule and source line, and a fix hint; AnalysisReport renders a
+// batch as compiler-style text or as a machine-readable JSON document
+// (validated in CI by tools/validate_report).
+
+#ifndef MERGEPURGE_RULES_ANALYSIS_DIAGNOSTICS_H_
+#define MERGEPURGE_RULES_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace mergepurge {
+
+enum class LintSeverity { kNote, kWarning, kError };
+
+// "note" / "warning" / "error".
+const char* LintSeverityName(LintSeverity severity);
+
+struct Diagnostic {
+  std::string id;          // lint id, e.g. "blank-merge"
+  LintSeverity severity = LintSeverity::kWarning;
+  int line = 0;            // 1-based source line (0 when unknown)
+  std::string rule_name;   // "" for directive / program-level findings
+  std::string message;     // what is wrong
+  std::string hint;        // how to fix it ("" when there is no short fix)
+};
+
+class AnalysisReport {
+ public:
+  void Add(Diagnostic diagnostic);
+  // Records a finding silenced by a `# rulecheck: allow(...)` comment.
+  void AddSuppressed() { ++suppressed_count_; }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  size_t suppressed_count() const { return suppressed_count_; }
+  size_t CountAtSeverity(LintSeverity severity) const;
+  bool HasErrors() const {
+    return CountAtSeverity(LintSeverity::kError) > 0;
+  }
+  bool empty() const { return diagnostics_.empty(); }
+
+  // Analyzed-program shape, for the report header.
+  void SetProgramShape(size_t rules, size_t merge_directives);
+  size_t rule_count() const { return rule_count_; }
+
+  // Compiler-style text, one finding per line plus an indented hint:
+  //   <source>:12: warning: [asymmetric-rule] rule 'x': <message>
+  std::string ToText(std::string_view source_name) const;
+
+  // Machine-readable document (schema in docs/rule_lints.md).
+  JsonValue ToJson(std::string_view source_name) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t suppressed_count_ = 0;
+  size_t rule_count_ = 0;
+  size_t directive_count_ = 0;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_RULES_ANALYSIS_DIAGNOSTICS_H_

@@ -39,6 +39,9 @@ enum class ExprKind {
 
 struct Expr {
   ExprKind kind;
+  // Source line of the first token of this expression (1-based; 0 for
+  // synthesized nodes). The static analyzer anchors diagnostics here.
+  int source_line = 0;
 
   // kStringLiteral.
   std::string string_value;
@@ -63,6 +66,9 @@ enum class BoolKind {
 
 struct BoolExpr {
   BoolKind kind;
+  // Source line of the first token of this condition (1-based; 0 for
+  // synthesized nodes).
+  int source_line = 0;
   // kAnd / kOr: two or more children. kNot: one child.
   std::vector<std::unique_ptr<BoolExpr>> children;
   // kCompare / kBare.

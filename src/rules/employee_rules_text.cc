@@ -12,6 +12,9 @@ constexpr char kEmployeeRules[] = R"RULES(
 # Equational theory for employee records (merge/purge).
 # A pair of records is declared equivalent when ANY rule fires.
 
+# Two byte-identical records are one entity even when every field is
+# blank; this is the only rule allowed to merge all-blank records.
+# rulecheck: allow(blank-merge)
 rule identical-records:
   if r1.ssn == r2.ssn
   and r1.first_name == r2.first_name
@@ -277,9 +280,14 @@ rule apartment-corroborated:
 
 # Approximation of EmployeeTheory's weighted aggregate-similarity rule
 # (the rule language has no arithmetic; the conjunction below demands the
-# same kind of across-the-board agreement).
+# same kind of across-the-board agreement). The not-empty guards are
+# load-bearing: similarity("", "") is 1.0, so without them this rule
+# would merge every pair of blank-keyed records (caught by rulecheck's
+# blank-merge lint).
 rule aggregate-similarity:
-  if similarity(r1.ssn, r2.ssn) >= 0.85
+  if not empty(r1.last_name) and not empty(r2.last_name)
+  and not empty(r1.address) and not empty(r2.address)
+  and similarity(r1.ssn, r2.ssn) >= 0.85
   and similarity(r1.last_name, r2.last_name) >= 0.85
   and similarity(r1.first_name, r2.first_name) >= 0.80
   and similarity(r1.address, r2.address) >= 0.80

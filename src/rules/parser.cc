@@ -112,6 +112,7 @@ class Parser {
 
     auto node = std::make_unique<BoolExpr>();
     node->kind = BoolKind::kOr;
+    node->source_line = (*first)->source_line;
     node->children.push_back(std::move(*first));
     while (CheckIdent("or")) {
       Advance();
@@ -130,6 +131,7 @@ class Parser {
 
     auto node = std::make_unique<BoolExpr>();
     node->kind = BoolKind::kAnd;
+    node->source_line = (*first)->source_line;
     node->children.push_back(std::move(*first));
     while (CheckIdent("and")) {
       Advance();
@@ -143,11 +145,13 @@ class Parser {
   // unary := "not" unary | "(" or-expr ")" | comparison
   Result<std::unique_ptr<BoolExpr>> ParseUnary() {
     if (CheckIdent("not")) {
+      int line = Peek().line;
       Advance();
       Result<std::unique_ptr<BoolExpr>> child = ParseUnary();
       if (!child.ok()) return child.status();
       auto node = std::make_unique<BoolExpr>();
       node->kind = BoolKind::kNot;
+      node->source_line = line;
       node->children.push_back(std::move(*child));
       return node;
     }
@@ -170,6 +174,7 @@ class Parser {
     if (!lhs.ok()) return lhs.status();
 
     auto node = std::make_unique<BoolExpr>();
+    node->source_line = (*lhs)->source_line;
     node->lhs = std::move(*lhs);
     if (Peek().kind != TokenKind::kOp) {
       node->kind = BoolKind::kBare;
@@ -205,12 +210,14 @@ class Parser {
       case TokenKind::kNumber: {
         auto expr = std::make_unique<Expr>();
         expr->kind = ExprKind::kNumberLiteral;
+        expr->source_line = token.line;
         expr->number_value = Advance().number;
         return expr;
       }
       case TokenKind::kString: {
         auto expr = std::make_unique<Expr>();
         expr->kind = ExprKind::kStringLiteral;
+        expr->source_line = token.line;
         expr->string_value = Advance().text;
         return expr;
       }
@@ -223,6 +230,7 @@ class Parser {
     // r1.field / r2.field.
     if (token.text == "r1" || token.text == "r2") {
       int record_index = token.text == "r1" ? 1 : 2;
+      int line = token.line;
       Advance();
       MERGEPURGE_RETURN_NOT_OK(Expect(TokenKind::kDot, "'.'"));
       if (Peek().kind != TokenKind::kIdentifier) {
@@ -230,17 +238,20 @@ class Parser {
       }
       auto expr = std::make_unique<Expr>();
       expr->kind = ExprKind::kFieldRef;
+      expr->source_line = line;
       expr->record_index = record_index;
       expr->field_name = Advance().text;
       return expr;
     }
 
     // Function call.
+    int line = token.line;
     std::string name = Advance().text;
     MERGEPURGE_RETURN_NOT_OK(
         Expect(TokenKind::kLParen, "'(' after function name"));
     auto expr = std::make_unique<Expr>();
     expr->kind = ExprKind::kFuncCall;
+    expr->source_line = line;
     expr->func_name = std::move(name);
     if (Peek().kind != TokenKind::kRParen) {
       while (true) {

@@ -6,94 +6,15 @@
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "rules/analysis/analyzer.h"
 #include "rules/ast.h"
+#include "rules/builtins.h"
 #include "rules/parser.h"
-#include "text/edit_distance.h"
-#include "text/jaro_winkler.h"
-#include "text/keyboard_distance.h"
-#include "text/nicknames.h"
-#include "text/phonetic.h"
 #include "util/string_util.h"
 
 namespace mergepurge {
 
 namespace rules_internal {
-
-enum class ValueType { kString, kNumber, kBool };
-
-enum class FuncId {
-  kSimilarity,
-  kEditDistance,
-  kDamerau,
-  kKeyboardSimilarity,
-  kSoundex,
-  kNysiis,
-  kSoundsLike,
-  kNickname,
-  kSameName,
-  kInitialMatch,
-  kTransposed,
-  kEmpty,
-  kLength,
-  kPrefix,
-  kDigits,
-  kStreetNumber,
-  kHyphenExtended,
-  kJaroWinkler,
-  kNgramSimilarity,
-};
-
-struct FuncSignature {
-  const char* name;
-  FuncId id;
-  std::vector<ValueType> arg_types;
-  ValueType return_type;
-};
-
-const std::vector<FuncSignature>& FunctionTable() {
-  static const std::vector<FuncSignature>* table =
-      new std::vector<FuncSignature>{
-          {"similarity", FuncId::kSimilarity,
-           {ValueType::kString, ValueType::kString}, ValueType::kNumber},
-          {"edit_distance", FuncId::kEditDistance,
-           {ValueType::kString, ValueType::kString}, ValueType::kNumber},
-          {"damerau", FuncId::kDamerau,
-           {ValueType::kString, ValueType::kString}, ValueType::kNumber},
-          {"keyboard_similarity", FuncId::kKeyboardSimilarity,
-           {ValueType::kString, ValueType::kString}, ValueType::kNumber},
-          {"soundex", FuncId::kSoundex, {ValueType::kString},
-           ValueType::kString},
-          {"nysiis", FuncId::kNysiis, {ValueType::kString},
-           ValueType::kString},
-          {"sounds_like", FuncId::kSoundsLike,
-           {ValueType::kString, ValueType::kString}, ValueType::kBool},
-          {"nickname", FuncId::kNickname, {ValueType::kString},
-           ValueType::kString},
-          {"same_name", FuncId::kSameName,
-           {ValueType::kString, ValueType::kString}, ValueType::kBool},
-          {"initial_match", FuncId::kInitialMatch,
-           {ValueType::kString, ValueType::kString}, ValueType::kBool},
-          {"transposed", FuncId::kTransposed,
-           {ValueType::kString, ValueType::kString}, ValueType::kBool},
-          {"empty", FuncId::kEmpty, {ValueType::kString}, ValueType::kBool},
-          {"length", FuncId::kLength, {ValueType::kString},
-           ValueType::kNumber},
-          {"prefix", FuncId::kPrefix,
-           {ValueType::kString, ValueType::kNumber}, ValueType::kString},
-          {"digits", FuncId::kDigits, {ValueType::kString},
-           ValueType::kString},
-          {"street_number", FuncId::kStreetNumber, {ValueType::kString},
-           ValueType::kString},
-          {"hyphen_extended", FuncId::kHyphenExtended,
-           {ValueType::kString, ValueType::kString}, ValueType::kBool},
-          {"jaro_winkler", FuncId::kJaroWinkler,
-           {ValueType::kString, ValueType::kString}, ValueType::kNumber},
-          {"ngram_similarity", FuncId::kNgramSimilarity,
-           {ValueType::kString, ValueType::kString, ValueType::kNumber},
-           ValueType::kNumber},
-      };
-  return *table;
-}
 
 // Compiled value expression: fully resolved and statically typed.
 struct CExpr {
@@ -131,13 +52,6 @@ struct CompiledProgram {
 
 namespace {
 
-struct Value {
-  ValueType type = ValueType::kBool;
-  std::string s;
-  double n = 0.0;
-  bool b = false;
-};
-
 std::string_view FieldOf(const Record& a, const Record& b,
                          const CExpr& expr) {
   return expr.record_index == 1 ? a.field(expr.field_id)
@@ -164,128 +78,7 @@ Value Evaluate(const CExpr& expr, const Record& a, const Record& b) {
   std::vector<Value> args;
   args.reserve(expr.args.size());
   for (const CExpr& arg : expr.args) args.push_back(Evaluate(arg, a, b));
-
-  switch (expr.func) {
-    case FuncId::kSimilarity:
-      out.n = StringSimilarity(args[0].s, args[1].s);
-      return out;
-    case FuncId::kEditDistance:
-      out.n = EditDistance(args[0].s, args[1].s);
-      return out;
-    case FuncId::kDamerau:
-      out.n = DamerauDistance(args[0].s, args[1].s);
-      return out;
-    case FuncId::kKeyboardSimilarity:
-      out.n = KeyboardSimilarity(args[0].s, args[1].s);
-      return out;
-    case FuncId::kSoundex:
-      out.s = Soundex(args[0].s);
-      return out;
-    case FuncId::kNysiis:
-      out.s = Nysiis(args[0].s);
-      return out;
-    case FuncId::kSoundsLike:
-      out.b = SoundsAlikeSoundex(args[0].s, args[1].s);
-      return out;
-    case FuncId::kNickname:
-      out.s = NicknameTable::Default().Canonicalize(args[0].s);
-      return out;
-    case FuncId::kSameName:
-      out.b = NicknameTable::Default().SameCanonicalName(args[0].s,
-                                                         args[1].s);
-      return out;
-    case FuncId::kInitialMatch: {
-      const std::string& x = args[0].s;
-      const std::string& y = args[1].s;
-      if (x.empty() || y.empty()) {
-        out.b = false;
-      } else if (x == y) {
-        out.b = true;
-      } else {
-        out.b = (x.size() == 1 && x[0] == y[0]) ||
-                (y.size() == 1 && y[0] == x[0]);
-      }
-      return out;
-    }
-    case FuncId::kTransposed:
-      out.b = !args[0].s.empty() && args[0].s != args[1].s &&
-              DamerauDistance(args[0].s, args[1].s) == 1 &&
-              EditDistance(args[0].s, args[1].s) == 2;
-      return out;
-    case FuncId::kEmpty:
-      out.b = args[0].s.empty();
-      return out;
-    case FuncId::kLength:
-      out.n = static_cast<double>(args[0].s.size());
-      return out;
-    case FuncId::kPrefix:
-      out.s = std::string(Prefix(args[0].s, static_cast<size_t>(args[1].n)));
-      return out;
-    case FuncId::kDigits: {
-      for (char c : args[0].s) {
-        if (c >= '0' && c <= '9') out.s += c;
-      }
-      return out;
-    }
-    case FuncId::kStreetNumber: {
-      // Leading digit run ("123 MAIN ST" -> "123").
-      for (char c : args[0].s) {
-        if (c < '0' || c > '9') break;
-        out.s += c;
-      }
-      return out;
-    }
-    case FuncId::kJaroWinkler:
-      out.n = JaroWinklerSimilarity(args[0].s, args[1].s);
-      return out;
-    case FuncId::kNgramSimilarity:
-      out.n = NgramSimilarity(args[0].s, args[1].s,
-                              static_cast<size_t>(args[2].n));
-      return out;
-    case FuncId::kHyphenExtended: {
-      // One string extends the other by a new '-' or ' ' separated token.
-      const std::string& x = args[0].s;
-      const std::string& y = args[1].s;
-      out.b = false;
-      if (x.size() != y.size()) {
-        const std::string& shorter = x.size() < y.size() ? x : y;
-        const std::string& longer = x.size() < y.size() ? y : x;
-        if (shorter.size() >= 4 &&
-            longer.compare(0, shorter.size(), shorter) == 0) {
-          char next = longer[shorter.size()];
-          out.b = next == ' ' || next == '-';
-        }
-      }
-      return out;
-    }
-  }
-  return out;
-}
-
-bool Compare(CompareOp op, const Value& lhs, const Value& rhs) {
-  int cmp;
-  if (lhs.type == ValueType::kString) {
-    cmp = lhs.s.compare(rhs.s);
-  } else if (lhs.type == ValueType::kNumber) {
-    cmp = lhs.n < rhs.n ? -1 : (lhs.n > rhs.n ? 1 : 0);
-  } else {
-    cmp = (lhs.b == rhs.b) ? 0 : (lhs.b ? 1 : -1);
-  }
-  switch (op) {
-    case CompareOp::kEq:
-      return cmp == 0;
-    case CompareOp::kNe:
-      return cmp != 0;
-    case CompareOp::kLt:
-      return cmp < 0;
-    case CompareOp::kLe:
-      return cmp <= 0;
-    case CompareOp::kGt:
-      return cmp > 0;
-    case CompareOp::kGe:
-      return cmp >= 0;
-  }
-  return false;
+  return EvalBuiltin(expr.func, expr.type, args);
 }
 
 bool EvaluateBool(const CBool& node, const Record& a, const Record& b) {
@@ -305,7 +98,7 @@ bool EvaluateBool(const CBool& node, const Record& a, const Record& b) {
     case BoolKind::kCompare: {
       Value lhs = Evaluate(node.lhs, a, b);
       Value rhs = Evaluate(node.rhs, a, b);
-      return Compare(node.op, lhs, rhs);
+      return CompareValues(node.op, lhs, rhs);
     }
     case BoolKind::kBare:
       return Evaluate(node.lhs, a, b).b;
@@ -339,13 +132,7 @@ Result<CExpr> CompileExpr(const Expr& expr, const Schema& schema) {
       break;
   }
 
-  const FuncSignature* signature = nullptr;
-  for (const FuncSignature& candidate : FunctionTable()) {
-    if (candidate.name == expr.func_name) {
-      signature = &candidate;
-      break;
-    }
-  }
+  const FuncSignature* signature = FindFunction(expr.func_name);
   if (signature == nullptr) {
     return Status::ParseError("unknown function '" + expr.func_name + "'");
   }
@@ -425,8 +212,20 @@ using rules_internal::CompiledProgram;
 
 Result<RuleProgram> RuleProgram::Compile(std::string_view source,
                                          const Schema& schema) {
+  return Compile(source, schema, nullptr);
+}
+
+Result<RuleProgram> RuleProgram::Compile(std::string_view source,
+                                         const Schema& schema,
+                                         AnalysisReport* analysis) {
   Result<RuleProgramAst> ast = ParseRuleProgram(source);
   if (!ast.ok()) return ast.status();
+
+  if (analysis != nullptr) {
+    AnalyzerOptions options;
+    options.allows = ExtractSuppressions(source);
+    *analysis = AnalyzeRuleProgram(*ast, options);
+  }
 
   auto program = std::make_shared<CompiledProgram>();
   for (const MergeDirective& directive : ast->merge_directives) {

@@ -37,6 +37,8 @@
 
 namespace mergepurge {
 
+class AnalysisReport;
+
 namespace rules_internal {
 struct CompiledProgram;
 }  // namespace rules_internal
@@ -46,6 +48,15 @@ class RuleProgram final : public EquationalTheory {
   // Parses, resolves and type-checks `source` against `schema`.
   static Result<RuleProgram> Compile(std::string_view source,
                                      const Schema& schema);
+
+  // Same, and additionally runs the static analyzer (rules/analysis/) over
+  // the parsed program, honoring the source's `# rulecheck: allow(...)`
+  // comments. Lint findings never fail compilation — `analysis` is filled
+  // even on a compile error, and callers decide how strict to be (the
+  // CLIs' --rules-check preflight treats lint errors as fatal).
+  static Result<RuleProgram> Compile(std::string_view source,
+                                     const Schema& schema,
+                                     AnalysisReport* analysis);
 
   // Copies share the immutable compiled program; each copy has its own
   // statistics counters (use one copy per worker thread).

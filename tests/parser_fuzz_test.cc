@@ -1,11 +1,13 @@
-// Robustness: the lexer/parser/compiler must return a Status (never crash,
-// never hang) on arbitrary garbage, truncations and mutations of valid
-// programs.
+// Robustness: the lexer/parser/compiler — and the static analyzer, which
+// accepts anything that parses — must return a Status / report (never
+// crash, never hang) on arbitrary garbage, truncations and mutations of
+// valid programs.
 
 #include <string>
 
 #include <gtest/gtest.h>
 
+#include "rules/analysis/analyzer.h"
 #include "rules/employee_rules_text.h"
 #include "rules/parser.h"
 #include "rules/rule_program.h"
@@ -26,9 +28,10 @@ TEST_P(ParserFuzzTest, RandomBytesNeverCrash) {
     for (size_t i = 0; i < len; ++i) {
       source += kChars[rng.NextBounded(sizeof(kChars) - 1)];
     }
-    // Must return, with either a valid AST or an error status.
+    // Must return, with either a valid AST or an error status; whatever
+    // parses must also survive the analyzer.
     auto ast = ParseRuleProgram(source);
-    (void)ast;
+    if (ast.ok()) AnalyzeRuleProgram(*ast);
   }
 }
 
@@ -49,7 +52,7 @@ TEST_P(ParserFuzzTest, RandomTokenSoupNeverCrashes) {
       source += ' ';
     }
     auto ast = ParseRuleProgram(source);
-    (void)ast;
+    if (ast.ok()) AnalyzeRuleProgram(*ast);
   }
 }
 
@@ -59,8 +62,10 @@ TEST_P(ParserFuzzTest, TruncationsOfValidProgramNeverCrash) {
   Schema schema = employee::MakeSchema();
   for (int trial = 0; trial < 150; ++trial) {
     size_t cut = rng.NextBounded(valid.size());
-    auto program = RuleProgram::Compile(valid.substr(0, cut), schema);
+    std::string truncated = valid.substr(0, cut);
+    auto program = RuleProgram::Compile(truncated, schema);
     (void)program;
+    AnalyzeRuleSource(truncated);
   }
 }
 
@@ -73,6 +78,7 @@ TEST_P(ParserFuzzTest, SingleCharMutationsNeverCrash) {
     std::string mutated = valid;
     mutated[rng.NextBounded(mutated.size())] =
         kChars[rng.NextBounded(sizeof(kChars) - 1)];
+    AnalyzeRuleSource(mutated);
     auto program = RuleProgram::Compile(mutated, schema);
     if (program.ok()) {
       // A surviving program must still be evaluable.

@@ -1,8 +1,10 @@
 #!/bin/sh
-# Tier-1 CI: build and run the full test suite twice — once plain, once
-# with AddressSanitizer + UndefinedBehaviorSanitizer — so data races on
-# the retry/speculation paths and lifetime bugs in the checkpoint code
-# surface before merge.
+# Tier-1 CI: build and run the full test suite three times — plain, with
+# AddressSanitizer + UndefinedBehaviorSanitizer, and (concurrency tests
+# only) with ThreadSanitizer — so data races on the retry/speculation
+# paths and lifetime bugs in the checkpoint code surface before merge.
+# Then: clang-tidy over src/ (when available), the rulecheck theory lint
+# gate, and the observability + service end-to-end contracts.
 #
 # Usage: tools/ci.sh [jobs]      (from the repository root)
 set -eu
@@ -10,27 +12,83 @@ set -eu
 jobs="${1:-$(nproc 2>/dev/null || echo 2)}"
 root="$(cd "$(dirname "$0")/.." && pwd)"
 
+# run_suite <build-dir> <ctest -R filter or ''> [cmake args...]
 run_suite() {
   build_dir="$1"
-  shift
+  test_filter="$2"
+  shift 2
   echo "=== configure ${build_dir} ($*) ==="
   cmake -B "${build_dir}" -S "${root}" "$@"
   echo "=== build ${build_dir} ==="
   cmake --build "${build_dir}" -j "${jobs}"
-  echo "=== ctest ${build_dir} ==="
-  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  echo "=== ctest ${build_dir} ${test_filter:+(-R ${test_filter})} ==="
+  if [ -n "${test_filter}" ]; then
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+      -R "${test_filter}"
+  else
+    ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}"
+  fi
 }
 
-run_suite "${root}/build" -DMERGEPURGE_SANITIZE=""
-run_suite "${root}/build-san" "-DMERGEPURGE_SANITIZE=address;undefined"
+run_suite "${root}/build" "" -DMERGEPURGE_SANITIZE="" \
+  -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+run_suite "${root}/build-san" "" "-DMERGEPURGE_SANITIZE=address;undefined"
+# TSan is incompatible with ASan, so it gets its own tree; run the suites
+# that exercise threads (parallel engine, resilient retry, incremental
+# engine, the TCP service, fault-tolerance) rather than all of ctest.
+run_suite "${root}/build-tsan" \
+  "parallel_test|incremental_test|incremental_property_test|service_test|fault_tolerance_test|metrics_test" \
+  "-DMERGEPURGE_SANITIZE=thread"
+
+# Static analysis over our sources (.clang-tidy pins the check set).
+# clang-tidy is optional tooling — skip, loudly, when not installed.
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "=== clang-tidy src/ ==="
+  find "${root}/src" -name '*.cc' -print0 |
+    xargs -0 -P "${jobs}" -n 8 clang-tidy -p "${root}/build" --quiet
+else
+  echo "=== clang-tidy not installed; skipping tidy step ==="
+fi
+
+# Rule-theory lint gate: the shipped employee theory must be clean at
+# -Werror severity, its JSON report must validate, and a known-bad theory
+# (blank-merge: fires on two all-empty records) must be rejected with the
+# findings exit code (1), both by rulecheck and by the CLI preflight.
+lint_dir="$(mktemp -d)"
+trap 'rm -rf "${lint_dir}"' EXIT
+echo "=== rulecheck e2e (${lint_dir}) ==="
+"${root}/build/tools/mergepurge_rulecheck" --builtin-employee --werror
+"${root}/build/tools/mergepurge_rulecheck" --builtin-employee \
+  --format=json --out="${lint_dir}/lint.json"
+"${root}/build/tools/validate_report" --file="${lint_dir}/lint.json" \
+  tool source outcome/ok program/rules program/merge_directives \
+  counts/error counts/warning counts/suppressed diagnostics
+printf 'rule blank:\n  if similarity(r1.last_name, r2.last_name) >= 0.9\n  then match\n' \
+  > "${lint_dir}/bad.rules"
+bad_status=0
+"${root}/build/tools/mergepurge_rulecheck" --rules="${lint_dir}/bad.rules" \
+  >/dev/null 2>&1 || bad_status=$?
+if [ "${bad_status}" -ne 1 ]; then
+  echo "ci: rulecheck accepted a blank-merge theory (exit ${bad_status})" >&2
+  exit 1
+fi
+preflight_status=0
+"${root}/build/tools/mergepurge" --gen=10 --output="${lint_dir}/out.csv" \
+  --rules="${lint_dir}/bad.rules" --rules-check >/dev/null 2>&1 ||
+  preflight_status=$?
+if [ "${preflight_status}" -ne 1 ]; then
+  echo "ci: --rules-check let a blank-merge theory run (exit ${preflight_status})" >&2
+  exit 1
+fi
 
 # End-to-end observability contract: a generated CLI run must produce a
 # run report and a Chrome trace whose required keys all resolve
 # (docs/observability.md documents both schemas).
 obs_dir="$(mktemp -d)"
-trap 'rm -rf "${obs_dir}"' EXIT
+trap 'rm -rf "${lint_dir}" "${obs_dir}"' EXIT
 echo "=== obs e2e (${obs_dir}) ==="
 "${root}/build/tools/mergepurge" --gen=2000 --output="${obs_dir}/out.csv" \
+  --rules-check \
   --metrics-out="${obs_dir}/metrics.json" \
   --trace-out="${obs_dir}/trace.json" --progress --log-level=info
 "${root}/build/tools/validate_report" --file="${obs_dir}/metrics.json" \
@@ -50,9 +108,10 @@ echo "=== service e2e (${svc_dir}) ==="
 "${root}/build/tools/mergepurge_serve" --port=0 \
   --port-file="${svc_dir}/port.txt" \
   --metrics-out="${svc_dir}/serve_metrics.json" \
+  --rules-check \
   --batch-delay-ms=1 --log-level=info 2>"${svc_dir}/serve.log" &
 serve_pid=$!
-trap 'kill "${serve_pid}" 2>/dev/null || true; rm -rf "${obs_dir}" "${svc_dir}"' EXIT
+trap 'kill "${serve_pid}" 2>/dev/null || true; rm -rf "${lint_dir}" "${obs_dir}" "${svc_dir}"' EXIT
 for _ in $(seq 1 50); do
   [ -s "${svc_dir}/port.txt" ] && break
   sleep 0.1
@@ -89,4 +148,4 @@ fi
   histograms/service.queue_wait_us histograms/service.batch_records
 cp "${svc_dir}/BENCH_service.json" "${root}/BENCH_service.json"
 
-echo "ci: plain and sanitized suites passed; obs + service e2e validated"
+echo "ci: plain, asan/ubsan and tsan suites passed; tidy + rulecheck + obs + service e2e validated"

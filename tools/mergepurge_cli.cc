@@ -38,6 +38,11 @@
 //                                           chrome://tracing or Perfetto)
 //              [--progress]                (live phase progress on stderr)
 //              [--log-level=LEVEL]         (debug|info|warning|error)
+//              [--rules-check]             (preflight the theory through
+//                                           the static analyzer; lint
+//                                           errors abort the run before
+//                                           any data is read — see
+//                                           docs/rule_lints.md)
 //
 // Exit codes: 0 success, 1 runtime failure (I/O, parse, engine), 2 usage
 // error (unknown flag, bad flag value, missing required flag).
@@ -64,6 +69,8 @@
 #include "obs/progress.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "rules/analysis/analyzer.h"
+#include "rules/employee_rules_text.h"
 #include "rules/employee_theory.h"
 #include "rules/rule_program.h"
 #include "util/fault_injector.h"
@@ -83,7 +90,8 @@ constexpr const char* kUsage =
     "[--clusters=N] [--spell-city] [--entities=FILE] [--report] "
     "[--pairs-out=PREFIX] [--pairs-in=a.mpp,...] [--resume=DIR] "
     "[--faults=SPEC] [--gen=N] [--gen-seed=S] [--metrics-out=FILE.json] "
-    "[--trace-out=FILE.json] [--progress] [--log-level=LEVEL]";
+    "[--trace-out=FILE.json] [--progress] [--log-level=LEVEL] "
+    "[--rules-check]";
 
 // Every flag the tool understands; anything else is a usage error.
 constexpr const char* kKnownFlags[] = {
@@ -91,6 +99,7 @@ constexpr const char* kKnownFlags[] = {
     "rules",    "clusters", "spell-city", "entities", "report",
     "pairs-out", "pairs-in", "resume",  "faults",   "gen",
     "gen-seed", "metrics-out", "trace-out", "progress", "log-level",
+    "rules-check",
 };
 
 int Fail(const std::string& message) {
@@ -208,6 +217,26 @@ int main(int argc, char** argv) {
     Status armed =
         FaultInjector::Global().ArmFromSpec(args.GetString("faults", ""));
     if (!armed.ok()) return UsageError(armed.message());
+  }
+
+  // --- Optional theory preflight: lint before any data is read. Without
+  // --rules this vets the built-in theory's rule-language mirror. ---
+  if (args.GetBool("rules-check", false)) {
+    std::string rules_name = "<builtin-employee>";
+    std::string rules_source(EmployeeRulesText());
+    if (args.Has("rules")) {
+      rules_name = args.GetString("rules", "");
+      std::ifstream rules_in(rules_name, std::ios::binary);
+      if (!rules_in) return Fail("cannot open rules file: " + rules_name);
+      std::ostringstream rules_text;
+      rules_text << rules_in.rdbuf();
+      rules_source = rules_text.str();
+    }
+    AnalysisReport analysis = AnalyzeRuleSource(rules_source);
+    std::fputs(analysis.ToText(rules_name).c_str(), stderr);
+    if (analysis.HasErrors()) {
+      return Fail("--rules-check: theory has lint errors (see above)");
+    }
   }
 
   // --- Configure the engine (all usage validation happens before any

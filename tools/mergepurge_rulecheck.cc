@@ -1,0 +1,117 @@
+// mergepurge_rulecheck — static analyzer for rule-language theories.
+//
+// Vets an equational theory before it ever touches data: symmetry,
+// blank-record closure safety, unsatisfiable/tautological thresholds,
+// duplicate and subsumed rules, merge-directive problems. Every lint id is
+// cataloged in docs/rule_lints.md.
+//
+//   mergepurge_rulecheck --rules=theory.rules | --builtin-employee
+//                        [--format=text|json]   (default text)
+//                        [--werror]             (warnings fail the run)
+//                        [--out=FILE]           (default stdout)
+//
+// Exit codes: 0 theory is clean (no errors; no warnings under --werror),
+// 1 findings at a failing severity, 2 usage error. Diagnostics render to
+// stdout (or --out); the pass/fail verdict goes to stderr, so scripted
+// callers can capture the report and still read the outcome.
+//
+// Findings can be silenced at the source line with
+//   # rulecheck: allow(<lint-id>[, <lint-id>...])
+// on the line(s) directly above the offending rule or directive.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "eval/experiment.h"
+#include "rules/analysis/analyzer.h"
+#include "rules/employee_rules_text.h"
+
+using namespace mergepurge;
+
+namespace {
+
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+
+constexpr const char* kUsage =
+    "usage: mergepurge_rulecheck (--rules=FILE | --builtin-employee) "
+    "[--format=text|json] [--werror] [--out=FILE]";
+
+constexpr const char* kKnownFlags[] = {
+    "rules", "builtin-employee", "format", "werror", "out",
+};
+
+int UsageError(const std::string& message) {
+  std::fprintf(stderr, "mergepurge_rulecheck: %s\n%s\n", message.c_str(),
+               kUsage);
+  return kExitUsage;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ArgParser args(argc, argv);
+  if (!args.status().ok()) return UsageError(args.status().message());
+  for (const std::string& name : args.Names()) {
+    bool known = false;
+    for (const char* flag : kKnownFlags) {
+      if (name == flag) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) return UsageError("unknown flag --" + name);
+  }
+  if (args.Has("rules") == args.GetBool("builtin-employee", false)) {
+    return UsageError(
+        "exactly one of --rules and --builtin-employee is required");
+  }
+  const std::string format = args.GetString("format", "text");
+  if (format != "text" && format != "json") {
+    return UsageError("bad --format '" + format +
+                      "' (expected text or json)");
+  }
+
+  std::string source_name = "<builtin-employee>";
+  std::string source(EmployeeRulesText());
+  if (args.Has("rules")) {
+    source_name = args.GetString("rules", "");
+    std::ifstream in(source_name, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "mergepurge_rulecheck: cannot open %s\n",
+                   source_name.c_str());
+      return kExitFindings;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    source = text.str();
+  }
+
+  AnalysisReport report = AnalyzeRuleSource(source);
+  std::string rendered = format == "json"
+                             ? report.ToJson(source_name).Dump(2) + "\n"
+                             : report.ToText(source_name);
+
+  if (args.Has("out")) {
+    const std::string out_path = args.GetString("out", "");
+    std::ofstream out(out_path, std::ios::trunc | std::ios::binary);
+    out << rendered;
+    if (!out.good()) {
+      std::fprintf(stderr, "mergepurge_rulecheck: cannot write %s\n",
+                   out_path.c_str());
+      return kExitFindings;
+    }
+  } else {
+    std::fputs(rendered.c_str(), stdout);
+  }
+
+  const bool failed =
+      report.HasErrors() ||
+      (args.GetBool("werror", false) &&
+       report.CountAtSeverity(LintSeverity::kWarning) > 0);
+  std::fprintf(stderr, "mergepurge_rulecheck: %s: %s\n", source_name.c_str(),
+               failed ? "FAIL" : "OK");
+  return failed ? kExitFindings : 0;
+}

@@ -18,6 +18,9 @@
 //                    [--batch-delay-ms=2.0]   (upsert batcher deadline)
 //                    [--metrics-out=FILE.json] [--trace-out=FILE.json]
 //                    [--log-level=LEVEL]
+//                    [--rules-check]          (lint the theory at startup;
+//                                              lint errors refuse to serve
+//                                              — see docs/rule_lints.md)
 //
 // SIGINT/SIGTERM trigger a graceful drain: stop accepting, finish
 // in-flight requests, flush the upsert batcher, then write the
@@ -36,6 +39,8 @@
 #include "obs/drain.h"
 #include "obs/run_report.h"
 #include "obs/trace.h"
+#include "rules/analysis/analyzer.h"
+#include "rules/employee_rules_text.h"
 #include "rules/employee_theory.h"
 #include "rules/rule_program.h"
 #include "service/match_service.h"
@@ -55,14 +60,14 @@ constexpr const char* kUsage =
     "[--keys=...] [--rules=FILE] [--workers=N] [--max-conn=N] "
     "[--max-line-bytes=N] [--idle-timeout-ms=N] [--batch-records=N] "
     "[--batch-delay-ms=F] [--metrics-out=FILE.json] "
-    "[--trace-out=FILE.json] [--log-level=LEVEL]";
+    "[--trace-out=FILE.json] [--log-level=LEVEL] [--rules-check]";
 
 constexpr const char* kKnownFlags[] = {
     "port",           "port-file",     "window",
     "keys",           "rules",         "workers",
     "max-conn",       "max-line-bytes", "idle-timeout-ms",
     "batch-records",  "batch-delay-ms", "metrics-out",
-    "trace-out",      "log-level",
+    "trace-out",      "log-level",     "rules-check",
 };
 
 int Fail(const std::string& message) {
@@ -188,6 +193,26 @@ int main(int argc, char** argv) {
                       args.GetString("idle-timeout-ms", "") + ")");
   }
   server_options.idle_timeout_ms = static_cast<int>(idle_timeout);
+
+  // --- Optional theory preflight: a service with a linted-broken theory
+  // (e.g. one that merges all-blank records) must refuse to start. ---
+  if (args.GetBool("rules-check", false)) {
+    std::string rules_name = "<builtin-employee>";
+    std::string rules_source(EmployeeRulesText());
+    if (args.Has("rules")) {
+      rules_name = args.GetString("rules", "");
+      std::ifstream rules_in(rules_name, std::ios::binary);
+      if (!rules_in) return Fail("cannot open rules file: " + rules_name);
+      std::ostringstream rules_text;
+      rules_text << rules_in.rdbuf();
+      rules_source = rules_text.str();
+    }
+    AnalysisReport analysis = AnalyzeRuleSource(rules_source);
+    std::fputs(analysis.ToText(rules_name).c_str(), stderr);
+    if (analysis.HasErrors()) {
+      return Fail("--rules-check: theory has lint errors, refusing to serve");
+    }
+  }
 
   // --- Theory factory: compile once, instantiate per lease. ---
   MatchService::TheoryFactory theory_factory;
