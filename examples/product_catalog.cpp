@@ -20,6 +20,7 @@
 #include "eval/metrics.h"
 #include "eval/table_printer.h"
 #include "gen/error_model.h"
+#include "rules/analysis/analyzer.h"
 #include "rules/rule_program.h"
 #include "text/normalize.h"
 #include "util/random.h"
@@ -193,6 +194,21 @@ int main(int argc, char** argv) {
                            KeyComponent::Full(kModel)}};
   KeySpec model_key{"model", {KeyComponent::Full(kModel),
                               KeyComponent::Prefix(kBrand, 3)}};
+
+  // Static preflight of the domain theory against the domain keys: any
+  // rulecheck finding — including a rule no pass can window
+  // (window-coverage) — aborts before data is touched.
+  AnalyzerOptions lint_options;
+  lint_options.passes = {
+      {"sku", {"sku", "brand"}},
+      {"brand-model", {"brand", "model"}},
+      {"model", {"model", "brand"}},
+  };
+  AnalysisReport lint = AnalyzeRuleSource(kProductRules, lint_options);
+  if (!lint.empty()) {
+    std::fputs(lint.ToText("<product-rules>").c_str(), stderr);
+    return 1;
+  }
 
   Result<RuleProgram> theory =
       RuleProgram::Compile(kProductRules, catalog.dataset.schema());

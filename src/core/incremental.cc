@@ -33,11 +33,15 @@ Result<uint64_t> IncrementalMergePurge::AddBatch(
   }
 
   // Any admitted record changes the partition (at minimum it adds a
-  // singleton), so drop the label cache before mutating.
-  {
-    std::lock_guard<std::mutex> lock(labels_mu_);
-    labels_valid_ = false;
-  }
+  // singleton): drop the label cache, and keep holding labels_mu_ for the
+  // rest of the batch so the closure_ mutations below (Grow, the scan's
+  // Unions) are covered by the same lock readers take to rebuild the
+  // cache. AddBatch callers are single-writer, so the long hold contends
+  // with nothing in correct use; it exists to make incorrect use (a
+  // reader racing a batch) crash into the lock instead of the parent
+  // array.
+  MutexLock labels_lock(labels_mu_);
+  labels_valid_ = false;
 
   // Condition a private copy of the batch, then append to the store.
   Dataset conditioned;
@@ -182,7 +186,7 @@ Result<ProbeResult> IncrementalMergePurge::MatchOnly(
 
 const std::vector<uint32_t>& IncrementalMergePurge::CachedComponentLabels()
     const {
-  std::lock_guard<std::mutex> lock(labels_mu_);
+  MutexLock lock(labels_mu_);
   if (!labels_valid_) {
     labels_cache_ = closure_.ComponentLabels();
     labels_valid_ = true;

@@ -24,7 +24,6 @@
 #ifndef MERGEPURGE_CORE_INCREMENTAL_H_
 #define MERGEPURGE_CORE_INCREMENTAL_H_
 
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,6 +34,7 @@
 #include "record/dataset.h"
 #include "rules/equational_theory.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace mergepurge {
 
@@ -94,7 +94,10 @@ class IncrementalMergePurge {
   const std::vector<uint32_t>& CachedComponentLabels() const;
 
   // Number of distinct entities so far.
-  size_t NumEntities() const { return closure_.NumSets(); }
+  size_t NumEntities() const {
+    MutexLock lock(labels_mu_);
+    return closure_.NumSets();
+  }
 
   // One merged record per entity (see MergePurgeResult::Purge).
   Dataset Purge() const;
@@ -110,14 +113,16 @@ class IncrementalMergePurge {
   Dataset all_;
   std::vector<KeyState> key_states_;
   PairSet pairs_;
-  mutable UnionFind closure_{0};
 
-  // Component-label cache. labels_mu_ guards both fields AND the path
-  // compression inside closure_.ComponentLabels() during a rebuild, so
-  // concurrent readers never race on the union-find's parent array.
-  mutable std::mutex labels_mu_;
-  mutable bool labels_valid_ = false;
-  mutable std::vector<uint32_t> labels_cache_;
+  // labels_mu_ guards the label cache AND the union-find itself: readers
+  // trigger path compression inside closure_.ComponentLabels() during a
+  // rebuild, and AddBatch holds the lock across its Grow/Union mutations,
+  // so concurrent readers never race on the parent array.
+  mutable Mutex labels_mu_;
+  mutable UnionFind closure_ MERGEPURGE_GUARDED_BY(labels_mu_){0};
+  mutable bool labels_valid_ MERGEPURGE_GUARDED_BY(labels_mu_) = false;
+  mutable std::vector<uint32_t> labels_cache_
+      MERGEPURGE_GUARDED_BY(labels_mu_);
 };
 
 }  // namespace mergepurge

@@ -25,11 +25,11 @@ void SignalDrain::Install() {
 
   // Detached: the watcher blocks in sigwait() for the process lifetime;
   // there is nothing to join on a normal exit.
-  std::thread([this] { WatcherLoop(); }).detach();
+  std::thread([this] { WatcherLoop(); }).detach();  // lockcheck: allow(detached-thread)
 }
 
 void SignalDrain::OnSignal(std::function<void(int)> callback) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   callbacks_.push_back(std::move(callback));
 }
 
@@ -48,7 +48,7 @@ void SignalDrain::WatcherLoop() {
 
   std::vector<std::function<void(int)>> callbacks;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     callbacks = callbacks_;
   }
   for (const auto& callback : callbacks) callback(signo);

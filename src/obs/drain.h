@@ -27,8 +27,9 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace mergepurge {
 
@@ -73,8 +74,8 @@ class SignalDrain {
   std::atomic<bool> installed_{false};
   std::atomic<bool> exit_after_callbacks_{true};
   std::atomic<int> signal_number_{0};
-  std::mutex mu_;  // Guards callbacks_.
-  std::vector<std::function<void(int)>> callbacks_;
+  Mutex mu_;
+  std::vector<std::function<void(int)>> callbacks_ MERGEPURGE_GUARDED_BY(mu_);
 };
 
 }  // namespace mergepurge

@@ -132,7 +132,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -144,7 +144,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -157,7 +157,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     if (bounds.empty()) bounds = LatencyHistogram::ExponentialBounds();
@@ -171,7 +171,7 @@ LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   MetricsSnapshot snapshot;
   for (const auto& [name, counter] : counters_) {
     snapshot.counters[name] = counter->Value();
@@ -186,7 +186,7 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
   for (auto& [name, gauge] : gauges_) gauge->Reset();
   for (auto& [name, histogram] : histograms_) histogram->Reset();

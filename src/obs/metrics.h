@@ -25,12 +25,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/json.h"
+#include "util/sync.h"
 #include "util/thread_id.h"
 
 namespace mergepurge {
@@ -176,10 +176,15 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>> histograms_;
+  // mu_ guards only the registration maps; metric values themselves are
+  // atomics, so handles returned by Get* are written without the lock.
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      MERGEPURGE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      MERGEPURGE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_ MERGEPURGE_GUARDED_BY(mu_);
 };
 
 }  // namespace mergepurge

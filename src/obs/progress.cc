@@ -29,7 +29,7 @@ void ProgressReporter::Disable() {
 
 void ProgressReporter::BeginPhase(std::string_view name, uint64_t total) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (line_open_) {
     std::fputc('\n', stderr);
     line_open_ = false;
@@ -43,14 +43,14 @@ void ProgressReporter::BeginPhase(std::string_view name, uint64_t total) {
 
 void ProgressReporter::Advance(uint64_t items) {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   done_ += items;
   Paint(/*force=*/false);
 }
 
 void ProgressReporter::FinishPhase() {
   if (!enabled()) return;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (!phase_.empty()) Paint(/*force=*/true);
   if (line_open_) {
     std::fputc('\n', stderr);

@@ -9,9 +9,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
+
+#include "util/sync.h"
 
 namespace mergepurge {
 
@@ -44,16 +45,16 @@ class ProgressReporter {
   void FinishPhase();
 
  private:
-  void Paint(bool force);
+  void Paint(bool force) MERGEPURGE_REQUIRES(mu_);
 
   std::atomic<bool> enabled_{false};
-  std::mutex mu_;
-  std::string phase_;
-  uint64_t total_ = 0;
-  uint64_t done_ = 0;
+  Mutex mu_;
+  std::string phase_ MERGEPURGE_GUARDED_BY(mu_);
+  uint64_t total_ MERGEPURGE_GUARDED_BY(mu_) = 0;
+  uint64_t done_ MERGEPURGE_GUARDED_BY(mu_) = 0;
   // steady_clock ticks (ns) of the last repaint; throttles to ~5 Hz.
-  int64_t last_paint_ns_ = 0;
-  bool line_open_ = false;
+  int64_t last_paint_ns_ MERGEPURGE_GUARDED_BY(mu_) = 0;
+  bool line_open_ MERGEPURGE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace mergepurge

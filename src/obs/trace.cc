@@ -24,22 +24,22 @@ TraceRecorder& TraceRecorder::Global() {
 }
 
 void TraceRecorder::Record(TraceSpan span) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.push_back(std::move(span));
 }
 
 std::vector<TraceSpan> TraceRecorder::Spans() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_;
 }
 
 size_t TraceRecorder::span_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return spans_.size();
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   spans_.clear();
   next_span_id_.store(1, std::memory_order_relaxed);
   epoch_.Restart();

@@ -21,13 +21,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/json.h"
 #include "util/status.h"
+#include "util/sync.h"
 #include "util/thread_id.h"
 #include "util/timer.h"
 
@@ -90,8 +90,8 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_span_id_{1};
   Timer epoch_;
-  mutable std::mutex mu_;
-  std::vector<TraceSpan> spans_;
+  mutable Mutex mu_;
+  std::vector<TraceSpan> spans_ MERGEPURGE_GUARDED_BY(mu_);
 };
 
 // RAII handle for one span. Construction opens it (if the recorder is

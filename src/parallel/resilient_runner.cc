@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "obs/metric_names.h"
@@ -12,6 +10,7 @@
 #include "obs/trace.h"
 #include "util/random.h"
 #include "util/string_util.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace mergepurge {
@@ -36,13 +35,14 @@ struct ResilientRunner::TaskState {
 struct ResilientRunner::RunContext {
   explicit RunContext(size_t num_workers) : pool(num_workers) {}
 
-  std::mutex mu;
-  std::condition_variable_any cv;
+  Mutex mu;
+  CondVar cv;
+  // Set once before any attempt is submitted, then read-only.
   const std::vector<ResilientTask>* tasks = nullptr;
-  std::vector<TaskState> states;
-  size_t terminal_count = 0;
-  uint64_t retries = 0;
-  uint64_t speculations = 0;
+  std::vector<TaskState> states MERGEPURGE_GUARDED_BY(mu);
+  size_t terminal_count MERGEPURGE_GUARDED_BY(mu) = 0;
+  uint64_t retries MERGEPURGE_GUARDED_BY(mu) = 0;
+  uint64_t speculations MERGEPURGE_GUARDED_BY(mu) = 0;
   ThreadPool pool;  // Last member: destroyed first, before states.
 };
 
@@ -76,11 +76,12 @@ ResilientReport ResilientRunner::Run(
 
   RunContext run(options_.num_workers);
   run.tasks = &tasks;
-  run.states.resize(tasks.size());
   run_ = &run;
 
+  std::vector<size_t> first_workers(tasks.size());
   {
-    std::unique_lock<std::mutex> lock(run.mu);
+    MutexLock lock(run.mu);
+    run.states.resize(tasks.size());
     for (size_t i = 0; i < tasks.size(); ++i) {
       TaskState& state = run.states[i];
       state.initial_worker = i < initial_workers.size()
@@ -88,21 +89,22 @@ ResilientReport ResilientRunner::Run(
                                  : i % options_.num_workers;
       state.jitter =
           Rng(options_.jitter_seed ^ (0x9e3779b97f4a7c15ull * (i + 1)));
+      first_workers[i] = state.initial_worker;
     }
   }
   for (size_t i = 0; i < tasks.size(); ++i) {
-    StartAttempt(i, 1, run.states[i].initial_worker, /*speculative=*/false);
+    StartAttempt(i, 1, first_workers[i], /*speculative=*/false);
   }
 
   // Wait for every task to commit or exhaust; with a deadline configured,
   // wake periodically to launch speculative copies of stragglers.
   {
-    std::unique_lock<std::mutex> lock(run.mu);
+    MutexLock lock(run.mu);
     const bool monitor = options_.task_deadline_ms > 0;
     const auto poll = std::chrono::milliseconds(
         monitor ? std::max(1, options_.task_deadline_ms / 4) : 1000);
     while (run.terminal_count < tasks.size()) {
-      run.cv.wait_for(lock, poll);
+      run.cv.WaitFor(run.mu, poll);
       if (!monitor) continue;
       const auto now = Clock::now();
       const size_t budget =
@@ -124,9 +126,9 @@ ResilientReport ResilientRunner::Run(
             (next_attempt - 1) / options_.max_attempts_per_worker;
         size_t worker = (state.initial_worker + worker_slot + 1) %
                         options_.num_workers;
-        lock.unlock();
+        lock.Unlock();
         StartAttempt(i, next_attempt, worker, /*speculative=*/true);
-        lock.lock();
+        lock.Lock();
       }
     }
   }
@@ -137,7 +139,7 @@ ResilientReport ResilientRunner::Run(
   run.pool.Wait();
 
   {
-    std::unique_lock<std::mutex> lock(run.mu);
+    MutexLock lock(run.mu);
     report.outcomes.resize(run.states.size());
     for (size_t i = 0; i < run.states.size(); ++i) {
       const TaskState& state = run.states[i];
@@ -198,7 +200,7 @@ ResilientReport ResilientRunner::Run(
     }
     report.status = Status::PartialFailure(StringPrintf(
         "%zu of %zu tasks unprocessed after retries: [%s]",
-        report.unprocessed.size(), run.states.size(), list.c_str()));
+        report.unprocessed.size(), report.outcomes.size(), list.c_str()));
   }
   return report;
 }
@@ -208,7 +210,7 @@ void ResilientRunner::StartAttempt(size_t task_index, size_t attempt,
   RunContext& run = *run_;
   int delay_ms = 0;
   {
-    std::unique_lock<std::mutex> lock(run.mu);
+    MutexLock lock(run.mu);
     TaskState& state = run.states[task_index];
     ++state.attempts_started;
     ++state.active_attempts;
@@ -239,12 +241,12 @@ void ResilientRunner::ExecuteAttempt(size_t task_index, size_t attempt,
   }
 
   {
-    std::unique_lock<std::mutex> lock(run.mu);
+    MutexLock lock(run.mu);
     TaskState& state = run.states[task_index];
     if (state.committed) {
       // A concurrent (speculative) attempt already won; skip the work.
       --state.active_attempts;
-      run.cv.notify_all();
+      run.cv.NotifyAll();
       return;
     }
     state.active_start = Clock::now();
@@ -257,7 +259,7 @@ void ResilientRunner::ExecuteAttempt(size_t task_index, size_t attempt,
   context.runner = this;
   Status status = (*run.tasks)[task_index](context);
 
-  std::unique_lock<std::mutex> lock(run.mu);
+  MutexLock lock(run.mu);
   TaskState& state = run.states[task_index];
   --state.active_attempts;
   if (status.ok()) {
@@ -268,14 +270,14 @@ void ResilientRunner::ExecuteAttempt(size_t task_index, size_t attempt,
       state.final_worker = worker;
       ++run.terminal_count;
     }
-    run.cv.notify_all();
+    run.cv.NotifyAll();
     return;
   }
 
   state.last_error = status;
   if (state.committed) {
     // A different attempt already succeeded; nothing to do.
-    run.cv.notify_all();
+    run.cv.NotifyAll();
     return;
   }
 
@@ -288,7 +290,7 @@ void ResilientRunner::ExecuteAttempt(size_t task_index, size_t attempt,
     size_t next_worker =
         (state.initial_worker + worker_slot) % options_.num_workers;
     ++run.retries;
-    lock.unlock();
+    lock.Unlock();
     StartAttempt(task_index, next_attempt, next_worker,
                  /*speculative=*/false);
     return;
@@ -298,7 +300,7 @@ void ResilientRunner::ExecuteAttempt(size_t task_index, size_t attempt,
     state.final_worker = worker;
     ++run.terminal_count;
   }
-  run.cv.notify_all();
+  run.cv.NotifyAll();
 }
 
 int ResilientRunner::BackoffDelayMs(TaskState& state, size_t attempt) {
@@ -316,7 +318,7 @@ int ResilientRunner::BackoffDelayMs(TaskState& state, size_t attempt) {
 bool ResilientRunner::CommitTask(size_t task_index, size_t worker,
                                  const std::function<void()>& apply) {
   RunContext& run = *run_;
-  std::unique_lock<std::mutex> lock(run.mu);
+  MutexLock lock(run.mu);
   TaskState& state = run.states[task_index];
   if (state.committed) return false;
   // Commits from different tasks are serialized by run.mu, so `apply` may
@@ -325,7 +327,7 @@ bool ResilientRunner::CommitTask(size_t task_index, size_t worker,
   state.committed = true;
   state.final_worker = worker;
   ++run.terminal_count;
-  run.cv.notify_all();
+  run.cv.NotifyAll();
   return true;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <limits>
 #include <optional>
+#include <set>
 #include <utility>
 
 #include "core/purge_policy.h"
@@ -583,6 +584,123 @@ void CheckMergeDirectives(const RuleProgramAst& ast,
   }
 }
 
+// --- Window coverage --------------------------------------------------------
+
+void CollectFieldRefs(const Expr& expr, std::set<std::string>* r1,
+                      std::set<std::string>* r2) {
+  if (expr.kind == ExprKind::kFieldRef) {
+    (expr.record_index == 1 ? r1 : r2)->insert(expr.field_name);
+  }
+  for (const std::unique_ptr<Expr>& arg : expr.args) {
+    CollectFieldRefs(*arg, r1, r2);
+  }
+}
+
+std::set<std::string> Intersect(const std::set<std::string>& a,
+                                const std::set<std::string>& b) {
+  std::set<std::string> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::inserter(out, out.begin()));
+  return out;
+}
+
+// The fields a satisfying pair must "agree" on, under-approximated
+// syntactically: a leaf ties field f when it reads BOTH r1.f and r2.f
+// (equality, similarity, damerau, ... — any two-sided read counts, since
+// keys only need matching records to sort NEAR each other, not equal).
+// Conjunction ties the union of its children, disjunction only what every
+// branch ties, and negation conservatively ties nothing.
+std::set<std::string> TiedFields(const BoolExpr& node) {
+  switch (node.kind) {
+    case BoolKind::kAnd: {
+      std::set<std::string> tied;
+      for (const std::unique_ptr<BoolExpr>& child : node.children) {
+        std::set<std::string> t = TiedFields(*child);
+        tied.insert(t.begin(), t.end());
+      }
+      return tied;
+    }
+    case BoolKind::kOr: {
+      std::set<std::string> tied;
+      bool first = true;
+      for (const std::unique_ptr<BoolExpr>& child : node.children) {
+        std::set<std::string> t = TiedFields(*child);
+        tied = first ? std::move(t) : Intersect(tied, t);
+        first = false;
+        if (tied.empty()) break;
+      }
+      return tied;
+    }
+    case BoolKind::kNot:
+      return {};
+    case BoolKind::kCompare:
+    case BoolKind::kBare: {
+      std::set<std::string> r1;
+      std::set<std::string> r2;
+      CollectFieldRefs(*node.lhs, &r1, &r2);
+      if (node.rhs != nullptr) CollectFieldRefs(*node.rhs, &r1, &r2);
+      return Intersect(r1, r2);
+    }
+  }
+  return {};
+}
+
+std::string JoinSet(const std::set<std::string>& fields) {
+  std::string out;
+  for (const std::string& f : fields) {
+    if (!out.empty()) out += ", ";
+    out += f;
+  }
+  return out;
+}
+
+// window-coverage: every pair a rule matches must agree on at least one
+// field some pass sorts on, or the sorted-neighborhood windows never
+// bring the pair together and the rule is dead weight (paper §2.2: "keys
+// should be chosen so that similar and matching records should have
+// nearly equal key values").
+void CheckWindowCoverage(const RuleProgramAst& ast,
+                         const AnalyzerOptions& options,
+                         AnalysisReport* report) {
+  if (options.passes.empty()) return;
+  std::string pass_text;
+  for (const PassKeyFields& pass : options.passes) {
+    if (!pass_text.empty()) pass_text += "; ";
+    pass_text += pass.name.empty() ? "pass" : pass.name;
+    pass_text += " sorts on ";
+    for (size_t i = 0; i < pass.fields.size(); ++i) {
+      if (i > 0) pass_text += "+";
+      pass_text += pass.fields[i];
+    }
+  }
+  for (const Rule& rule : ast.rules) {
+    std::set<std::string> tied = TiedFields(*rule.condition);
+    bool covered = false;
+    for (const PassKeyFields& pass : options.passes) {
+      for (const std::string& field : pass.fields) {
+        if (tied.count(field) > 0) {
+          covered = true;
+          break;
+        }
+      }
+      if (covered) break;
+    }
+    if (covered) continue;
+    std::string tied_text =
+        tied.empty() ? "ties no field between r1 and r2"
+                     : StringPrintf("only ties %s", JoinSet(tied).c_str());
+    Emit(options, rule.source_line,
+         {"window-coverage", LintSeverity::kWarning, rule.source_line,
+          rule.name,
+          StringPrintf("no configured sort pass can bring this rule's "
+                       "pairs into one window: the condition %s, but %s",
+                       tied_text.c_str(), pass_text.c_str()),
+          "add a pass whose key leads with a field the rule ties, or make "
+          "the condition require agreement on an already-keyed field"},
+         report);
+  }
+}
+
 }  // namespace
 
 std::map<int, std::vector<std::string>> ExtractSuppressions(
@@ -643,10 +761,16 @@ AnalysisReport AnalyzeRuleProgram(const RuleProgramAst& ast,
   CheckDuplicatesAndSubsumption(ast, options, &report);
   CheckRuleNames(ast, options, &report);
   CheckMergeDirectives(ast, options, &report);
+  CheckWindowCoverage(ast, options, &report);
   return report;
 }
 
 AnalysisReport AnalyzeRuleSource(std::string_view source) {
+  return AnalyzeRuleSource(source, AnalyzerOptions{});
+}
+
+AnalysisReport AnalyzeRuleSource(std::string_view source,
+                                 AnalyzerOptions options) {
   Result<RuleProgramAst> ast = ParseRuleProgram(source);
   if (!ast.ok()) {
     AnalysisReport report;
@@ -654,7 +778,6 @@ AnalysisReport AnalyzeRuleSource(std::string_view source) {
                 ast.status().message(), ""});
     return report;
   }
-  AnalyzerOptions options;
   options.allows = ExtractSuppressions(source);
   return AnalyzeRuleProgram(*ast, options);
 }

@@ -14,6 +14,7 @@
 //   subsumed-rule              warning  implied by an earlier rule
 //   duplicate-rule-name        warning  rule name reused
 //   duplicate-merge-directive  warning  field merged twice
+//   window-coverage            warning  no sort pass windows the rule's pairs
 //
 // Findings can be silenced in the source with a comment on the line(s)
 // directly above the construct:
@@ -39,11 +40,25 @@
 
 namespace mergepurge {
 
+// One sorted-neighborhood pass, reduced to the record fields its sort key
+// reads (principal field first). Input to the window-coverage lint: a rule
+// whose condition ties none of any pass's fields matches pairs that no
+// pass sorts near each other.
+struct PassKeyFields {
+  std::string name;                 // e.g. "last-name"
+  std::vector<std::string> fields;  // field names, key order
+};
+
 struct AnalyzerOptions {
   // Source line -> lint ids allowed at that line, usually built by
   // ExtractSuppressions. A finding is suppressed when its own line or its
   // owning rule/directive's line allows its id.
   std::map<int, std::vector<std::string>> allows;
+
+  // The sort passes the theory will run under, for the window-coverage
+  // lint. Empty (the default) disables that lint: without knowing the
+  // keys, coverage cannot be judged.
+  std::vector<PassKeyFields> passes;
 };
 
 // Scans raw source for `# rulecheck: allow(id[, id...])` comments. Each
@@ -58,8 +73,12 @@ AnalysisReport AnalyzeRuleProgram(const RuleProgramAst& ast,
 
 // Parses and analyzes `source`, honoring its suppression comments. A parse
 // failure yields a report with a single parse-error diagnostic instead of
-// a Status, so callers always have something to render.
+// a Status, so callers always have something to render. The second form
+// carries caller options (e.g. passes for window-coverage); its `allows`
+// are replaced by the suppressions extracted from `source`.
 AnalysisReport AnalyzeRuleSource(std::string_view source);
+AnalysisReport AnalyzeRuleSource(std::string_view source,
+                                 AnalyzerOptions options);
 
 }  // namespace mergepurge
 

@@ -24,7 +24,7 @@ std::future<Result<std::vector<uint32_t>>> UpsertBatcher::Submit(
   std::future<Result<std::vector<uint32_t>>> future =
       pending.promise.get_future();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stop_) {
       pending.promise.set_value(
           Status::InvalidArgument("batcher is draining"));
@@ -33,28 +33,28 @@ std::future<Result<std::vector<uint32_t>>> UpsertBatcher::Submit(
     pending_records_ += pending.records.size();
     pending_.push_back(std::move(pending));
   }
-  pending_cv_.notify_all();
+  pending_cv_.NotifyAll();
   return future;
 }
 
 void UpsertBatcher::Drain() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (drained_) return;
     drained_ = true;
     stop_ = true;
   }
-  pending_cv_.notify_all();
+  pending_cv_.NotifyAll();
   if (writer_.joinable()) writer_.join();
 }
 
 std::vector<size_t> UpsertBatcher::committed_batch_sizes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return batch_sizes_;
 }
 
 uint64_t UpsertBatcher::batches_committed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return batch_sizes_.size();
 }
 
@@ -73,9 +73,9 @@ void UpsertBatcher::WriterLoop() {
       std::chrono::steady_clock::duration>(
       std::chrono::duration<double, std::milli>(options_.max_delay_ms));
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    pending_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    while (!stop_ && pending_.empty()) pending_cv_.Wait(mu_);
     if (pending_.empty()) return;  // stop_ and nothing left to flush.
 
     // Group-commit window: wait for more requests until the batch fills
@@ -83,7 +83,7 @@ void UpsertBatcher::WriterLoop() {
     // immediately.
     const auto deadline = pending_.front().enqueued_at + max_delay;
     while (!stop_ && pending_records_ < options_.max_batch_records) {
-      if (pending_cv_.wait_until(lock, deadline) ==
+      if (pending_cv_.WaitUntil(mu_, deadline) ==
           std::cv_status::timeout) {
         break;
       }
@@ -103,7 +103,7 @@ void UpsertBatcher::WriterLoop() {
       pending_.pop_front();
     }
     pending_records_ -= taken_records;
-    lock.unlock();
+    lock.Unlock();
 
     const auto commit_start = std::chrono::steady_clock::now();
     std::vector<Record> combined;
@@ -136,7 +136,7 @@ void UpsertBatcher::WriterLoop() {
       }
     }
 
-    lock.lock();
+    lock.Lock();
     if (labels.ok()) batch_sizes_.push_back(taken_records);
   }
 }

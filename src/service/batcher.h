@@ -19,17 +19,16 @@
 #define MERGEPURGE_SERVICE_BATCHER_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "record/record.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace mergepurge {
 
@@ -87,13 +86,13 @@ class UpsertBatcher {
   BatcherOptions options_;
   CommitFn commit_;
 
-  mutable std::mutex mu_;
-  std::condition_variable pending_cv_;
-  std::deque<PendingUpsert> pending_;
-  size_t pending_records_ = 0;
-  bool stop_ = false;
-  bool drained_ = false;
-  std::vector<size_t> batch_sizes_;
+  mutable Mutex mu_;
+  CondVar pending_cv_;
+  std::deque<PendingUpsert> pending_ MERGEPURGE_GUARDED_BY(mu_);
+  size_t pending_records_ MERGEPURGE_GUARDED_BY(mu_) = 0;
+  bool stop_ MERGEPURGE_GUARDED_BY(mu_) = false;
+  bool drained_ MERGEPURGE_GUARDED_BY(mu_) = false;
+  std::vector<size_t> batch_sizes_ MERGEPURGE_GUARDED_BY(mu_);
 
   std::thread writer_;
 };

@@ -16,7 +16,7 @@ class MatchService::TheoryLease {
  public:
   explicit TheoryLease(const MatchService* service) : service_(service) {
     {
-      std::lock_guard<std::mutex> lock(service_->theory_mu_);
+      MutexLock lock(service_->theory_mu_);
       if (!service_->theory_pool_.empty()) {
         theory_ = std::move(service_->theory_pool_.back());
         service_->theory_pool_.pop_back();
@@ -26,7 +26,7 @@ class MatchService::TheoryLease {
   }
 
   ~TheoryLease() {
-    std::lock_guard<std::mutex> lock(service_->theory_mu_);
+    MutexLock lock(service_->theory_mu_);
     service_->theory_pool_.push_back(std::move(theory_));
   }
 
@@ -39,9 +39,9 @@ class MatchService::TheoryLease {
 
 MatchService::MatchService(MatchServiceOptions options,
                            TheoryFactory theory_factory)
-    : options_(options),
+    : options_(std::move(options)),
       theory_factory_(std::move(theory_factory)),
-      engine_(options.engine) {
+      engine_(options_.engine) {
   batcher_ = std::make_unique<UpsertBatcher>(
       options_.batcher, [this](std::vector<Record> records) {
         return CommitBatch(std::move(records));
@@ -50,13 +50,18 @@ MatchService::MatchService(MatchServiceOptions options,
 
 MatchService::~MatchService() { Drain(); }
 
-std::shared_lock<std::shared_mutex> MatchService::ReaderLock() const {
+MatchService::GatedReaderLock::GatedReaderLock(const MatchService& service)
+    : service_(service) {
   // Hold off while the writer is waiting (see writer_waiting_ in the
   // header); otherwise a tight reader loop starves commits forever.
-  while (writer_waiting_.load(std::memory_order_acquire) != 0) {
+  while (service_.writer_waiting_.load(std::memory_order_acquire) != 0) {
     std::this_thread::yield();
   }
-  return std::shared_lock<std::shared_mutex>(engine_mu_);
+  service_.engine_mu_.LockShared();
+}
+
+MatchService::GatedReaderLock::~GatedReaderLock() {
+  service_.engine_mu_.UnlockShared();
 }
 
 Result<MatchService::MatchOutcome> MatchService::Match(
@@ -71,7 +76,7 @@ Result<MatchService::MatchOutcome> MatchService::Match(
 
   MatchOutcome outcome;
   {
-    std::shared_lock<std::shared_mutex> lock = ReaderLock();
+    GatedReaderLock lock(*this);
     TheoryLease theory(this);
     Result<ProbeResult> probe = engine_.MatchOnly(record, *theory);
     if (!probe.ok()) return probe.status();
@@ -123,15 +128,16 @@ Result<MatchService::UpsertOutcome> MatchService::Upsert(
 
 Result<std::vector<uint32_t>> MatchService::CommitBatch(
     std::vector<Record> records) {
+  writer_waiting_.fetch_add(1, std::memory_order_acq_rel);
+  WriterLock lock(engine_mu_);
+  writer_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+
   Dataset batch(engine_.records().schema().num_fields() > 0
                     ? engine_.records().schema()
                     : employee::MakeSchema());
   batch.Reserve(records.size());
   for (Record& record : records) batch.Append(std::move(record));
 
-  writer_waiting_.fetch_add(1, std::memory_order_acq_rel);
-  std::unique_lock<std::shared_mutex> lock(engine_mu_);
-  writer_waiting_.fetch_sub(1, std::memory_order_acq_rel);
   TheoryLease theory(this);
   const size_t first_new = engine_.size();
   Result<uint64_t> added = engine_.AddBatch(batch, *theory);
@@ -144,7 +150,7 @@ Result<std::vector<uint32_t>> MatchService::CommitBatch(
 }
 
 MatchService::Stats MatchService::GetStats() const {
-  std::shared_lock<std::shared_mutex> lock = ReaderLock();
+  GatedReaderLock lock(*this);
   Stats stats;
   stats.records = engine_.size();
   stats.entities = engine_.NumEntities();
@@ -156,17 +162,17 @@ void MatchService::Drain() {
   batcher_->Drain();
   // Flush the pooled theories' batched rule statistics into the global
   // registry so the final run report carries them.
-  std::lock_guard<std::mutex> lock(theory_mu_);
+  MutexLock lock(theory_mu_);
   for (const auto& theory : theory_pool_) theory->FlushMetrics();
 }
 
 Dataset MatchService::CopyRecords() const {
-  std::shared_lock<std::shared_mutex> lock = ReaderLock();
+  GatedReaderLock lock(*this);
   return engine_.records();
 }
 
 std::vector<uint32_t> MatchService::ComponentLabels() const {
-  std::shared_lock<std::shared_mutex> lock = ReaderLock();
+  GatedReaderLock lock(*this);
   return engine_.ComponentLabels();
 }
 

@@ -25,13 +25,12 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <vector>
 
 #include "core/incremental.h"
 #include "service/batcher.h"
+#include "util/sync.h"
 
 namespace mergepurge {
 
@@ -109,8 +108,21 @@ class MatchService {
  private:
   class TheoryLease;
 
-  // Acquires the shared lock, yielding first while a writer is waiting.
-  std::shared_lock<std::shared_mutex> ReaderLock() const;
+  // Scoped shared (reader) acquisition of engine_mu_ that honors the
+  // write-preference gate: yields while a writer is waiting, then takes
+  // the shared lock for its lifetime.
+  class MERGEPURGE_SCOPED_CAPABILITY GatedReaderLock {
+   public:
+    explicit GatedReaderLock(const MatchService& service)
+        MERGEPURGE_ACQUIRE_SHARED(service.engine_mu_);
+    ~GatedReaderLock() MERGEPURGE_RELEASE();
+
+    GatedReaderLock(const GatedReaderLock&) = delete;
+    GatedReaderLock& operator=(const GatedReaderLock&) = delete;
+
+   private:
+    const MatchService& service_;
+  };
 
   // Batcher commit hook: the only writer of engine_.
   Result<std::vector<uint32_t>> CommitBatch(std::vector<Record> records);
@@ -118,22 +130,26 @@ class MatchService {
   MatchServiceOptions options_;
   TheoryFactory theory_factory_;
 
-  mutable std::shared_mutex engine_mu_;
+  mutable SharedMutex engine_mu_;
   // Write-preference gate. glibc's rwlock is reader-preferring: a steady
   // stream of Match calls can starve the batcher's writer thread
   // indefinitely. The writer raises this before blocking on the
   // exclusive lock; readers spin-yield while it is raised, so in-flight
   // reads finish but new ones queue behind the commit.
   mutable std::atomic<int> writer_waiting_{0};
-  IncrementalMergePurge engine_;
+  // Readers hold engine_mu_ shared and stick to the engine's const
+  // surface (MatchOnly, CachedComponentLabels); AddBatch runs only under
+  // the exclusive lock, on the batcher's writer thread.
+  IncrementalMergePurge engine_ MERGEPURGE_GUARDED_BY(engine_mu_);
 
   // new_pairs of the most recent committed batch (read by Upsert after
   // its future resolves; racy reads across batches are acceptable for a
   // batch-level diagnostic and documented as such).
   std::atomic<uint64_t> last_batch_new_pairs_{0};
 
-  mutable std::mutex theory_mu_;
-  mutable std::vector<std::unique_ptr<EquationalTheory>> theory_pool_;
+  mutable Mutex theory_mu_;
+  mutable std::vector<std::unique_ptr<EquationalTheory>> theory_pool_
+      MERGEPURGE_GUARDED_BY(theory_mu_);
 
   std::unique_ptr<UpsertBatcher> batcher_;
 };

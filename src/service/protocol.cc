@@ -159,7 +159,7 @@ JsonValue ResponseBase(const JsonValue* id, bool ok) {
   return out;
 }
 
-std::string FinishLine(JsonValue doc) { return doc.Dump(0) + "\n"; }
+std::string FinishLine(const JsonValue& doc) { return doc.Dump(0) + "\n"; }
 
 }  // namespace
 
@@ -181,7 +181,7 @@ std::string MatchResponseLine(const JsonValue* id,
     entity_array.Append(JsonValue(static_cast<uint64_t>(e)));
   }
   out.Set("entities", std::move(entity_array));
-  return FinishLine(std::move(out));
+  return FinishLine(out);
 }
 
 std::string UpsertResponseLine(const JsonValue* id,
@@ -194,13 +194,13 @@ std::string UpsertResponseLine(const JsonValue* id,
   }
   out.Set("entities", std::move(entity_array));
   out.Set("new_pairs", JsonValue(new_pairs));
-  return FinishLine(std::move(out));
+  return FinishLine(out);
 }
 
 std::string PingResponseLine(const JsonValue* id) {
   JsonValue out = ResponseBase(id, true);
   out.Set("pong", JsonValue(true));
-  return FinishLine(std::move(out));
+  return FinishLine(out);
 }
 
 std::string StatsResponseLine(const JsonValue* id, uint64_t records,
@@ -209,7 +209,7 @@ std::string StatsResponseLine(const JsonValue* id, uint64_t records,
   out.Set("records", JsonValue(records));
   out.Set("entities", JsonValue(entities));
   out.Set("pairs", JsonValue(pairs));
-  return FinishLine(std::move(out));
+  return FinishLine(out);
 }
 
 std::string ErrorResponseLine(const JsonValue* id,
@@ -219,7 +219,7 @@ std::string ErrorResponseLine(const JsonValue* id,
   err.Set("code", JsonValue(ServiceErrorCodeName(error.code)));
   err.Set("message", JsonValue(error.message));
   out.Set("error", std::move(err));
-  return FinishLine(std::move(out));
+  return FinishLine(out);
 }
 
 Result<JsonValue> ParseResponseLine(std::string_view line) {

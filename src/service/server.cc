@@ -105,7 +105,7 @@ void Server::RequestDrain() {
   // Wake the blocked accept() (Linux returns EINVAL after shutdown).
   if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
   // Wake every blocked read; SHUT_RD leaves response writes working.
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   for (int fd : open_fds_) ::shutdown(fd, SHUT_RD);
 }
 
@@ -299,7 +299,7 @@ bool Server::WriteAll(int fd, std::string_view data) {
 }
 
 void Server::RegisterConnection(int fd) {
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   open_fds_.insert(fd);
   // Registering during a drain means the accept raced RequestDrain's fd
   // sweep; shut the read side now so the worker sees EOF immediately.
@@ -307,7 +307,7 @@ void Server::RegisterConnection(int fd) {
 }
 
 void Server::UnregisterConnection(int fd) {
-  std::lock_guard<std::mutex> lock(conn_mu_);
+  MutexLock lock(conn_mu_);
   open_fds_.erase(fd);
 }
 

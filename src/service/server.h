@@ -30,7 +30,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -39,6 +38,7 @@
 #include "service/match_service.h"
 #include "service/protocol.h"
 #include "util/status.h"
+#include "util/sync.h"
 #include "util/thread_pool.h"
 
 namespace mergepurge {
@@ -121,8 +121,8 @@ class Server {
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
 
-  std::mutex conn_mu_;
-  std::set<int> open_fds_;
+  Mutex conn_mu_;
+  std::set<int> open_fds_ MERGEPURGE_GUARDED_BY(conn_mu_);
   std::atomic<size_t> active_connections_{0};
   std::atomic<uint64_t> connections_accepted_{0};
 };

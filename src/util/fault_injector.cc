@@ -16,7 +16,7 @@ FaultInjector& FaultInjector::Global() {
 }
 
 void FaultInjector::Arm(const std::string& point, FaultSchedule schedule) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PointState state;
   state.schedule = schedule;
   state.rng = Rng(schedule.seed);
@@ -116,7 +116,7 @@ Status FaultInjector::ArmFromSpec(const std::string& spec) {
 }
 
 void FaultInjector::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.clear();
   armed_.store(false, std::memory_order_release);
   faults_injected_.store(0, std::memory_order_relaxed);
@@ -129,7 +129,7 @@ Status FaultInjector::OnPoint(const char* point) {
   int straggle_ms = 0;
   Status verdict = Status::OK();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = points_.find(point);
     if (it == points_.end()) return Status::OK();
     PointState& state = it->second;
@@ -175,7 +175,7 @@ Status FaultInjector::OnPoint(const char* point) {
 }
 
 uint64_t FaultInjector::HitCount(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }

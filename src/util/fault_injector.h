@@ -23,12 +23,12 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/random.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace mergepurge {
 
@@ -131,8 +131,8 @@ class FaultInjector {
   std::atomic<bool> armed_{false};
   std::atomic<uint64_t> faults_injected_{0};
 
-  mutable std::mutex mu_;
-  std::map<std::string, PointState> points_;
+  mutable Mutex mu_;
+  std::map<std::string, PointState> points_ MERGEPURGE_GUARDED_BY(mu_);
 };
 
 }  // namespace mergepurge

@@ -5,8 +5,8 @@
 #include <chrono>
 #include <cstdio>
 #include <ctime>
-#include <mutex>
 
+#include "util/sync.h"
 #include "util/thread_id.h"
 
 namespace mergepurge {
@@ -30,8 +30,10 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
-std::mutex& LogMutex() {
-  static std::mutex* mu = new std::mutex;
+// Serializes writes to stderr. Leaked so logging stays usable during
+// static destruction.
+Mutex& LogMutex() {
+  static Mutex* mu = new Mutex;
   return *mu;
 }
 
@@ -86,7 +88,7 @@ void LogMessage(LogLevel level, const std::string& message) {
   }
   char timestamp[16];
   FormatTimestamp(timestamp, sizeof(timestamp));
-  std::lock_guard<std::mutex> lock(LogMutex());
+  MutexLock lock(LogMutex());
   if (g_thread_ids.load(std::memory_order_relaxed)) {
     std::fprintf(stderr, "[%s] [%s] [t%u] %s\n", timestamp,
                  LevelName(level), CurrentThreadOrdinal(), message.c_str());

@@ -12,34 +12,34 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  task_available_.notify_all();
+  task_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
     ++in_flight_;
   }
-  task_available_.notify_one();
+  task_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (in_flight_ != 0) all_done_.Wait(mu_);
 }
 
 size_t ThreadPool::exceptions_caught() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return exceptions_caught_;
 }
 
 std::string ThreadPool::first_exception_message() const {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return first_exception_message_;
 }
 
@@ -47,9 +47,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      task_available_.wait(
-          lock, [this] { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) task_available_.Wait(mu_);
       if (queue_.empty()) {
         // shutting_down_ must be true here.
         return;
@@ -69,7 +68,7 @@ void ThreadPool::WorkerLoop() {
       exception_message = "unknown exception";
     }
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (threw) {
         if (exceptions_caught_ == 0) {
           first_exception_message_ = std::move(exception_message);
@@ -77,7 +76,7 @@ void ThreadPool::WorkerLoop() {
         ++exceptions_caught_;
       }
       --in_flight_;
-      if (in_flight_ == 0) all_done_.notify_all();
+      if (in_flight_ == 0) all_done_.NotifyAll();
     }
   }
 }

@@ -8,14 +8,14 @@
 #ifndef MERGEPURGE_UTIL_THREAD_POOL_H_
 #define MERGEPURGE_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace mergepurge {
 
@@ -50,14 +50,14 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable std::mutex mu_;
-  std::condition_variable task_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
-  size_t in_flight_ = 0;
-  bool shutting_down_ = false;
-  size_t exceptions_caught_ = 0;
-  std::string first_exception_message_;
+  mutable Mutex mu_;
+  CondVar task_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ MERGEPURGE_GUARDED_BY(mu_);
+  size_t in_flight_ MERGEPURGE_GUARDED_BY(mu_) = 0;
+  bool shutting_down_ MERGEPURGE_GUARDED_BY(mu_) = false;
+  size_t exceptions_caught_ MERGEPURGE_GUARDED_BY(mu_) = 0;
+  std::string first_exception_message_ MERGEPURGE_GUARDED_BY(mu_);
   std::vector<std::thread> workers_;
 };
 

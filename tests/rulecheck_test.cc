@@ -289,6 +289,113 @@ TEST(RulecheckSuppressions, ExtractSuppressionsParsesIdsAndTargetLine) {
             (std::vector<std::string>{"blank-merge", "asymmetric-rule"}));
 }
 
+// --- window-coverage: rules no sort pass can window. ------------------------
+
+AnalyzerOptions WithPasses(std::vector<PassKeyFields> passes) {
+  AnalyzerOptions options;
+  options.passes = std::move(passes);
+  return options;
+}
+
+TEST(RulecheckWindowCoverage, FlagsRuleTyingNoKeyedField) {
+  const std::string source =
+      "rule covered:\n"                                            // line 1
+      "  if r1.last_name == r2.last_name\n"                        // line 2
+      "  and not empty(r1.last_name) and not empty(r2.last_name)\n"
+      "  then match\n"
+      "\n"
+      "rule uncovered:\n"                                          // line 6
+      "  if r1.zip == r2.zip\n"
+      "  and not empty(r1.zip) and not empty(r2.zip)\n"
+      "  then match\n";
+  AnalysisReport report = AnalyzeRuleSource(
+      source,
+      WithPasses({{"last-name", {"last_name", "first_name", "ssn"}}}));
+  const Diagnostic* d = FindDiagnostic(report, "window-coverage");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->severity, LintSeverity::kWarning);
+  EXPECT_EQ(d->line, 6);
+  EXPECT_EQ(d->rule_name, "uncovered");
+  EXPECT_NE(d->message.find("only ties zip"), std::string::npos)
+      << d->message;
+  EXPECT_NE(d->message.find("last-name sorts on last_name+first_name+ssn"),
+            std::string::npos)
+      << d->message;
+  EXPECT_EQ(CountDiagnostics(report, "window-coverage"), 1u)
+      << "the covered rule must not be flagged";
+}
+
+TEST(RulecheckWindowCoverage, SimilarityTiesItsFieldAcrossAnyPass) {
+  // A two-sided fuzzy read counts as a tie, and coverage by ANY pass —
+  // not the first — suffices.
+  const std::string source =
+      "rule addr:\n"
+      "  if similarity(r1.address, r2.address) >= 0.75\n"
+      "  and not empty(r1.address) and not empty(r2.address)\n"
+      "  then match\n";
+  AnalysisReport report = AnalyzeRuleSource(
+      source, WithPasses({{"last-name", {"last_name", "ssn"}},
+                          {"address", {"address", "city"}}}));
+  EXPECT_EQ(CountDiagnostics(report, "window-coverage"), 0u);
+}
+
+TEST(RulecheckWindowCoverage, DisjunctionNeedsEveryBranchCovered) {
+  // Either branch alone may satisfy the rule, so a pair is only
+  // guaranteed near when BOTH branches tie a keyed field: the or-branch
+  // on zip breaks the last_name tie's coverage.
+  const std::string source =
+      "rule either:\n"
+      "  if (r1.last_name == r2.last_name and not empty(r1.last_name)\n"
+      "      and not empty(r2.last_name))\n"
+      "  or (r1.zip == r2.zip and not empty(r1.zip)\n"
+      "      and not empty(r2.zip))\n"
+      "  then match\n";
+  AnalysisReport report = AnalyzeRuleSource(
+      source, WithPasses({{"last-name", {"last_name", "ssn"}}}));
+  EXPECT_EQ(CountDiagnostics(report, "window-coverage"), 1u);
+}
+
+TEST(RulecheckWindowCoverage, CrossFieldAndNegatedReadsTieNothing) {
+  // r1.zip vs r2.city reads both records but ties no common field, and a
+  // negated equality never ties: both rules are uncoverable.
+  const std::string source =
+      "rule crossed:\n"                                            // line 1
+      "  if r1.zip == r2.city and not empty(r1.zip)\n"
+      "  then match\n"
+      "\n"
+      "rule negated:\n"                                            // line 5
+      "  if not (r1.zip != r2.zip) and not empty(r1.zip)\n"
+      "  then match\n";
+  AnalysisReport report = AnalyzeRuleSource(
+      source, WithPasses({{"zip", {"zip", "city"}}}));
+  EXPECT_EQ(CountDiagnostics(report, "window-coverage"), 2u);
+  const Diagnostic* d = FindDiagnostic(report, "window-coverage");
+  ASSERT_NE(d, nullptr);
+  EXPECT_NE(d->message.find("ties no field"), std::string::npos)
+      << d->message;
+}
+
+TEST(RulecheckWindowCoverage, NoConfiguredPassesDisablesTheLint) {
+  const std::string source =
+      "rule uncovered:\n"
+      "  if r1.zip == r2.zip and not empty(r1.zip) and not empty(r2.zip)\n"
+      "  then match\n";
+  AnalysisReport report = AnalyzeRuleSource(source);
+  EXPECT_EQ(CountDiagnostics(report, "window-coverage"), 0u);
+}
+
+TEST(RulecheckWindowCoverage, AllowCommentSilencesTheFinding) {
+  const std::string source =
+      "# rulecheck: allow(window-coverage)\n"
+      "rule uncovered:\n"
+      "  if r1.zip == r2.zip and not empty(r1.zip) and not empty(r2.zip)\n"
+      "  then match\n";
+  AnalysisReport report = AnalyzeRuleSource(
+      source, WithPasses({{"last-name", {"last_name"}}}));
+  EXPECT_EQ(CountDiagnostics(report, "window-coverage"), 0u);
+  EXPECT_EQ(report.suppressed_count(), 1u);
+}
+
 // --- Report rendering. ------------------------------------------------------
 
 TEST(RulecheckReport, TextRenderingContainsLocationIdAndHint) {
@@ -324,7 +431,12 @@ TEST(RulecheckReport, JsonRenderingRoundTrips) {
 // --- The shipped theories are lint-clean. -----------------------------------
 
 TEST(RulecheckTheories, BuiltinEmployeeTheoryIsCleanAtWerror) {
-  AnalysisReport report = AnalyzeRuleSource(EmployeeRulesText());
+  // Passes mirror keys/standard_keys.cc, so window-coverage runs too.
+  AnalysisReport report = AnalyzeRuleSource(
+      EmployeeRulesText(),
+      WithPasses({{"last-name", {"last_name", "first_name", "ssn"}},
+                  {"first-name", {"first_name", "last_name", "ssn"}},
+                  {"address", {"address", "last_name", "city"}}}));
   for (const Diagnostic& d : report.diagnostics()) {
     ADD_FAILURE() << d.id << " at line " << d.line << ": " << d.message;
   }

@@ -31,6 +31,7 @@
 #include "service/match_service.h"
 #include "service/protocol.h"
 #include "service/server.h"
+#include "util/sync.h"
 
 namespace mergepurge {
 namespace {
@@ -346,12 +347,12 @@ TEST(BatcherTest, CoalescesConcurrentSubmissionsAndPreservesOrder) {
   options.max_batch_records = 1000;
   options.max_delay_ms = 20.0;
 
-  std::mutex mu;
+  Mutex mu;
   std::vector<size_t> commit_sizes;
   UpsertBatcher batcher(
       options,
       [&](std::vector<Record> records) -> Result<std::vector<uint32_t>> {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         commit_sizes.push_back(records.size());
         // Label each record with its global commit position.
         static uint32_t next = 0;

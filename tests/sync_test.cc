@@ -1,0 +1,159 @@
+// Tests for the util/sync.h capability-annotated lock wrappers. The
+// interesting property — "unannotated guarded access fails to compile" —
+// lives in tests/negative_compile/ (checked at configure time under
+// clang); what is testable at runtime is that the wrappers actually
+// exclude, that CondVar waits wake, and that ReaderLock admits concurrent
+// readers while WriterLock excludes them. tools/ci.sh runs this binary
+// under ThreadSanitizer, so a wrapper that silently failed to lock would
+// surface as a data race here.
+
+#include "util/sync.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace mergepurge {
+namespace {
+
+TEST(MutexTest, MutexLockExcludesConcurrentIncrements) {
+  Mutex mu;
+  int64_t counter = 0;  // Guarded by mu (by construction of the test).
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 10000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mu, &counter] {
+      for (int i = 0; i < kIncrements; ++i) {
+        MutexLock lock(mu);
+        ++counter;
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  MutexLock lock(mu);
+  EXPECT_EQ(counter, static_cast<int64_t>(kThreads) * kIncrements);
+}
+
+TEST(MutexTest, TryLockReportsContention) {
+  Mutex mu;
+  mu.Lock();
+  EXPECT_FALSE(mu.TryLock());
+  mu.Unlock();
+  EXPECT_TRUE(mu.TryLock());
+  mu.Unlock();
+}
+
+TEST(MutexTest, MutexLockUnlockRelockWindow) {
+  // The batcher/runner pattern: step outside the critical section
+  // mid-scope, then re-enter. Another thread must be able to take the
+  // lock during the window.
+  Mutex mu;
+  bool flag = false;
+
+  MutexLock lock(mu);
+  lock.Unlock();
+  std::thread other([&mu, &flag] {
+    MutexLock inner(mu);
+    flag = true;
+  });
+  other.join();
+  lock.Lock();
+  EXPECT_TRUE(flag);
+}
+
+TEST(CondVarTest, WaitWakesOnNotify) {
+  Mutex mu;
+  CondVar cv;
+  bool ready = false;
+
+  std::thread waker([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyAll();
+  });
+
+  {
+    MutexLock lock(mu);
+    while (!ready) cv.Wait(mu);
+    EXPECT_TRUE(ready);
+  }
+  waker.join();
+}
+
+TEST(CondVarTest, WaitForTimesOutWithoutNotify) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  EXPECT_EQ(cv.WaitFor(mu, std::chrono::milliseconds(5)),
+            std::cv_status::timeout);
+}
+
+TEST(CondVarTest, WaitUntilHonorsDeadline) {
+  Mutex mu;
+  CondVar cv;
+  MutexLock lock(mu);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5);
+  EXPECT_EQ(cv.WaitUntil(mu, deadline), std::cv_status::timeout);
+  EXPECT_GE(std::chrono::steady_clock::now(), deadline);
+}
+
+TEST(SharedMutexTest, ReadersShareWritersExclude) {
+  SharedMutex mu;
+  int64_t value = 0;  // Guarded by mu.
+  std::atomic<int> concurrent_readers{0};
+  std::atomic<int> max_concurrent_readers{0};
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 6;
+  constexpr int kRounds = 2000;
+
+  std::vector<std::thread> threads;
+  threads.reserve(kWriters + kReaders);
+  for (int t = 0; t < kWriters; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kRounds; ++i) {
+        WriterLock lock(mu);
+        ++value;
+      }
+    });
+  }
+  for (int t = 0; t < kReaders; ++t) {
+    threads.emplace_back([&] {
+      int64_t last = 0;
+      for (int i = 0; i < kRounds; ++i) {
+        ReaderLock lock(mu);
+        int now = concurrent_readers.fetch_add(1) + 1;
+        int seen = max_concurrent_readers.load();
+        while (now > seen &&
+               !max_concurrent_readers.compare_exchange_weak(seen, now)) {
+        }
+        // Reads under the shared lock must be monotone: a torn or racy
+        // read would eventually violate this.
+        EXPECT_GE(value, last);
+        last = value;
+        concurrent_readers.fetch_sub(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  WriterLock lock(mu);
+  EXPECT_EQ(value, static_cast<int64_t>(kWriters) * kRounds);
+  // Not guaranteed by the API, but with 6 readers hammering 2000 rounds
+  // on a multicore box the shared mode overlapping at least once is as
+  // certain as a scheduling assertion gets; it would be exactly 1 if
+  // ReaderLock took the exclusive lock by mistake.
+  if (std::thread::hardware_concurrency() > 1) {
+    EXPECT_GT(max_concurrent_readers.load(), 1);
+  }
+}
+
+}  // namespace
+}  // namespace mergepurge

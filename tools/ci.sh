@@ -3,8 +3,10 @@
 # AddressSanitizer + UndefinedBehaviorSanitizer, and (concurrency tests
 # only) with ThreadSanitizer — so data races on the retry/speculation
 # paths and lifetime bugs in the checkpoint code surface before merge.
-# Then: clang-tidy over src/ (when available), the rulecheck theory lint
-# gate, and the observability + service end-to-end contracts.
+# Then: a clang -Wthread-safety build (when available), the lockcheck
+# lock-discipline lint, clang-tidy over src/ (when available), the
+# rulecheck theory lint gate, the observability + service end-to-end
+# contracts, and the latency-regression bench gates.
 #
 # Usage: tools/ci.sh [jobs]      (from the repository root)
 set -eu
@@ -35,10 +37,34 @@ run_suite "${root}/build" "" -DMERGEPURGE_SANITIZE="" \
 run_suite "${root}/build-san" "" "-DMERGEPURGE_SANITIZE=address;undefined"
 # TSan is incompatible with ASan, so it gets its own tree; run the suites
 # that exercise threads (parallel engine, resilient retry, incremental
-# engine, the TCP service, fault-tolerance) rather than all of ctest.
+# engine, the TCP service, fault-tolerance, the sync primitives) rather
+# than all of ctest.
 run_suite "${root}/build-tsan" \
-  "parallel_test|incremental_test|incremental_property_test|service_test|fault_tolerance_test|metrics_test" \
+  "parallel_test|incremental_test|incremental_property_test|service_test|fault_tolerance_test|metrics_test|sync_test" \
   "-DMERGEPURGE_SANITIZE=thread"
+
+# Compile-time lock discipline (clang only): build the whole tree with
+# the thread-safety analysis promoted to errors. The configure step also
+# runs the negative-compile fixture (tests/negative_compile/), so this
+# proves both "our annotations are consistent" and "the analysis still
+# rejects an unannotated guarded access". g++-only hosts skip, loudly —
+# the lockcheck linter below still runs everywhere.
+if command -v clang++ >/dev/null 2>&1; then
+  run_suite "${root}/build-clang-tsa" "sync_test" \
+    -DCMAKE_CXX_COMPILER=clang++ -DMERGEPURGE_THREAD_SAFETY=ON
+else
+  echo "=== clang++ not installed; skipping -Wthread-safety build ==="
+fi
+
+# Lock-discipline lint: no naked std::mutex / lock_guard / detached
+# threads outside src/util/sync.h (docs/concurrency.md documents the
+# allowlist syntax). Pure-python, so it runs even without clang.
+if command -v python3 >/dev/null 2>&1; then
+  echo "=== lockcheck ==="
+  python3 "${root}/tools/lockcheck.py" --root="${root}"
+else
+  echo "=== python3 not installed; skipping lockcheck ==="
+fi
 
 # Static analysis over our sources (.clang-tidy pins the check set).
 # clang-tidy is optional tooling — skip, loudly, when not installed.
@@ -148,4 +174,21 @@ fi
   histograms/service.queue_wait_us histograms/service.batch_records
 cp "${svc_dir}/BENCH_service.json" "${root}/BENCH_service.json"
 
-echo "ci: plain, asan/ubsan and tsan suites passed; tidy + rulecheck + obs + service e2e validated"
+# Latency-regression gates: compare the fresh service bench (from the
+# e2e above) and a fresh sorted-neighborhood bench against the committed
+# baselines in bench/baselines/, failing on a >25% p50 / best-seconds
+# regression. An improvement beyond the margin prints a re-baseline
+# reminder (see tools/bench_compare.cc).
+echo "=== bench gates ==="
+"${root}/build/bench/bench_snm" --records=20000 --window=10 --repeat=3 \
+  --seed=42 --out="${root}/BENCH_snm.json"
+"${root}/build/tools/bench_compare" \
+  --baseline="${root}/bench/baselines/BENCH_service.json" \
+  --fresh="${root}/BENCH_service.json" \
+  --metric=config/summary/latency_request/p50_us --max-regress-pct=25
+"${root}/build/tools/bench_compare" \
+  --baseline="${root}/bench/baselines/BENCH_snm.json" \
+  --fresh="${root}/BENCH_snm.json" \
+  --metric=config/best_seconds --max-regress-pct=25
+
+echo "ci: plain, asan/ubsan, tsan and lock-discipline gates passed; tidy + rulecheck + obs + service e2e + bench gates validated"

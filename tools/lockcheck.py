@@ -1,0 +1,212 @@
+#!/usr/bin/env python3
+"""lockcheck: the lock-discipline linter (docs/concurrency.md).
+
+src/util/sync.h is the only place raw synchronization primitives may
+appear; everything else must use the capability-annotated wrappers so the
+clang -Wthread-safety build can prove the lock invariants. This linter
+keeps that closed-world property from regressing on compilers (gcc) that
+cannot check the annotations themselves.
+
+Forbidden outside src/util/sync.h:
+  naked-mutex       std::mutex / std::shared_mutex / std::recursive_mutex /
+                    std::timed_mutex / std::shared_timed_mutex
+  naked-lock        std::lock_guard / std::unique_lock / std::shared_lock /
+                    std::scoped_lock
+  naked-condvar     std::condition_variable[_any]
+  raw-lock-call     bare .lock() / .unlock() / .try_lock() /
+                    .lock_shared() / .unlock_shared() calls
+  detached-thread   std::thread(...).detach()
+  sync-include      #include <mutex> / <shared_mutex> / <condition_variable>
+
+Suppression mirrors rulecheck's `# rulecheck: allow(id)`: put
+  // lockcheck: allow(<id>)
+on the offending line (or the line directly above it), ideally with a
+comment explaining why the raw primitive is unavoidable.
+
+Usage: tools/lockcheck.py [--root=DIR]
+Exit codes: 0 clean, 1 findings, 2 usage/setup error.
+"""
+
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tools", "tests", "bench", "examples")
+EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
+EXEMPT = {os.path.join("src", "util", "sync.h")}
+
+CHECKS = [
+    (
+        "naked-mutex",
+        re.compile(
+            r"\bstd::(recursive_|timed_|shared_|shared_timed_)?mutex\b"
+        ),
+        "raw std::mutex family; use mergepurge::Mutex/SharedMutex "
+        "(util/sync.h)",
+    ),
+    (
+        "naked-lock",
+        re.compile(r"\bstd::(lock_guard|unique_lock|shared_lock|scoped_lock)\b"),
+        "raw std lock scope; use MutexLock/ReaderLock/WriterLock "
+        "(util/sync.h)",
+    ),
+    (
+        "naked-condvar",
+        re.compile(r"\bstd::condition_variable(_any)?\b"),
+        "raw std::condition_variable; use mergepurge::CondVar (util/sync.h)",
+    ),
+    (
+        "raw-lock-call",
+        re.compile(
+            r"\.\s*(lock|unlock|try_lock|lock_shared|unlock_shared)\s*\(\s*\)"
+        ),
+        "bare .lock()/.unlock() call; use the scoped types or the "
+        "annotated Lock()/Unlock() members",
+    ),
+    (
+        "detached-thread",
+        re.compile(r"\.\s*detach\s*\(\s*\)"),
+        "detached thread; join it, or allowlist with a comment saying why "
+        "it must outlive its owner",
+    ),
+    (
+        "sync-include",
+        re.compile(r'#\s*include\s*<(mutex|shared_mutex|condition_variable)>'),
+        "raw sync header; include \"util/sync.h\" instead",
+    ),
+]
+
+ALLOW_RE = re.compile(r"lockcheck:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+KNOWN_IDS = {check_id for check_id, _, _ in CHECKS}
+
+
+def allowed_ids(line):
+    match = ALLOW_RE.search(line)
+    if not match:
+        return set()
+    return {token.strip() for token in match.group(1).split(",")}
+
+
+def strip_noncode(line):
+    """Drop string/char literals and // comments so tokens inside them
+    (e.g. this linter's own messages) don't trip the patterns. Heuristic,
+    not a lexer — good enough for this codebase's style."""
+    out = []
+    i = 0
+    n = len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    break
+                i += 1
+            i += 1
+            out.append(quote + quote)
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+def scan_file(root, rel_path):
+    findings = []
+    path = os.path.join(root, rel_path)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as handle:
+            lines = handle.readlines()
+    except OSError as err:
+        print(f"lockcheck: cannot read {rel_path}: {err}", file=sys.stderr)
+        sys.exit(2)
+
+    in_block_comment = False
+    for lineno, line in enumerate(lines, start=1):
+        allows = allowed_ids(line)
+        if lineno > 1:
+            allows |= allowed_ids(lines[lineno - 2])
+        unknown = allows - KNOWN_IDS
+        if unknown and ALLOW_RE.search(line):
+            findings.append(
+                (rel_path, lineno, "bad-allow",
+                 f"unknown lockcheck id(s): {', '.join(sorted(unknown))}")
+            )
+
+        code = line
+        if in_block_comment:
+            end = code.find("*/")
+            if end < 0:
+                continue
+            code = code[end + 2:]
+            in_block_comment = False
+        # Remove block comments opened (and possibly closed) on this line.
+        while True:
+            start = code.find("/*")
+            if start < 0:
+                break
+            end = code.find("*/", start + 2)
+            if end < 0:
+                code = code[:start]
+                in_block_comment = True
+                break
+            code = code[:start] + code[end + 2:]
+        code = strip_noncode(code)
+
+        for check_id, pattern, message in CHECKS:
+            if not pattern.search(code):
+                continue
+            if check_id in allows:
+                continue
+            findings.append((rel_path, lineno, check_id, message))
+    return findings
+
+
+def main(argv):
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    for arg in argv[1:]:
+        if arg.startswith("--root="):
+            root = arg[len("--root="):]
+        else:
+            print(__doc__, file=sys.stderr)
+            return 2
+
+    self_rel = os.path.relpath(os.path.abspath(__file__), root)
+    findings = []
+    scanned = 0
+    for scan_dir in SCAN_DIRS:
+        top = os.path.join(root, scan_dir)
+        if not os.path.isdir(top):
+            continue
+        for dirpath, _, filenames in os.walk(top):
+            for filename in sorted(filenames):
+                if not filename.endswith(EXTENSIONS):
+                    continue
+                rel_path = os.path.relpath(
+                    os.path.join(dirpath, filename), root
+                )
+                if rel_path in EXEMPT or rel_path == self_rel:
+                    continue
+                scanned += 1
+                findings.extend(scan_file(root, rel_path))
+
+    if scanned == 0:
+        print("lockcheck: no sources found (bad --root?)", file=sys.stderr)
+        return 2
+
+    for rel_path, lineno, check_id, message in findings:
+        print(f"{rel_path}:{lineno}: lockcheck({check_id}): {message}")
+    if findings:
+        print(f"lockcheck: {len(findings)} finding(s) in {scanned} files")
+        return 1
+    print(f"lockcheck: clean ({scanned} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
