@@ -8,6 +8,7 @@
 #include "io/pairs_io.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "util/fs.h"
 #include "util/string_util.h"
 
 namespace mergepurge {
@@ -41,19 +42,10 @@ uint64_t KeySpecDigest(const KeySpec& spec) {
 
 Status WriteTextFileAtomic(const std::string& path,
                            const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) return Status::IoError("cannot open for writing: " + tmp);
-    out.write(content.data(), static_cast<std::streamsize>(content.size()));
-    out.flush();
-    if (!out) return Status::IoError("write failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IoError("rename failed: " + tmp + " -> " + path);
-  }
-  return Status::OK();
+  // Full durable protocol (util/fs.h): tmp + fsync + rename + directory
+  // fsync, every step's failure propagated — a checkpoint manifest that
+  // survives a crash must never point at data that didn't.
+  return WriteFileDurable(path, content);
 }
 
 std::string ManifestFileName(size_t pass_index) {
@@ -72,11 +64,20 @@ Status WritePassCheckpoint(const std::string& dir, size_t pass_index,
   const std::string pairs_path = dir + "/" + manifest.pairs_file;
   const std::string pairs_tmp = pairs_path + ".tmp";
   MERGEPURGE_RETURN_NOT_OK(WritePairSetFile(pairs, pairs_tmp));
-  if (std::rename(pairs_tmp.c_str(), pairs_path.c_str()) != 0) {
-    std::remove(pairs_tmp.c_str());
-    return Status::IoError("rename failed: " + pairs_tmp + " -> " +
-                           pairs_path);
+  // fsync before the rename and the directory after it: the manifest
+  // below is the commit record, so the pairs bytes (and their name) must
+  // be durable first. Every failure propagates as a Status.
+  Status durable = FsyncPath(pairs_tmp);
+  if (durable.ok() &&
+      std::rename(pairs_tmp.c_str(), pairs_path.c_str()) != 0) {
+    durable = Status::IoError("rename failed: " + pairs_tmp + " -> " +
+                              pairs_path);
   }
+  if (!durable.ok()) {
+    std::remove(pairs_tmp.c_str());
+    return durable;
+  }
+  MERGEPURGE_RETURN_NOT_OK(FsyncPath(dir));
 
   std::ostringstream out;
   out << kManifestMagic << '\n';

@@ -130,6 +130,45 @@ Result<uint64_t> IncrementalMergePurge::AddBatch(
   return new_pairs;
 }
 
+Status IncrementalMergePurge::Restore(Dataset records, PairSet pairs) {
+  if (options_.keys.empty()) {
+    return Status::InvalidArgument("no keys configured");
+  }
+  if (!all_.empty()) {
+    return Status::InvalidArgument("Restore requires an empty engine");
+  }
+  MutexLock labels_lock(labels_mu_);
+  labels_valid_ = false;
+  all_ = std::move(records);
+  pairs_ = std::move(pairs);
+  closure_.Grow(all_.size());
+  // Deterministic order is not needed for correctness (union-find labels
+  // are canonical regardless of union order) but keeps recovery runs
+  // reproducible; this is a startup-only path, so the materialized copy
+  // is fine.
+  for (const auto& [lo, hi] : pairs_.ToSortedVector()) {
+    closure_.Union(lo, hi);
+  }
+
+  for (KeyState& state : key_states_) {
+    KeyBuilder builder(state.spec);
+    MERGEPURGE_RETURN_NOT_OK(builder.Validate(all_.schema()));
+    state.keys.resize(all_.size());
+    state.order.resize(all_.size());
+    for (TupleId t = 0; t < static_cast<TupleId>(all_.size()); ++t) {
+      state.keys[t] = builder.BuildKey(all_.record(t));
+      state.order[t] = t;
+    }
+    std::sort(state.order.begin(), state.order.end(),
+              [&state](TupleId a, TupleId b) {
+                int cmp = state.keys[a].compare(state.keys[b]);
+                if (cmp != 0) return cmp < 0;
+                return a < b;
+              });
+  }
+  return Status::OK();
+}
+
 Result<ProbeResult> IncrementalMergePurge::MatchOnly(
     const Record& record, const EquationalTheory& theory) const {
   if (options_.keys.empty()) {

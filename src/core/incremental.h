@@ -56,6 +56,17 @@ class IncrementalMergePurge {
   Result<uint64_t> AddBatch(const Dataset& batch,
                             const EquationalTheory& theory);
 
+  // Restores the engine from durable state: a record store (already
+  // conditioned — Restore never re-conditions) and the pair set, as
+  // saved by a service snapshot (service/snapshot.h). Only valid on an
+  // engine that has seen no batches. Per-key sorted orders are rebuilt
+  // by a full sort; because AddBatch's merge is ordered by the same
+  // total (key, tuple id) comparator, the rebuilt orders are identical
+  // to the ones the original batch sequence produced, and the closure
+  // rebuilt from the pairs is canonically labeled — so a restored
+  // engine is indistinguishable from the live one it was copied from.
+  Status Restore(Dataset records, PairSet pairs);
+
   // Read-only probe: conditions and keys `record` exactly as AddBatch
   // would, finds its would-be position in every key's sorted order, and
   // window-scans the neighborhoods it would disturb — without copying the

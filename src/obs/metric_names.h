@@ -93,6 +93,30 @@ inline constexpr char kServiceQueueWaitUs[] =
 inline constexpr char kServiceBatchRecords[] =
     "service.batch_records";                                        // Hist.
 
+// --- Durability: write-ahead log + snapshots (src/service/wal,
+// src/service/snapshot; see docs/durability.md). ---
+inline constexpr char kServiceWalAppends[] = "service.wal.appends";
+inline constexpr char kServiceWalFsyncs[] = "service.wal.fsyncs";
+inline constexpr char kServiceWalBytes[] = "service.wal.bytes";
+inline constexpr char kServiceWalSegmentsRemoved[] =
+    "service.wal.segments_removed";
+inline constexpr char kServiceWalAppendUs[] =
+    "service.wal.append_us";                                        // Hist.
+inline constexpr char kServiceSnapshotSaves[] = "service.snapshot.saves";
+inline constexpr char kServiceSnapshotFailures[] =
+    "service.snapshot.failures";
+inline constexpr char kServiceSnapshotWriteUs[] =
+    "service.snapshot.write_us";                                    // Hist.
+// Startup recovery (snapshot load + WAL tail replay).
+inline constexpr char kServiceRecoveryBatchesReplayed[] =
+    "service.recovery.batches_replayed";
+inline constexpr char kServiceRecoveryRecordsReplayed[] =
+    "service.recovery.records_replayed";
+inline constexpr char kServiceRecoveryTruncatedBytes[] =
+    "service.recovery.truncated_bytes";
+inline constexpr char kServiceRecoveryUs[] =
+    "service.recovery.us";                                          // Hist.
+
 // --- Loadgen client-side measurements (tools/mergepurge_loadgen). ---
 inline constexpr char kServiceClientRequestUs[] =
     "service.client.request_us";                                    // Hist.
@@ -100,6 +124,9 @@ inline constexpr char kServiceClientMatchUs[] =
     "service.client.match_us";                                      // Hist.
 inline constexpr char kServiceClientUpsertUs[] =
     "service.client.upsert_us";                                     // Hist.
+// Reconnect/resend attempts after transient transport errors (server
+// restart mid-run); see the loadgen backoff loop.
+inline constexpr char kServiceClientRetries[] = "service.client.retries";
 
 }  // namespace metric_names
 

@@ -23,7 +23,12 @@ void PreregisterStandardMetrics(MetricsRegistry& registry) {
         mn::kServiceConnections, mn::kServiceConnectionsRejected,
         mn::kServiceRequests, mn::kServiceMatchRequests,
         mn::kServiceUpsertRequests, mn::kServiceUpsertRecords,
-        mn::kServiceErrors, mn::kServiceBatches}) {
+        mn::kServiceErrors, mn::kServiceBatches, mn::kServiceWalAppends,
+        mn::kServiceWalFsyncs, mn::kServiceWalBytes,
+        mn::kServiceWalSegmentsRemoved, mn::kServiceSnapshotSaves,
+        mn::kServiceSnapshotFailures, mn::kServiceRecoveryBatchesReplayed,
+        mn::kServiceRecoveryRecordsReplayed,
+        mn::kServiceRecoveryTruncatedBytes, mn::kServiceClientRetries}) {
     registry.GetCounter(name);
   }
   for (const char* name :
@@ -31,7 +36,8 @@ void PreregisterStandardMetrics(MetricsRegistry& registry) {
         mn::kResilientQueueWaitUs, mn::kServiceRequestUs,
         mn::kServiceMatchUs, mn::kServiceUpsertUs, mn::kServiceQueueWaitUs,
         mn::kServiceClientRequestUs, mn::kServiceClientMatchUs,
-        mn::kServiceClientUpsertUs}) {
+        mn::kServiceClientUpsertUs, mn::kServiceWalAppendUs,
+        mn::kServiceSnapshotWriteUs, mn::kServiceRecoveryUs}) {
     registry.GetHistogram(name);
   }
   // Batch sizes are small integers, not microseconds: count-scaled

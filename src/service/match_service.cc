@@ -6,6 +6,7 @@
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "util/fs.h"
 #include "util/timer.h"
 
 namespace mergepurge {
@@ -42,10 +43,108 @@ MatchService::MatchService(MatchServiceOptions options,
     : options_(std::move(options)),
       theory_factory_(std::move(theory_factory)),
       engine_(options_.engine) {
+  if (!options_.durability.data_dir.empty()) {
+    init_status_ = InitDurability();
+  }
   batcher_ = std::make_unique<UpsertBatcher>(
       options_.batcher, [this](std::vector<Record> records) {
         return CommitBatch(std::move(records));
       });
+}
+
+Status MatchService::InitDurability() {
+  const DurabilityOptions& durability = options_.durability;
+  MERGEPURGE_RETURN_NOT_OK(MakeDirs(durability.data_dir));
+  const uint64_t config_digest = EngineConfigDigest(options_.engine);
+  Timer recovery_timer;
+
+  // The constructor has no concurrent readers yet; the writer lock is
+  // held anyway so the thread-safety analysis covers the engine writes.
+  {
+    WriterLock lock(engine_mu_);
+
+    Result<SnapshotState> snapshot =
+        LoadNewestSnapshot(durability.data_dir, config_digest);
+    if (snapshot.ok()) {
+      recovery_.snapshot_loaded = true;
+      recovery_.snapshot_seq = snapshot->seq;
+      recovery_.snapshot_records = snapshot->records.size();
+      applied_seq_ = snapshot->seq;
+      MERGEPURGE_RETURN_NOT_OK(engine_.Restore(
+          std::move(snapshot->records), std::move(snapshot->pairs)));
+    } else if (snapshot.status().code() != StatusCode::kNotFound) {
+      return snapshot.status();
+    }
+
+    WalReadStats wal_stats;
+    Result<std::vector<WalBatch>> tail = ReadWalForRecovery(
+        durability.data_dir, applied_seq_, &wal_stats);
+    if (!tail.ok()) return tail.status();
+    recovery_.truncated_bytes = wal_stats.truncated_bytes;
+    TheoryLease theory(this);
+    for (WalBatch& batch : *tail) {
+      Dataset replay(engine_.records().schema().num_fields() > 0
+                         ? engine_.records().schema()
+                         : employee::MakeSchema());
+      replay.Reserve(batch.records.size());
+      for (Record& record : batch.records) replay.Append(std::move(record));
+      Result<uint64_t> added = engine_.AddBatch(replay, *theory);
+      // A batch the engine rejects now was rejected (deterministically)
+      // when it was first committed too — the client saw an error, so
+      // skipping it reproduces the acknowledged state.
+      (void)added;
+      applied_seq_ = batch.seq;
+      ++recovery_.batches_replayed;
+      recovery_.records_replayed += replay.size();
+    }
+    // The WAL may have validated records beyond what we replayed only
+    // when the engine rejected them; either way the next sequence
+    // continues after the last logged one so replay stays gap-free.
+    if (wal_stats.last_seq > applied_seq_) applied_seq_ = wal_stats.last_seq;
+    recovery_.last_seq = applied_seq_;
+    // Warm the label cache so recovery cost is paid here, not by the
+    // first request.
+    if (engine_.size() > 0) engine_.CachedComponentLabels();
+  }
+  recovery_.recovery_ms = recovery_timer.ElapsedSeconds() * 1e3;
+
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter(metric_names::kServiceRecoveryBatchesReplayed)
+      ->Add(recovery_.batches_replayed);
+  registry.GetCounter(metric_names::kServiceRecoveryRecordsReplayed)
+      ->Add(recovery_.records_replayed);
+  registry.GetCounter(metric_names::kServiceRecoveryTruncatedBytes)
+      ->Add(recovery_.truncated_bytes);
+  registry.GetHistogram(metric_names::kServiceRecoveryUs)
+      ->Record(recovery_.recovery_ms * 1e3);
+
+  wal_ = std::make_unique<WalWriter>(durability.fsync);
+  uint64_t next_seq = 0;
+  {
+    WriterLock lock(engine_mu_);
+    next_seq = applied_seq_ + 1;
+  }
+  MERGEPURGE_RETURN_NOT_OK(wal_->Open(durability.data_dir, next_seq));
+
+  Snapshotter::Options snap_options;
+  snap_options.dir = durability.data_dir;
+  snap_options.config_digest = config_digest;
+  snap_options.every_batches = durability.snapshot_every_batches;
+  snap_options.interval_ms = durability.snapshot_interval_ms;
+  snap_options.keep_wal = durability.keep_wal;
+  snapshotter_ = std::make_unique<Snapshotter>(
+      std::move(snap_options),
+      [this](SnapshotState* out) {
+        GatedReaderLock lock(*this);
+        if (engine_.size() == 0) return false;
+        out->seq = applied_seq_;
+        out->records = engine_.records();
+        out->pairs = engine_.pairs();
+        return true;
+      },
+      [this](uint64_t seq) { (void)wal_->TruncateThrough(seq); });
+  snapshotter_->Start();
+  return Status::OK();
 }
 
 MatchService::~MatchService() { Drain(); }
@@ -128,25 +227,47 @@ Result<MatchService::UpsertOutcome> MatchService::Upsert(
 
 Result<std::vector<uint32_t>> MatchService::CommitBatch(
     std::vector<Record> records) {
-  writer_waiting_.fetch_add(1, std::memory_order_acq_rel);
-  WriterLock lock(engine_mu_);
-  writer_waiting_.fetch_sub(1, std::memory_order_acq_rel);
+  // Write-ahead: the batch must be durable (per the fsync policy)
+  // before any of it becomes visible, because the moment AddBatch runs,
+  // Match results reflect it — and an acknowledgement must survive a
+  // crash. The append runs outside the engine lock so readers never
+  // wait on an fsync. A WAL failure fails the whole batch (the clients
+  // see an error and nothing is applied) and latches the writer
+  // fail-stop — see WalWriter::Commit.
+  uint64_t seq = 0;
+  if (wal_ != nullptr) {
+    Result<uint64_t> committed = wal_->Commit(records);
+    if (!committed.ok()) return committed.status();
+    seq = *committed;
+  }
 
-  Dataset batch(engine_.records().schema().num_fields() > 0
-                    ? engine_.records().schema()
-                    : employee::MakeSchema());
-  batch.Reserve(records.size());
-  for (Record& record : records) batch.Append(std::move(record));
+  std::vector<uint32_t> new_labels;
+  {
+    writer_waiting_.fetch_add(1, std::memory_order_acq_rel);
+    WriterLock lock(engine_mu_);
+    writer_waiting_.fetch_sub(1, std::memory_order_acq_rel);
 
-  TheoryLease theory(this);
-  const size_t first_new = engine_.size();
-  Result<uint64_t> added = engine_.AddBatch(batch, *theory);
-  if (!added.ok()) return added.status();
-  last_batch_new_pairs_.store(*added, std::memory_order_relaxed);
-  // Rebuild the label cache while still exclusive, so concurrent readers
-  // after this commit only ever hit the warm cache.
-  const std::vector<uint32_t>& labels = engine_.CachedComponentLabels();
-  return std::vector<uint32_t>(labels.begin() + first_new, labels.end());
+    Dataset batch(engine_.records().schema().num_fields() > 0
+                      ? engine_.records().schema()
+                      : employee::MakeSchema());
+    batch.Reserve(records.size());
+    for (Record& record : records) batch.Append(std::move(record));
+
+    TheoryLease theory(this);
+    const size_t first_new = engine_.size();
+    Result<uint64_t> added = engine_.AddBatch(batch, *theory);
+    if (wal_ != nullptr) applied_seq_ = seq;
+    if (!added.ok()) return added.status();
+    last_batch_new_pairs_.store(*added, std::memory_order_relaxed);
+    // Rebuild the label cache while still exclusive, so concurrent
+    // readers after this commit only ever hit the warm cache.
+    const std::vector<uint32_t>& labels = engine_.CachedComponentLabels();
+    new_labels.assign(labels.begin() + first_new, labels.end());
+  }
+  // Outside engine_mu_: the snapshotter lock is a leaf, never nested
+  // inside the engine lock (docs/concurrency.md).
+  if (snapshotter_ != nullptr) snapshotter_->NotifyBatch();
+  return new_labels;
 }
 
 MatchService::Stats MatchService::GetStats() const {
@@ -158,8 +279,40 @@ MatchService::Stats MatchService::GetStats() const {
   return stats;
 }
 
+MatchService::DurabilityInfo MatchService::GetDurability() const {
+  DurabilityInfo info;
+  if (wal_ == nullptr) return info;
+  info.enabled = true;
+  info.recovery = recovery_;
+  info.snapshot_seq =
+      snapshotter_ != nullptr ? snapshotter_->last_saved_seq() : 0;
+  if (info.snapshot_seq < recovery_.snapshot_seq) {
+    info.snapshot_seq = recovery_.snapshot_seq;
+  }
+  {
+    GatedReaderLock lock(*this);
+    info.applied_seq = applied_seq_;
+  }
+  return info;
+}
+
+Status MatchService::SnapshotNow() {
+  if (snapshotter_ == nullptr) {
+    return Status::InvalidArgument("durability is not enabled");
+  }
+  return snapshotter_->SnapshotNow();
+}
+
 void MatchService::Drain() {
   batcher_->Drain();
+  const bool crashed = crashed_.load(std::memory_order_relaxed);
+  if (snapshotter_ != nullptr) {
+    // A simulated crash must leave the data dir exactly as a dead
+    // process would: no parting snapshot, no WAL truncation.
+    snapshotter_->Stop(/*final_snapshot=*/!crashed);
+  }
+  if (wal_ != nullptr) wal_->Close();
+  if (crashed) return;
   // Flush the pooled theories' batched rule statistics into the global
   // registry so the final run report carries them.
   MutexLock lock(theory_mu_);

@@ -30,14 +30,46 @@
 
 #include "core/incremental.h"
 #include "service/batcher.h"
+#include "service/snapshot.h"
+#include "service/wal.h"
 #include "util/sync.h"
 
 namespace mergepurge {
+
+// Crash durability for the resident engine (docs/durability.md). With a
+// data_dir set, every committed batch is WAL-appended BEFORE it is
+// applied — an upsert is acknowledged only after its batch is durable
+// per the fsync policy — and a background snapshotter bounds WAL replay.
+// Construction recovers: newest valid snapshot + WAL tail replay.
+struct DurabilityOptions {
+  // Empty: durability off (the PR-4 in-memory behaviour).
+  std::string data_dir;
+  FsyncPolicy fsync = FsyncPolicy::kGroup;
+  // Snapshot after this many committed batches or this much time with
+  // new state, whichever comes first.
+  uint64_t snapshot_every_batches = 256;
+  int snapshot_interval_ms = 1000;
+  // Keep truncated-away WAL segments (CI's recovery-vs-replay diff).
+  bool keep_wal = false;
+};
 
 struct MatchServiceOptions {
   // Keys / window / conditioning for the resident incremental engine.
   MergePurgeOptions engine;
   BatcherOptions batcher;
+  DurabilityOptions durability;
+};
+
+// What startup recovery found (run report + stats op).
+struct RecoveryInfo {
+  bool snapshot_loaded = false;
+  uint64_t snapshot_seq = 0;
+  uint64_t snapshot_records = 0;
+  uint64_t batches_replayed = 0;
+  uint64_t records_replayed = 0;
+  uint64_t truncated_bytes = 0;
+  uint64_t last_seq = 0;  // Applied sequence after recovery.
+  double recovery_ms = 0.0;
 };
 
 class MatchService {
@@ -86,6 +118,30 @@ class MatchService {
   };
   Stats GetStats() const;
 
+  // --- Durability surface (no-ops / zeros when data_dir is unset). ---
+
+  // Recovery or WAL-open failure from construction; the service must
+  // not serve when this is non-OK (a served upsert could be re-lost).
+  const Status& init_status() const { return init_status_; }
+
+  struct DurabilityInfo {
+    bool enabled = false;
+    uint64_t applied_seq = 0;   // Last sequence applied to the engine.
+    uint64_t snapshot_seq = 0;  // Last durably snapshotted sequence.
+    RecoveryInfo recovery;
+  };
+  DurabilityInfo GetDurability() const;
+
+  // Synchronous snapshot of the current state (tests, drain path).
+  Status SnapshotNow();
+
+  // Test hook: makes teardown behave like a crash — Drain skips the
+  // final snapshot and flushes nothing — so a second service over the
+  // same data dir exercises the recovery path in-process.
+  void SimulateCrashForTesting() {
+    crashed_.store(true, std::memory_order_relaxed);
+  }
+
   // Flushes pending upserts and stops the writer thread. Further Upserts
   // fail; Match/GetStats keep working on the frozen state. Idempotent.
   void Drain();
@@ -124,8 +180,15 @@ class MatchService {
     const MatchService& service_;
   };
 
-  // Batcher commit hook: the only writer of engine_.
+  // Batcher commit hook: the only writer of engine_. With durability
+  // on, the batch is WAL-committed BEFORE the engine lock is taken —
+  // write-ahead ordering, and the (possibly fsyncing) append never
+  // blocks readers.
   Result<std::vector<uint32_t>> CommitBatch(std::vector<Record> records);
+
+  // Startup recovery: snapshot restore + WAL tail replay, then opens
+  // the WAL for appends and starts the snapshotter.
+  Status InitDurability();
 
   MatchServiceOptions options_;
   TheoryFactory theory_factory_;
@@ -142,10 +205,21 @@ class MatchService {
   // the exclusive lock, on the batcher's writer thread.
   IncrementalMergePurge engine_ MERGEPURGE_GUARDED_BY(engine_mu_);
 
+  // Sequence of the last batch applied to the engine (== the WAL
+  // sequence it was logged under). Only meaningful with durability on.
+  uint64_t applied_seq_ MERGEPURGE_GUARDED_BY(engine_mu_) = 0;
+
   // new_pairs of the most recent committed batch (read by Upsert after
   // its future resolves; racy reads across batches are acceptable for a
   // batch-level diagnostic and documented as such).
   std::atomic<uint64_t> last_batch_new_pairs_{0};
+
+  // --- Durability (null / default when data_dir is unset). ---
+  Status init_status_;
+  RecoveryInfo recovery_;  // Written once in the ctor, read-only after.
+  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<Snapshotter> snapshotter_;
+  std::atomic<bool> crashed_{false};
 
   mutable Mutex theory_mu_;
   mutable std::vector<std::unique_ptr<EquationalTheory>> theory_pool_

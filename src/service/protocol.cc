@@ -203,12 +203,22 @@ std::string PingResponseLine(const JsonValue* id) {
   return FinishLine(out);
 }
 
-std::string StatsResponseLine(const JsonValue* id, uint64_t records,
-                              uint64_t entities, uint64_t pairs) {
+std::string StatsResponseLine(
+    const JsonValue* id, uint64_t records, uint64_t entities, uint64_t pairs,
+    const ServiceDurabilityStats* durability) {
   JsonValue out = ResponseBase(id, true);
   out.Set("records", JsonValue(records));
   out.Set("entities", JsonValue(entities));
   out.Set("pairs", JsonValue(pairs));
+  if (durability != nullptr && durability->enabled) {
+    JsonValue d = JsonValue::Object();
+    d.Set("wal_seq", JsonValue(durability->wal_seq));
+    d.Set("snapshot_seq", JsonValue(durability->snapshot_seq));
+    d.Set("recovery_batches_replayed",
+          JsonValue(durability->recovery_batches_replayed));
+    d.Set("recovery_ms", JsonValue(durability->recovery_ms));
+    out.Set("durability", std::move(d));
+  }
   return FinishLine(out);
 }
 

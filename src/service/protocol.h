@@ -97,8 +97,20 @@ std::string UpsertResponseLine(const JsonValue* id,
 
 std::string PingResponseLine(const JsonValue* id);
 
-std::string StatsResponseLine(const JsonValue* id, uint64_t records,
-                              uint64_t entities, uint64_t pairs);
+// Durability figures for the stats response (docs/durability.md).
+// Emitted as a "durability" object only when enabled, so pre-durability
+// clients see an unchanged response shape.
+struct ServiceDurabilityStats {
+  bool enabled = false;
+  uint64_t wal_seq = 0;       // Last applied (WAL-logged) sequence.
+  uint64_t snapshot_seq = 0;  // Last durably snapshotted sequence.
+  uint64_t recovery_batches_replayed = 0;
+  double recovery_ms = 0.0;
+};
+
+std::string StatsResponseLine(
+    const JsonValue* id, uint64_t records, uint64_t entities, uint64_t pairs,
+    const ServiceDurabilityStats* durability = nullptr);
 
 std::string ErrorResponseLine(const JsonValue* id, const ServiceError& error);
 

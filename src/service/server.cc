@@ -237,8 +237,15 @@ std::string Server::ProcessLine(const std::string& line) {
     case ServiceRequest::Op::kStats: {
       Span span("service-stats");
       MatchService::Stats stats = service_->GetStats();
+      MatchService::DurabilityInfo durability = service_->GetDurability();
+      ServiceDurabilityStats wire;
+      wire.enabled = durability.enabled;
+      wire.wal_seq = durability.applied_seq;
+      wire.snapshot_seq = durability.snapshot_seq;
+      wire.recovery_batches_replayed = durability.recovery.batches_replayed;
+      wire.recovery_ms = durability.recovery.recovery_ms;
       response = StatsResponseLine(id, stats.records, stats.entities,
-                                   stats.pairs);
+                                   stats.pairs, &wire);
       break;
     }
     case ServiceRequest::Op::kMatch: {

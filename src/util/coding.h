@@ -1,0 +1,50 @@
+// Little-endian fixed-width integer coding for the durability file
+// formats (service/wal, service/snapshot). Byte-order explicit so the
+// files are portable across hosts; bounds-checked Get* so a corrupt
+// length field fails the decode instead of reading past the buffer.
+
+#ifndef MERGEPURGE_UTIL_CODING_H_
+#define MERGEPURGE_UTIL_CODING_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace mergepurge {
+
+inline void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+inline void PutU64(std::string* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+// Reads a u32/u64 at *pos, advancing it; false when fewer bytes remain.
+inline bool GetU32(std::string_view data, size_t* pos, uint32_t* out) {
+  if (data.size() < 4 || *pos > data.size() - 4) return false;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(data[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 4;
+  *out = v;
+  return true;
+}
+
+inline bool GetU64(std::string_view data, size_t* pos, uint64_t* out) {
+  if (data.size() < 8 || *pos > data.size() - 8) return false;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(data[*pos + i]))
+         << (8 * i);
+  }
+  *pos += 8;
+  *out = v;
+  return true;
+}
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_UTIL_CODING_H_

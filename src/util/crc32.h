@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for WAL records and
+// snapshot bodies. Self-contained table-driven implementation — the
+// container has no zlib dev headers, and a checksum this small does not
+// justify a dependency. Incremental use: feed the previous return value
+// back as `seed` to extend a checksum across multiple buffers.
+
+#ifndef MERGEPURGE_UTIL_CRC32_H_
+#define MERGEPURGE_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace mergepurge {
+
+uint32_t Crc32(std::string_view data, uint32_t seed = 0);
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_UTIL_CRC32_H_

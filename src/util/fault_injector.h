@@ -38,6 +38,14 @@ inline constexpr char kFragmentScan[] = "parallel.fragment_scan";
 inline constexpr char kClusterSnm[] = "parallel.cluster_snm";
 inline constexpr char kSortSpill[] = "sort.spill";
 inline constexpr char kPairsWrite[] = "io.pairs_write";
+// Durability crash points (service WAL + snapshot paths). Each models
+// the process dying at that instant: a tripped point leaves partial
+// on-disk state exactly as a real crash would (torn WAL record, partial
+// snapshot temp file, un-renamed temp) and the writer goes fail-stop.
+inline constexpr char kWalAppend[] = "wal-append";
+inline constexpr char kWalFsync[] = "wal-fsync";
+inline constexpr char kSnapshotWrite[] = "snapshot-write";
+inline constexpr char kSnapshotRename[] = "snapshot-rename";
 }  // namespace fault_points
 
 struct FaultSchedule {

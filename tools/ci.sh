@@ -40,7 +40,7 @@ run_suite "${root}/build-san" "" "-DMERGEPURGE_SANITIZE=address;undefined"
 # engine, the TCP service, fault-tolerance, the sync primitives) rather
 # than all of ctest.
 run_suite "${root}/build-tsan" \
-  "parallel_test|incremental_test|incremental_property_test|service_test|fault_tolerance_test|metrics_test|sync_test" \
+  "parallel_test|incremental_test|incremental_property_test|service_test|fault_tolerance_test|metrics_test|sync_test|durability_test" \
   "-DMERGEPURGE_SANITIZE=thread"
 
 # Compile-time lock discipline (clang only): build the whole tree with
@@ -125,14 +125,17 @@ echo "=== obs e2e (${obs_dir}) ==="
 "${root}/build/tools/validate_report" --file="${obs_dir}/trace.json" \
   traceEvents displayTimeUnit
 
-# Service e2e: serve on an ephemeral loopback port, drive a >=10k-record
-# match+upsert mix with the loadgen, validate both run reports, then
-# SIGTERM the server and require a clean (exit 0) graceful drain
-# (docs/service.md documents the protocol and drain semantics).
+# Service e2e: serve on an ephemeral loopback port — WAL durability ON
+# (--data-dir, --fsync=group) so the latency gate below prices the WAL
+# into every upsert — drive a >=10k-record match+upsert mix with the
+# loadgen, validate both run reports, then SIGTERM the server and
+# require a clean (exit 0) graceful drain (docs/service.md,
+# docs/durability.md).
 svc_dir="$(mktemp -d)"
 echo "=== service e2e (${svc_dir}) ==="
 "${root}/build/tools/mergepurge_serve" --port=0 \
   --port-file="${svc_dir}/port.txt" \
+  --data-dir="${svc_dir}/data" --fsync=group \
   --metrics-out="${svc_dir}/serve_metrics.json" \
   --rules-check \
   --batch-delay-ms=1 --log-level=info 2>"${svc_dir}/serve.log" &
@@ -168,11 +171,90 @@ fi
 "${root}/build/tools/validate_report" \
   --file="${svc_dir}/serve_metrics.json" outcome \
   config/service/records config/service/entities config/service/batches \
+  config/durability/data_dir config/durability/fsync \
+  config/durability/applied_seq config/durability/snapshot_seq \
+  config/durability/recovery/recovery_ms \
   counters/service.requests counters/service.upsert_records \
-  counters/service.batches histograms/service.request_us \
+  counters/service.batches counters/service.wal.appends \
+  counters/service.wal.fsyncs counters/service.wal.bytes \
+  histograms/service.request_us \
   histograms/service.match_us histograms/service.upsert_us \
-  histograms/service.queue_wait_us histograms/service.batch_records
+  histograms/service.queue_wait_us histograms/service.batch_records \
+  histograms/service.wal.append_us
 cp "${svc_dir}/BENCH_service.json" "${root}/BENCH_service.json"
+
+# Crash-recovery e2e: kill -9 the server mid-stream, restart it on the
+# SAME port over the same --data-dir, and require (a) the loadgen —
+# whose retry loop papers over the outage — to finish with exit 0 and a
+# nonzero retry count, (b) the recovered server to drain cleanly, and
+# (c) mergepurge_walcheck to prove the recovered state byte-identical
+# to a serial replay of the full WAL (docs/durability.md).
+crash_dir="$(mktemp -d)"
+echo "=== crash-recovery e2e (${crash_dir}) ==="
+"${root}/build/tools/mergepurge_serve" --port=0 \
+  --port-file="${crash_dir}/port.txt" \
+  --data-dir="${crash_dir}/data" --fsync=group --keep-wal \
+  --snapshot-batches=64 \
+  --batch-delay-ms=1 --log-level=warn 2>"${crash_dir}/serve1.log" &
+crash_pid=$!
+trap 'kill "${serve_pid}" 2>/dev/null || true; kill -9 "${crash_pid}" 2>/dev/null || true; rm -rf "${lint_dir}" "${obs_dir}" "${svc_dir}" "${crash_dir}"' EXIT
+for _ in $(seq 1 50); do
+  [ -s "${crash_dir}/port.txt" ] && break
+  sleep 0.1
+done
+[ -s "${crash_dir}/port.txt" ] || {
+  echo "ci: crash-e2e server did not write its port file" >&2
+  cat "${crash_dir}/serve1.log" >&2
+  exit 1
+}
+crash_port="$(cat "${crash_dir}/port.txt")"
+"${root}/build/tools/mergepurge_loadgen" \
+  --port="${crash_port}" --records=8000 --threads=4 \
+  --match-frac=0.2 --out="${crash_dir}/loadgen.json" \
+  2>"${crash_dir}/loadgen.log" &
+loadgen_pid=$!
+sleep 0.5
+kill -9 "${crash_pid}" 2>/dev/null || true
+wait "${crash_pid}" 2>/dev/null || true
+"${root}/build/tools/mergepurge_serve" --port="${crash_port}" \
+  --data-dir="${crash_dir}/data" --fsync=group --keep-wal \
+  --snapshot-batches=64 \
+  --metrics-out="${crash_dir}/serve2_metrics.json" \
+  --batch-delay-ms=1 --log-level=warn 2>"${crash_dir}/serve2.log" &
+crash_pid=$!
+loadgen_status=0
+wait "${loadgen_pid}" || loadgen_status=$?
+if [ "${loadgen_status}" -ne 0 ]; then
+  echo "ci: loadgen did not survive the server crash (exit ${loadgen_status})" >&2
+  cat "${crash_dir}/loadgen.log" "${crash_dir}/serve2.log" >&2
+  exit 1
+fi
+"${root}/build/tools/validate_report" \
+  --file="${crash_dir}/loadgen.json" outcome \
+  config/summary/retries counters/service.client.retries
+retries="$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["config"]["summary"]["retries"])' \
+  "${crash_dir}/loadgen.json")"
+if [ "${retries}" -eq 0 ]; then
+  echo "ci: crash-e2e loadgen reported zero retries; the kill -9 missed" >&2
+  exit 1
+fi
+kill -TERM "${crash_pid}"
+crash_status=0
+wait "${crash_pid}" || crash_status=$?
+if [ "${crash_status}" -ne 0 ]; then
+  echo "ci: recovered server did not drain cleanly (exit ${crash_status})" >&2
+  cat "${crash_dir}/serve2.log" >&2
+  exit 1
+fi
+"${root}/build/tools/validate_report" \
+  --file="${crash_dir}/serve2_metrics.json" outcome \
+  config/durability/applied_seq \
+  config/durability/recovery/snapshot_loaded \
+  config/durability/recovery/batches_replayed \
+  config/durability/recovery/recovery_ms \
+  counters/service.recovery.batches_replayed \
+  histograms/service.recovery.us
+"${root}/build/tools/mergepurge_walcheck" --data-dir="${crash_dir}/data"
 
 # Latency-regression gates: compare the fresh service bench (from the
 # e2e above) and a fresh sorted-neighborhood bench against the committed
@@ -191,4 +273,4 @@ echo "=== bench gates ==="
   --fresh="${root}/BENCH_snm.json" \
   --metric=config/best_seconds --max-regress-pct=25
 
-echo "ci: plain, asan/ubsan, tsan and lock-discipline gates passed; tidy + rulecheck + obs + service e2e + bench gates validated"
+echo "ci: plain, asan/ubsan, tsan and lock-discipline gates passed; tidy + rulecheck + obs + service e2e + crash-recovery e2e + bench gates validated"

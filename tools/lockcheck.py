@@ -18,6 +18,14 @@ Forbidden outside src/util/sync.h:
   detached-thread   std::thread(...).detach()
   sync-include      #include <mutex> / <shared_mutex> / <condition_variable>
 
+Required in the durability sources (src/service/wal.*, snapshot.*):
+  missing-sync-include  the file must include "util/sync.h" — directly,
+                        or (for a .cc) via its paired same-directory
+                        header. These files own mutexes in the service
+                        hot path; losing the annotated primitives there
+                        silently drops them out of the -Wthread-safety
+                        proof.
+
 Suppression mirrors rulecheck's `# rulecheck: allow(id)`: put
   // lockcheck: allow(<id>)
 on the offending line (or the line directly above it), ideally with a
@@ -77,7 +85,60 @@ CHECKS = [
 ]
 
 ALLOW_RE = re.compile(r"lockcheck:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
-KNOWN_IDS = {check_id for check_id, _, _ in CHECKS}
+KNOWN_IDS = {check_id for check_id, _, _ in CHECKS} | {"missing-sync-include"}
+
+# Lock-owning durability sources that must stay inside the annotated
+# sync vocabulary: each must include util/sync.h, either directly or (a
+# .cc) through its paired same-directory header.
+MUST_INCLUDE_SYNC = (
+    os.path.join("src", "service", "wal.h"),
+    os.path.join("src", "service", "wal.cc"),
+    os.path.join("src", "service", "snapshot.h"),
+    os.path.join("src", "service", "snapshot.cc"),
+)
+SYNC_INCLUDE_RE = re.compile(r'#\s*include\s*"util/sync\.h"')
+
+
+def includes_sync(root, rel_path, seen=None):
+    """True if rel_path includes util/sync.h directly, or (one hop) via a
+    paired header in the same directory."""
+    if seen is None:
+        seen = set()
+    if rel_path in seen:
+        return False
+    seen.add(rel_path)
+    path = os.path.join(root, rel_path)
+    try:
+        with open(path, encoding="utf-8", errors="replace") as handle:
+            text = handle.read()
+    except OSError:
+        return False
+    if SYNC_INCLUDE_RE.search(text):
+        return True
+    # Follow project-local includes that resolve into the same directory
+    # (the paired wal.cc -> service/wal.h case).
+    directory = os.path.dirname(rel_path)
+    for included in re.findall(r'#\s*include\s*"([^"]+)"', text):
+        candidate = os.path.join("src", included)
+        if os.path.dirname(candidate) != directory:
+            continue
+        if includes_sync(root, candidate, seen):
+            return True
+    return False
+
+
+def check_sync_includes(root):
+    findings = []
+    for rel_path in MUST_INCLUDE_SYNC:
+        if not os.path.isfile(os.path.join(root, rel_path)):
+            continue
+        if not includes_sync(root, rel_path):
+            findings.append(
+                (rel_path, 1, "missing-sync-include",
+                 'durability source must include "util/sync.h" (directly '
+                 "or via its paired header)")
+            )
+    return findings
 
 
 def allowed_ids(line):
@@ -198,6 +259,7 @@ def main(argv):
     if scanned == 0:
         print("lockcheck: no sources found (bad --root?)", file=sys.stderr)
         return 2
+    findings.extend(check_sync_includes(root))
 
     for rel_path, lineno, check_id, message in findings:
         print(f"{rel_path}:{lineno}: lockcheck({check_id}): {message}")

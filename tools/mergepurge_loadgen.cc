@@ -25,6 +25,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -69,11 +70,18 @@ int UsageError(const std::string& message) {
 // One blocking NDJSON request/response connection.
 class Client {
  public:
-  ~Client() {
+  ~Client() { Close(); }
+
+  bool connected() const { return fd_ >= 0; }
+
+  void Close() {
     if (fd_ >= 0) ::close(fd_);
+    fd_ = -1;
+    buffer_.clear();
   }
 
   Status Connect(const std::string& host, uint16_t port) {
+    Close();
     fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (fd_ < 0) {
       return Status::IoError(StringPrintf("socket: %s", strerror(errno)));
@@ -136,6 +144,7 @@ struct WorkerResult {
   std::vector<double> match_us;
   std::vector<double> upsert_us;
   uint64_t records_sent = 0;
+  uint64_t retries = 0;  // Reconnect-and-resend attempts that were needed.
   uint64_t failures = 0;
   std::string first_error;
 
@@ -145,19 +154,63 @@ struct WorkerResult {
   }
 };
 
+// Retry schedule for transient transport failures (connection refused
+// while the server restarts under the crash-recovery e2e, ECONNRESET, a
+// peer close mid-response). Same shape as ResilientRunner's backoff: the
+// delay before attempt k (k >= 2) is min(base * mult^(k-2), cap) plus
+// jitter drawn uniformly from [0, base).
+constexpr int kMaxAttempts = 12;
+constexpr double kBackoffBaseMs = 5.0;
+constexpr double kBackoffMultiplier = 2.0;
+constexpr double kBackoffCapMs = 500.0;
+
+// Sends one request, reconnecting and resending on transport errors.
+// Requests are idempotent from the workload's point of view (matches are
+// read-only; a resent upsert at worst re-admits records that merge with
+// their first copy), so at-least-once delivery is safe. Returns the last
+// transport error once the schedule is exhausted.
+Result<JsonValue> CallWithRetry(Client* client, const std::string& host,
+                                uint16_t port, std::string_view request_line,
+                                Rng* rng, WorkerResult* result) {
+  Status last_error = Status::OK();
+  for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
+    if (attempt > 1) {
+      ++result->retries;
+      double delay_ms =
+          kBackoffBaseMs *
+          std::pow(kBackoffMultiplier, static_cast<double>(attempt - 2));
+      delay_ms = std::min(delay_ms, kBackoffCapMs);
+      delay_ms += static_cast<double>(
+          rng->NextBounded(static_cast<uint64_t>(kBackoffBaseMs)));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    if (!client->connected()) {
+      Status connected = client->Connect(host, port);
+      if (!connected.ok()) {
+        last_error = connected;
+        client->Close();
+        continue;
+      }
+    }
+    Result<JsonValue> response = client->Call(request_line);
+    if (response.ok()) return response;
+    last_error = response.status();
+    client->Close();  // The connection is unusable after a transport error.
+  }
+  return last_error;
+}
+
 // The per-thread closed loop: upserts its slice of the dataset in batches,
 // interleaving match probes against records it has already admitted.
 void RunWorker(const std::string& host, uint16_t port, const Schema& schema,
                const Dataset& dataset, size_t begin, size_t end,
                double match_frac, size_t upsert_batch, Rng rng,
                WorkerResult* result) {
+  // The first CallWithRetry connects lazily (and reconnects after any
+  // transport error), so a server that is still starting up — or
+  // restarting after a crash — costs retries, not failures.
   Client client;
-  Status connected = client.Connect(host, port);
-  if (!connected.ok()) {
-    result->Fail(connected.ToString());
-    return;
-  }
-
   size_t next = begin;
   size_t sent_end = begin;  // Records in [begin, sent_end) were admitted.
   while (next < end) {
@@ -187,11 +240,12 @@ void RunWorker(const std::string& host, uint16_t port, const Schema& schema,
     }
 
     Timer timer;
-    Result<JsonValue> response = client.Call(request_line);
+    Result<JsonValue> response =
+        CallWithRetry(&client, host, port, request_line, &rng, result);
     const double micros = static_cast<double>(timer.ElapsedMicros());
     if (!response.ok()) {
       result->Fail(response.status().ToString());
-      return;  // The connection is unusable after a transport error.
+      return;  // Retries exhausted; the server is genuinely gone.
     }
     const JsonValue* ok = response->Find("ok");
     if (ok == nullptr || !ok->bool_value()) {
@@ -334,6 +388,7 @@ int main(int argc, char** argv) {
   std::vector<double> match_us;
   std::vector<double> upsert_us;
   uint64_t records_sent = 0;
+  uint64_t retries = 0;
   uint64_t failures = 0;
   std::string first_error;
   for (WorkerResult& r : results) {
@@ -343,9 +398,13 @@ int main(int argc, char** argv) {
     upsert_us.insert(upsert_us.end(), r.upsert_us.begin(),
                      r.upsert_us.end());
     records_sent += r.records_sent;
+    retries += r.retries;
     failures += r.failures;
     if (first_error.empty()) first_error = r.first_error;
   }
+  MetricsRegistry::Global()
+      .GetCounter(metric_names::kServiceClientRetries)
+      ->Add(retries);
   LatencyHistogram* client_request = MetricsRegistry::Global().GetHistogram(
       metric_names::kServiceClientRequestUs);
   LatencyHistogram* client_match = MetricsRegistry::Global().GetHistogram(
@@ -369,6 +428,12 @@ int main(int argc, char** argv) {
           if (const JsonValue* v = response->Find(key)) {
             server_stats.Set(key, *v);
           }
+        }
+        // When the server runs durably it reports wal/snapshot sequences
+        // and its startup recovery time; carry them into the benchmark
+        // report so BENCH_service.json records recovery cost.
+        if (const JsonValue* durability = response->Find("durability")) {
+          server_stats.Set("durability", *durability);
         }
       }
     }
@@ -405,6 +470,7 @@ int main(int argc, char** argv) {
   summary.Set("upsert_requests",
               JsonValue(static_cast<uint64_t>(upsert_us.size())));
   summary.Set("records_sent", JsonValue(records_sent));
+  summary.Set("retries", JsonValue(retries));
   summary.Set("failures", JsonValue(failures));
   summary.Set("wall_seconds", JsonValue(wall_seconds));
   summary.Set("requests_per_second", JsonValue(requests_per_second));
@@ -428,10 +494,11 @@ int main(int argc, char** argv) {
   std::fprintf(stderr,
                "mergepurge_loadgen: %llu requests in %.2fs "
                "(%.0f req/s, %.0f rec/s), p50 %.0fus p99 %.0fus, "
-               "%llu failures -> %s\n",
+               "%llu retries, %llu failures -> %s\n",
                static_cast<unsigned long long>(total_requests),
                wall_seconds, requests_per_second, records_per_second,
                Percentile(request_us, 0.50), Percentile(request_us, 0.99),
+               static_cast<unsigned long long>(retries),
                static_cast<unsigned long long>(failures), out_path.c_str());
   if (!ok && !first_error.empty()) {
     std::fprintf(stderr, "mergepurge_loadgen: first error: %s\n",

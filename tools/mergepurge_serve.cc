@@ -16,6 +16,14 @@
 //                    [--idle-timeout-ms=30000]
 //                    [--batch-records=256]    (upsert batcher fill limit)
 //                    [--batch-delay-ms=2.0]   (upsert batcher deadline)
+//                    [--data-dir=DIR]         (crash durability: WAL +
+//                                              snapshots + recovery on
+//                                              start; docs/durability.md)
+//                    [--fsync=group]          (always | group | none)
+//                    [--snapshot-batches=256] (snapshot cadence, batches)
+//                    [--snapshot-interval-ms=1000]
+//                    [--keep-wal]             (never truncate the WAL;
+//                                              recovery audit / CI diff)
 //                    [--metrics-out=FILE.json] [--trace-out=FILE.json]
 //                    [--log-level=LEVEL]
 //                    [--rules-check]          (lint the theory at startup;
@@ -59,7 +67,9 @@ constexpr const char* kUsage =
     "usage: mergepurge_serve [--port=N] [--port-file=PATH] [--window=N] "
     "[--keys=...] [--rules=FILE] [--workers=N] [--max-conn=N] "
     "[--max-line-bytes=N] [--idle-timeout-ms=N] [--batch-records=N] "
-    "[--batch-delay-ms=F] [--metrics-out=FILE.json] "
+    "[--batch-delay-ms=F] [--data-dir=DIR] [--fsync=always|group|none] "
+    "[--snapshot-batches=N] [--snapshot-interval-ms=N] [--keep-wal] "
+    "[--metrics-out=FILE.json] "
     "[--trace-out=FILE.json] [--log-level=LEVEL] [--rules-check]";
 
 constexpr const char* kKnownFlags[] = {
@@ -68,6 +78,8 @@ constexpr const char* kKnownFlags[] = {
     "max-conn",       "max-line-bytes", "idle-timeout-ms",
     "batch-records",  "batch-delay-ms", "metrics-out",
     "trace-out",      "log-level",     "rules-check",
+    "data-dir",       "fsync",         "snapshot-batches",
+    "snapshot-interval-ms", "keep-wal",
 };
 
 int Fail(const std::string& message) {
@@ -161,6 +173,39 @@ int main(int argc, char** argv) {
   }
   service_options.batcher.max_delay_ms = batch_delay_ms;
 
+  // --- Durability configuration. ---
+  if (args.Has("data-dir")) {
+    service_options.durability.data_dir = args.GetString("data-dir", "");
+    if (service_options.durability.data_dir.empty()) {
+      return UsageError("--data-dir needs a directory path");
+    }
+    Result<FsyncPolicy> fsync =
+        ParseFsyncPolicy(args.GetString("fsync", "group"));
+    if (!fsync.ok()) return UsageError(fsync.status().message());
+    service_options.durability.fsync = *fsync;
+    const int64_t snapshot_batches = args.GetInt("snapshot-batches", 256);
+    if (snapshot_batches < 1) {
+      return UsageError("--snapshot-batches must be >= 1 (got " +
+                        args.GetString("snapshot-batches", "") + ")");
+    }
+    service_options.durability.snapshot_every_batches =
+        static_cast<uint64_t>(snapshot_batches);
+    const int64_t snapshot_interval =
+        args.GetInt("snapshot-interval-ms", 1000);
+    if (snapshot_interval < 1) {
+      return UsageError("--snapshot-interval-ms must be >= 1 (got " +
+                        args.GetString("snapshot-interval-ms", "") + ")");
+    }
+    service_options.durability.snapshot_interval_ms =
+        static_cast<int>(snapshot_interval);
+    service_options.durability.keep_wal = args.GetBool("keep-wal", false);
+  } else if (args.Has("fsync") || args.Has("snapshot-batches") ||
+             args.Has("snapshot-interval-ms") || args.Has("keep-wal")) {
+    return UsageError(
+        "--fsync/--snapshot-batches/--snapshot-interval-ms/--keep-wal "
+        "require --data-dir");
+  }
+
   // --- Server configuration. ---
   ServerOptions server_options;
   const int64_t port = args.GetInt("port", 7733);
@@ -241,6 +286,26 @@ int main(int argc, char** argv) {
 
   MatchService service(std::move(service_options),
                        std::move(theory_factory));
+  if (!service.init_status().ok()) {
+    return Fail("recovery failed: " + service.init_status().ToString());
+  }
+  const MatchService::DurabilityInfo recovered = service.GetDurability();
+  if (recovered.enabled) {
+    std::fprintf(
+        stderr,
+        "mergepurge_serve: recovered to seq %llu (snapshot seq %llu, "
+        "%llu batches / %llu records replayed, %llu torn bytes cut, "
+        "%.1f ms)\n",
+        static_cast<unsigned long long>(recovered.recovery.last_seq),
+        static_cast<unsigned long long>(recovered.recovery.snapshot_seq),
+        static_cast<unsigned long long>(
+            recovered.recovery.batches_replayed),
+        static_cast<unsigned long long>(
+            recovered.recovery.records_replayed),
+        static_cast<unsigned long long>(
+            recovered.recovery.truncated_bytes),
+        recovered.recovery.recovery_ms);
+  }
   Server server(server_options, &service);
   SignalDrain::Global().OnSignal(
       [&server](int) { server.RequestDrain(); });
@@ -286,6 +351,36 @@ int main(int argc, char** argv) {
     service_json.Set("connections",
                      JsonValue(server.connections_accepted()));
     report.SetConfig("service", std::move(service_json));
+    if (recovered.enabled) {
+      const MatchService::DurabilityInfo final_info =
+          service.GetDurability();
+      JsonValue durability_json = JsonValue::Object();
+      durability_json.Set("data_dir",
+                          JsonValue(args.GetString("data-dir", "")));
+      durability_json.Set("fsync",
+                          JsonValue(args.GetString("fsync", "group")));
+      durability_json.Set("applied_seq",
+                          JsonValue(final_info.applied_seq));
+      durability_json.Set("snapshot_seq",
+                          JsonValue(final_info.snapshot_seq));
+      JsonValue recovery_json = JsonValue::Object();
+      recovery_json.Set("snapshot_loaded",
+                        JsonValue(recovered.recovery.snapshot_loaded));
+      recovery_json.Set("snapshot_seq",
+                        JsonValue(recovered.recovery.snapshot_seq));
+      recovery_json.Set("snapshot_records",
+                        JsonValue(recovered.recovery.snapshot_records));
+      recovery_json.Set("batches_replayed",
+                        JsonValue(recovered.recovery.batches_replayed));
+      recovery_json.Set("records_replayed",
+                        JsonValue(recovered.recovery.records_replayed));
+      recovery_json.Set("truncated_bytes",
+                        JsonValue(recovered.recovery.truncated_bytes));
+      recovery_json.Set("recovery_ms",
+                        JsonValue(recovered.recovery.recovery_ms));
+      durability_json.Set("recovery", std::move(recovery_json));
+      report.SetConfig("durability", std::move(durability_json));
+    }
     report.SetOutcome(true);
     report.CaptureMetrics();
     std::string metrics_path = args.GetString("metrics-out", "");
