@@ -93,6 +93,39 @@ inline constexpr char kServiceQueueWaitUs[] =
 inline constexpr char kServiceBatchRecords[] =
     "service.batch_records";                                        // Hist.
 
+// --- Commit-pipeline stage attribution. One sample per committed batch
+// in every stage histogram, so their counts all equal service.batches
+// and their p50s decompose service.upsert_us end to end (the ci.sh
+// stats e2e asserts both). queue_wait here is the OLDEST request's wait
+// (the batch-level number that chains with the downstream stages);
+// service.queue_wait_us above stays per-request. ---
+inline constexpr char kServiceStageQueueWaitUs[] =
+    "service.stage.queue_wait_us";                                  // Hist.
+inline constexpr char kServiceStageWalAppendUs[] =
+    "service.stage.wal_append_us";                                  // Hist.
+inline constexpr char kServiceStageWalFsyncUs[] =
+    "service.stage.wal_fsync_us";                                   // Hist.
+inline constexpr char kServiceStageApplyUs[] =
+    "service.stage.apply_us";                                       // Hist.
+inline constexpr char kServiceStageLabelRebuildUs[] =
+    "service.stage.label_rebuild_us";                               // Hist.
+inline constexpr char kServiceStageAckUs[] =
+    "service.stage.ack_us";                                         // Hist.
+
+// --- Resident-state gauges, refreshed after every committed batch (and
+// on snapshot/WAL activity for the last two). These answer "how big is
+// the live engine right now" without taking the engine lock. ---
+inline constexpr char kServiceRecordsResident[] =
+    "service.records_resident";                                     // Gauge.
+inline constexpr char kServicePairsResident[] =
+    "service.pairs_resident";                                       // Gauge.
+inline constexpr char kServiceComponentsResident[] =
+    "service.components_resident";                                  // Gauge.
+inline constexpr char kServiceWalOpenSegmentBytes[] =
+    "service.wal.open_segment_bytes";                               // Gauge.
+inline constexpr char kServiceSnapshotAgeMs[] =
+    "service.snapshot.age_ms";                                      // Gauge.
+
 // --- Durability: write-ahead log + snapshots (src/service/wal,
 // src/service/snapshot; see docs/durability.md). ---
 inline constexpr char kServiceWalAppends[] = "service.wal.appends";

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 namespace mergepurge {
 
@@ -77,6 +78,18 @@ std::vector<double> LatencyHistogram::ExponentialBounds(double start, double fac
   for (size_t i = 0; i < count; ++i) {
     bounds.push_back(bound);
     bound *= factor;
+  }
+  return bounds;
+}
+
+std::vector<double> LatencyHistogram::LatencyBounds() {
+  // 10^(i/10) for i = 0..70: 1 µs .. 1e7 µs (10 s), ten buckets per
+  // decade. Values are computed once per registration, so the pow calls
+  // never touch a hot path.
+  std::vector<double> bounds;
+  bounds.reserve(71);
+  for (int i = 0; i <= 70; ++i) {
+    bounds.push_back(std::pow(10.0, i / 10.0));
   }
   return bounds;
 }
@@ -160,7 +173,7 @@ LatencyHistogram* MetricsRegistry::GetHistogram(std::string_view name,
   MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    if (bounds.empty()) bounds = LatencyHistogram::ExponentialBounds();
+    if (bounds.empty()) bounds = LatencyHistogram::LatencyBounds();
     it = histograms_
              .emplace(std::string(name),
                       std::make_unique<LatencyHistogram>(std::string(name),

@@ -120,11 +120,19 @@ class LatencyHistogram {
   const std::vector<double>& bounds() const { return bounds_; }
 
   // `count` buckets growing geometrically from `start` by `factor`:
-  // {start, start*factor, ...}. The default latency scale used by the
-  // pipeline's *_us histograms: 1us .. ~17min over 20 buckets of x4.
+  // {start, start*factor, ...}. Used for count-scaled histograms (batch
+  // sizes); the *_us histograms default to LatencyBounds() instead.
   static std::vector<double> ExponentialBounds(double start = 1.0,
                                                double factor = 4.0,
                                                size_t count = 20);
+
+  // The default latency scale: log-spaced from 1 µs to 10 s, ten buckets
+  // per decade (bounds 10^(i/10) µs, i = 0..70; ratio ≈1.26 between
+  // neighbors). Fine enough that a sub-millisecond upsert path resolves
+  // into distinct buckets and interpolated quantiles stay within a few
+  // percent of the exact value, instead of the old x4 scale that
+  // quantized everything under 1 ms into one or two buckets.
+  static std::vector<double> LatencyBounds();
 
  private:
   std::string name_;
@@ -165,7 +173,7 @@ class MetricsRegistry {
 
   // First registration fixes the bucket bounds; later calls return the
   // existing histogram regardless of `bounds`. Empty bounds select
-  // LatencyHistogram::ExponentialBounds().
+  // LatencyHistogram::LatencyBounds().
   LatencyHistogram* GetHistogram(std::string_view name,
                           std::vector<double> bounds = {});
 

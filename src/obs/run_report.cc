@@ -37,8 +37,17 @@ void PreregisterStandardMetrics(MetricsRegistry& registry) {
         mn::kServiceMatchUs, mn::kServiceUpsertUs, mn::kServiceQueueWaitUs,
         mn::kServiceClientRequestUs, mn::kServiceClientMatchUs,
         mn::kServiceClientUpsertUs, mn::kServiceWalAppendUs,
-        mn::kServiceSnapshotWriteUs, mn::kServiceRecoveryUs}) {
+        mn::kServiceSnapshotWriteUs, mn::kServiceRecoveryUs,
+        mn::kServiceStageQueueWaitUs, mn::kServiceStageWalAppendUs,
+        mn::kServiceStageWalFsyncUs, mn::kServiceStageApplyUs,
+        mn::kServiceStageLabelRebuildUs, mn::kServiceStageAckUs}) {
     registry.GetHistogram(name);
+  }
+  for (const char* name :
+       {mn::kServiceRecordsResident, mn::kServicePairsResident,
+        mn::kServiceComponentsResident, mn::kServiceWalOpenSegmentBytes,
+        mn::kServiceSnapshotAgeMs}) {
+    registry.GetGauge(name);
   }
   // Batch sizes are small integers, not microseconds: count-scaled
   // buckets (1..~1k by x2) instead of the default latency scale.

@@ -1,0 +1,76 @@
+#include "service/client.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/protocol.h"
+#include "util/string_util.h"
+
+namespace mergepurge {
+
+ServiceClient::~ServiceClient() { Close(); }
+
+void ServiceClient::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  buffer_.clear();
+}
+
+Status ServiceClient::Connect(const std::string& host, uint16_t port) {
+  Close();
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    return Status::IoError(StringPrintf("socket: %s", strerror(errno)));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address '" + host + "'");
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IoError(StringPrintf("connect %s:%u: %s", host.c_str(),
+                                        port, strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Result<JsonValue> ServiceClient::Call(std::string_view request_line) {
+  std::string_view rest = request_line;
+  while (!rest.empty()) {
+    const ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StringPrintf("send: %s", strerror(errno)));
+    }
+    rest.remove_prefix(static_cast<size_t>(n));
+  }
+  std::string line;
+  while (true) {
+    const size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line = buffer_.substr(0, newline);
+      buffer_.erase(0, newline + 1);
+      break;
+    }
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (n == 0) {
+      return Status::IoError("server closed the connection mid-response");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(StringPrintf("recv: %s", strerror(errno)));
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  return ParseResponseLine(line);
+}
+
+}  // namespace mergepurge

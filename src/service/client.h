@@ -1,0 +1,48 @@
+// ServiceClient: one blocking NDJSON request/response connection to
+// mergepurge_serve. Shared by the load generator, the mergepurge_top
+// console, and any script that wants a final stats round-trip, so the
+// framing logic (send the full line, buffer socket reads until '\n')
+// lives in exactly one place.
+//
+// Not thread-safe — use one client per thread. A transport error leaves
+// the connection unusable; Close() and Connect() again to retry.
+
+#ifndef MERGEPURGE_SERVICE_CLIENT_H_
+#define MERGEPURGE_SERVICE_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/json.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  // Idempotent; drops any buffered partial response.
+  void Close();
+
+  Status Connect(const std::string& host, uint16_t port);
+
+  // Sends one request line (including its trailing '\n') and reads one
+  // response line, parsed as JSON.
+  Result<JsonValue> Call(std::string_view request_line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_SERVICE_CLIENT_H_

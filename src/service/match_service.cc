@@ -1,6 +1,7 @@
 #include "service/match_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 #include <utility>
 
@@ -38,18 +39,63 @@ class MatchService::TheoryLease {
   std::unique_ptr<EquationalTheory> theory_;
 };
 
+const char* MatchService::LifecycleName(Lifecycle lifecycle) {
+  switch (lifecycle) {
+    case Lifecycle::kRecovering:
+      return "recovering";
+    case Lifecycle::kServing:
+      return "serving";
+    case Lifecycle::kFailed:
+      return "failed";
+  }
+  return "failed";
+}
+
 MatchService::MatchService(MatchServiceOptions options,
                            TheoryFactory theory_factory)
     : options_(std::move(options)),
       theory_factory_(std::move(theory_factory)),
       engine_(options_.engine) {
   if (!options_.durability.data_dir.empty()) {
-    init_status_ = InitDurability();
+    // Recovery runs off-thread so the process can bind its socket and
+    // answer health ("recovering") while a large WAL tail replays; the
+    // lifecycle gate keeps upserts out until the replay lands.
+    lifecycle_.store(Lifecycle::kRecovering, std::memory_order_release);
+    {
+      MutexLock lock(recovery_mu_);
+      recovery_done_ = false;
+    }
+    recovery_thread_ = std::thread([this] { RunRecovery(); });
   }
   batcher_ = std::make_unique<UpsertBatcher>(
       options_.batcher, [this](std::vector<Record> records) {
         return CommitBatch(std::move(records));
       });
+}
+
+void MatchService::RunRecovery() {
+  if (options_.durability.recovery_delay_for_testing_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(
+        options_.durability.recovery_delay_for_testing_ms));
+  }
+  Status status = InitDurability();
+  // Lifecycle first (one-way transition, release), then the completion
+  // signal: a WaitForRecovery caller that wakes observes the final
+  // state.
+  lifecycle_.store(status.ok() ? Lifecycle::kServing : Lifecycle::kFailed,
+                   std::memory_order_release);
+  {
+    MutexLock lock(recovery_mu_);
+    init_status_ = std::move(status);
+    recovery_done_ = true;
+  }
+  recovery_cv_.NotifyAll();
+}
+
+Status MatchService::WaitForRecovery() const {
+  MutexLock lock(recovery_mu_);
+  while (!recovery_done_) recovery_cv_.Wait(recovery_mu_);
+  return init_status_;
 }
 
 Status MatchService::InitDurability() {
@@ -212,6 +258,19 @@ Result<MatchService::UpsertOutcome> MatchService::Upsert(
   upsert_requests->Increment();
   upsert_records->Add(records.size());
 
+  // The server refuses with a typed "recovering" error before getting
+  // here; a direct caller (tests, embedders) instead blocks until
+  // recovery lands — the observable behaviour the old synchronous
+  // constructor gave — so an upsert can never race the recovery
+  // thread's engine writes or hit a not-yet-open WAL. A failed recovery
+  // refuses: serving it could re-lose an acknowledged write.
+  if (lifecycle() == Lifecycle::kRecovering) (void)WaitForRecovery();
+  if (lifecycle() != Lifecycle::kServing) {
+    return Status::InvalidArgument(
+        std::string("service is not serving (") +
+        LifecycleName(lifecycle()) + ")");
+  }
+
   std::future<Result<std::vector<uint32_t>>> future =
       batcher_->Submit(std::move(records));
   Result<std::vector<uint32_t>> labels = future.get();
@@ -227,6 +286,25 @@ Result<MatchService::UpsertOutcome> MatchService::Upsert(
 
 Result<std::vector<uint32_t>> MatchService::CommitBatch(
     std::vector<Record> records) {
+  // Stage attribution (metric_names.h): the WAL records its own
+  // wal_append/wal_fsync split; apply and label_rebuild are timed here.
+  // Every stage gets exactly one sample per committed batch — with
+  // durability off the WAL stages record 0 µs so the counts (and the
+  // p50 decomposition of service.upsert_us) stay comparable.
+  static LatencyHistogram* const stage_apply_us =
+      MetricsRegistry::Global().GetHistogram(
+          metric_names::kServiceStageApplyUs);
+  static LatencyHistogram* const stage_label_rebuild_us =
+      MetricsRegistry::Global().GetHistogram(
+          metric_names::kServiceStageLabelRebuildUs);
+  static Gauge* const records_resident = MetricsRegistry::Global().GetGauge(
+      metric_names::kServiceRecordsResident);
+  static Gauge* const pairs_resident = MetricsRegistry::Global().GetGauge(
+      metric_names::kServicePairsResident);
+  static Gauge* const components_resident =
+      MetricsRegistry::Global().GetGauge(
+          metric_names::kServiceComponentsResident);
+
   // Write-ahead: the batch must be durable (per the fsync policy)
   // before any of it becomes visible, because the moment AddBatch runs,
   // Match results reflect it — and an acknowledgement must survive a
@@ -239,6 +317,15 @@ Result<std::vector<uint32_t>> MatchService::CommitBatch(
     Result<uint64_t> committed = wal_->Commit(records);
     if (!committed.ok()) return committed.status();
     seq = *committed;
+  } else {
+    static LatencyHistogram* const stage_wal_append_us =
+        MetricsRegistry::Global().GetHistogram(
+            metric_names::kServiceStageWalAppendUs);
+    static LatencyHistogram* const stage_wal_fsync_us =
+        MetricsRegistry::Global().GetHistogram(
+            metric_names::kServiceStageWalFsyncUs);
+    stage_wal_append_us->Record(0.0);
+    stage_wal_fsync_us->Record(0.0);
   }
 
   std::vector<uint32_t> new_labels;
@@ -255,14 +342,24 @@ Result<std::vector<uint32_t>> MatchService::CommitBatch(
 
     TheoryLease theory(this);
     const size_t first_new = engine_.size();
+    Timer stage_timer;
     Result<uint64_t> added = engine_.AddBatch(batch, *theory);
+    stage_apply_us->Record(static_cast<double>(stage_timer.ElapsedMicros()));
     if (wal_ != nullptr) applied_seq_ = seq;
     if (!added.ok()) return added.status();
     last_batch_new_pairs_.store(*added, std::memory_order_relaxed);
     // Rebuild the label cache while still exclusive, so concurrent
     // readers after this commit only ever hit the warm cache.
+    stage_timer.Restart();
     const std::vector<uint32_t>& labels = engine_.CachedComponentLabels();
+    stage_label_rebuild_us->Record(
+        static_cast<double>(stage_timer.ElapsedMicros()));
     new_labels.assign(labels.begin() + first_new, labels.end());
+    // Resident sizes, refreshed while exclusive so the gauges always
+    // describe a committed state (readers of the gauges take no lock).
+    records_resident->Set(static_cast<double>(engine_.size()));
+    pairs_resident->Set(static_cast<double>(engine_.pairs().size()));
+    components_resident->Set(static_cast<double>(engine_.NumEntities()));
   }
   // Outside engine_mu_: the snapshotter lock is a leaf, never nested
   // inside the engine lock (docs/concurrency.md).
@@ -289,6 +386,17 @@ MatchService::DurabilityInfo MatchService::GetDurability() const {
   if (info.snapshot_seq < recovery_.snapshot_seq) {
     info.snapshot_seq = recovery_.snapshot_seq;
   }
+  Status wal_health = wal_->health();
+  info.wal_failed = !wal_health.ok();
+  if (info.wal_failed) info.wal_error = wal_health.ToString();
+  info.wal_open_segment_bytes = wal_->open_segment_bytes();
+  if (snapshotter_ != nullptr) {
+    info.snapshot_age_ms = snapshotter_->ms_since_last_save();
+    // Keep the gauge fresh: it otherwise only moves when a save lands.
+    MetricsRegistry::Global()
+        .GetGauge(metric_names::kServiceSnapshotAgeMs)
+        ->Set(info.snapshot_age_ms);
+  }
   {
     GatedReaderLock lock(*this);
     info.applied_seq = applied_seq_;
@@ -304,6 +412,10 @@ Status MatchService::SnapshotNow() {
 }
 
 void MatchService::Drain() {
+  // Recovery must land (or fail) before teardown: the recovery thread
+  // owns wal_/snapshotter_ construction until then.
+  (void)WaitForRecovery();
+  if (recovery_thread_.joinable()) recovery_thread_.join();
   batcher_->Drain();
   const bool crashed = crashed_.load(std::memory_order_relaxed);
   if (snapshotter_ != nullptr) {

@@ -26,6 +26,8 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "core/incremental.h"
@@ -51,6 +53,9 @@ struct DurabilityOptions {
   int snapshot_interval_ms = 1000;
   // Keep truncated-away WAL segments (CI's recovery-vs-replay diff).
   bool keep_wal = false;
+  // Test hook: sleep this long on the recovery thread before replaying,
+  // so tests can observe the kRecovering lifecycle state reliably.
+  int recovery_delay_for_testing_ms = 0;
 };
 
 struct MatchServiceOptions {
@@ -74,6 +79,15 @@ struct RecoveryInfo {
 
 class MatchService {
  public:
+  // Service lifecycle, observable without any lock (the health op reads
+  // it while recovery still holds the engine write lock). Durability on:
+  // the service constructs in kRecovering and a background thread
+  // replays snapshot + WAL tail; it transitions to kServing (or kFailed
+  // on a recovery error) exactly once. Durability off: kServing from
+  // birth. Draining is a server-level state (the socket layer owns the
+  // drain flag), not a service one.
+  enum class Lifecycle { kRecovering, kServing, kFailed };
+
   // The factory is called whenever the lease pool is empty; instances
   // are reused across requests but never across concurrent ones.
   using TheoryFactory = std::function<std::unique_ptr<EquationalTheory>()>;
@@ -120,16 +134,38 @@ class MatchService {
 
   // --- Durability surface (no-ops / zeros when data_dir is unset). ---
 
-  // Recovery or WAL-open failure from construction; the service must
-  // not serve when this is non-OK (a served upsert could be re-lost).
-  const Status& init_status() const { return init_status_; }
+  // Current lifecycle state; never blocks. Transitions are one-way
+  // (kRecovering -> kServing | kFailed), so a caller that observed
+  // kServing can rely on it.
+  Lifecycle lifecycle() const {
+    return lifecycle_.load(std::memory_order_acquire);
+  }
+  static const char* LifecycleName(Lifecycle lifecycle);
+
+  // Blocks until startup recovery finishes (returns immediately when
+  // durability is off) and returns its status. The service must not
+  // serve upserts when this is non-OK (a served upsert could be
+  // re-lost).
+  Status WaitForRecovery() const;
+
+  // Recovery or WAL-open failure; blocks until recovery finishes.
+  Status init_status() const { return WaitForRecovery(); }
 
   struct DurabilityInfo {
     bool enabled = false;
     uint64_t applied_seq = 0;   // Last sequence applied to the engine.
     uint64_t snapshot_seq = 0;  // Last durably snapshotted sequence.
+    // WAL fail-stop state: false while healthy; once true every further
+    // commit fails and wal_error carries the latched first error.
+    bool wal_failed = false;
+    std::string wal_error;
+    uint64_t wal_open_segment_bytes = 0;
+    // ms since the last durable save by THIS process; -1 before one.
+    double snapshot_age_ms = -1.0;
     RecoveryInfo recovery;
   };
+  // Blocks on the engine reader lock — call only when serving (the
+  // health op reports a reduced document while recovering).
   DurabilityInfo GetDurability() const;
 
   // Synchronous snapshot of the current state (tests, drain path).
@@ -187,8 +223,11 @@ class MatchService {
   Result<std::vector<uint32_t>> CommitBatch(std::vector<Record> records);
 
   // Startup recovery: snapshot restore + WAL tail replay, then opens
-  // the WAL for appends and starts the snapshotter.
+  // the WAL for appends and starts the snapshotter. Runs on the
+  // recovery thread; RunRecovery wraps it with the lifecycle
+  // transition and completion signal.
   Status InitDurability();
+  void RunRecovery();
 
   MatchServiceOptions options_;
   TheoryFactory theory_factory_;
@@ -215,10 +254,19 @@ class MatchService {
   std::atomic<uint64_t> last_batch_new_pairs_{0};
 
   // --- Durability (null / default when data_dir is unset). ---
-  Status init_status_;
-  RecoveryInfo recovery_;  // Written once in the ctor, read-only after.
+  // kServing from birth without durability; flipped by the recovery
+  // thread (one-way) with durability on.
+  std::atomic<Lifecycle> lifecycle_{Lifecycle::kServing};
+  mutable Mutex recovery_mu_;
+  mutable CondVar recovery_cv_;
+  bool recovery_done_ MERGEPURGE_GUARDED_BY(recovery_mu_) = true;
+  Status init_status_ MERGEPURGE_GUARDED_BY(recovery_mu_);
+  // Written by the recovery thread before lifecycle_ leaves
+  // kRecovering; read-only once serving.
+  RecoveryInfo recovery_;
   std::unique_ptr<WalWriter> wal_;
   std::unique_ptr<Snapshotter> snapshotter_;
+  std::thread recovery_thread_;
   std::atomic<bool> crashed_{false};
 
   mutable Mutex theory_mu_;

@@ -22,6 +22,8 @@ const char* ServiceErrorCodeName(ServiceErrorCode code) {
       return "too_many_connections";
     case ServiceErrorCode::kDraining:
       return "draining";
+    case ServiceErrorCode::kRecovering:
+      return "recovering";
     case ServiceErrorCode::kInternal:
       return "internal";
   }
@@ -85,7 +87,8 @@ bool ParseRequest(std::string_view line, const Schema& schema,
   // a client bug that would otherwise surface as wrong answers.
   for (const auto& [key, value] : doc.members()) {
     (void)value;
-    if (key != "op" && key != "id" && key != "record" && key != "records") {
+    if (key != "op" && key != "id" && key != "record" && key != "records" &&
+        key != "enabled" && key != "sample") {
       *error = {ServiceErrorCode::kBadRequest,
                 "unknown request member '" + key + "'"};
       return false;
@@ -105,6 +108,13 @@ bool ParseRequest(std::string_view line, const Schema& schema,
   const std::string& name = op->string_value();
   const JsonValue* record = doc.Find("record");
   const JsonValue* records = doc.Find("records");
+  const JsonValue* enabled = doc.Find("enabled");
+  const JsonValue* sample = doc.Find("sample");
+  if (name != "trace" && (enabled != nullptr || sample != nullptr)) {
+    *error = {ServiceErrorCode::kBadRequest,
+              name + " takes no \"enabled\"/\"sample\" members"};
+    return false;
+  }
   if (name == "match") {
     request.op = ServiceRequest::Op::kMatch;
     if (record == nullptr || records != nullptr) {
@@ -132,18 +142,41 @@ bool ParseRequest(std::string_view line, const Schema& schema,
       }
       request.records.push_back(std::move(r));
     }
-  } else if (name == "ping" || name == "stats") {
-    request.op = name == "ping" ? ServiceRequest::Op::kPing
-                                : ServiceRequest::Op::kStats;
+  } else if (name == "ping" || name == "stats" || name == "health") {
+    request.op = name == "ping"    ? ServiceRequest::Op::kPing
+                 : name == "stats" ? ServiceRequest::Op::kStats
+                                   : ServiceRequest::Op::kHealth;
     if (record != nullptr || records != nullptr) {
       *error = {ServiceErrorCode::kBadRequest,
                 name + " takes no record payload"};
       return false;
     }
+  } else if (name == "trace") {
+    request.op = ServiceRequest::Op::kTrace;
+    if (record != nullptr || records != nullptr) {
+      *error = {ServiceErrorCode::kBadRequest,
+                name + " takes no record payload"};
+      return false;
+    }
+    if (enabled == nullptr || enabled->kind() != JsonValue::Kind::kBool) {
+      *error = {ServiceErrorCode::kBadRequest,
+                "trace needs a boolean \"enabled\" member"};
+      return false;
+    }
+    request.trace_enabled = enabled->bool_value();
+    if (sample != nullptr) {
+      if (!sample->is_number() || sample->int_value() < 1) {
+        *error = {ServiceErrorCode::kBadRequest,
+                  "trace \"sample\" must be a positive integer"};
+        return false;
+      }
+      request.trace_sample = static_cast<uint64_t>(sample->int_value());
+    }
   } else {
     *error = {ServiceErrorCode::kUnknownOp,
               "unknown op '" + name +
-                  "' (expected match, upsert, ping, or stats)"};
+                  "' (expected match, upsert, ping, stats, health, "
+                  "or trace)"};
     return false;
   }
   *out = std::move(request);
@@ -205,7 +238,7 @@ std::string PingResponseLine(const JsonValue* id) {
 
 std::string StatsResponseLine(
     const JsonValue* id, uint64_t records, uint64_t entities, uint64_t pairs,
-    const ServiceDurabilityStats* durability) {
+    const ServiceDurabilityStats* durability, const JsonValue* extra) {
   JsonValue out = ResponseBase(id, true);
   out.Set("records", JsonValue(records));
   out.Set("entities", JsonValue(entities));
@@ -219,6 +252,27 @@ std::string StatsResponseLine(
     d.Set("recovery_ms", JsonValue(durability->recovery_ms));
     out.Set("durability", std::move(d));
   }
+  if (extra != nullptr && extra->is_object()) {
+    for (const auto& [key, value] : extra->members()) {
+      out.Set(key, value);
+    }
+  }
+  return FinishLine(out);
+}
+
+std::string HealthResponseLine(const JsonValue* id, const JsonValue& health) {
+  JsonValue out = ResponseBase(id, true);
+  for (const auto& [key, value] : health.members()) {
+    out.Set(key, value);
+  }
+  return FinishLine(out);
+}
+
+std::string TraceResponseLine(const JsonValue* id, bool enabled,
+                              uint64_t sample) {
+  JsonValue out = ResponseBase(id, true);
+  out.Set("tracing", JsonValue(enabled));
+  out.Set("sample", JsonValue(sample));
   return FinishLine(out);
 }
 

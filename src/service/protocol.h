@@ -9,6 +9,8 @@
 //   {"op":"upsert","records":[{...},...][,"id":<any>]}
 //   {"op":"ping"[,"id":<any>]}
 //   {"op":"stats"[,"id":<any>]}
+//   {"op":"health"[,"id":<any>]}
+//   {"op":"trace","enabled":<bool>[,"sample":<N>][,"id":<any>]}
 //
 // Responses always carry "ok" and echo "id" when the request had one:
 //   {"ok":true,...}                          — op-specific payload
@@ -40,11 +42,12 @@ namespace mergepurge {
 enum class ServiceErrorCode {
   kBadJson,          // Line is not a JSON object.
   kBadRequest,       // Valid JSON, wrong shape (missing/ill-typed member).
-  kUnknownOp,        // "op" is none of match/upsert/ping/stats.
+  kUnknownOp,        // "op" is not one of the known operations.
   kBadRecord,        // A record object has unknown fields or non-strings.
   kFrameTooLarge,    // Line exceeded the server's byte limit; fatal.
   kTooManyConnections,  // Connection cap reached; fatal.
   kDraining,         // Server is shutting down; request not admitted.
+  kRecovering,       // Startup recovery still replaying; retry shortly.
   kInternal,         // Engine-side failure.
 };
 
@@ -57,13 +60,18 @@ struct ServiceError {
 };
 
 struct ServiceRequest {
-  enum class Op { kMatch, kUpsert, kPing, kStats };
+  enum class Op { kMatch, kUpsert, kPing, kStats, kHealth, kTrace };
 
   Op op = Op::kPing;
   // Echoed verbatim into the response when present.
   std::optional<JsonValue> id;
   // kMatch: exactly one record; kUpsert: one or more.
   std::vector<Record> records;
+  // kTrace only: the requested recorder state and sampling interval
+  // (record one span per `trace_sample` sampled requests; absent keeps
+  // the server's current interval).
+  bool trace_enabled = false;
+  std::optional<uint64_t> trace_sample;
 };
 
 // --- Record <-> JSON. Records travel as objects keyed by schema field
@@ -108,9 +116,22 @@ struct ServiceDurabilityStats {
   double recovery_ms = 0.0;
 };
 
+// `extra`, when non-null, must be a JSON object; its members are merged
+// into the response after the fixed fields (the server uses this for the
+// live-introspection sections: state, uptime, counters, gauges, latency
+// summaries, windowed rates — see docs/observability.md).
 std::string StatsResponseLine(
     const JsonValue* id, uint64_t records, uint64_t entities, uint64_t pairs,
-    const ServiceDurabilityStats* durability = nullptr);
+    const ServiceDurabilityStats* durability = nullptr,
+    const JsonValue* extra = nullptr);
+
+// `health` must be a JSON object; its members are merged after "ok"/"id"
+// (the server builds the lifecycle/WAL/snapshot/resident sections).
+std::string HealthResponseLine(const JsonValue* id, const JsonValue& health);
+
+// Acknowledges a trace toggle with the resulting recorder state.
+std::string TraceResponseLine(const JsonValue* id, bool enabled,
+                              uint64_t sample);
 
 std::string ErrorResponseLine(const JsonValue* id, const ServiceError& error);
 

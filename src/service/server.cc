@@ -5,8 +5,10 @@
 #include <csignal>
 #include <cstring>
 #include <netinet/in.h>
+#include <optional>
 #include <sys/socket.h>
 #include <unistd.h>
+#include <utility>
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -22,8 +24,64 @@ namespace {
 // One socket read per iteration of the connection loop.
 constexpr size_t kReadChunkBytes = 16 * 1024;
 
+// Span of the windowed-rate section of the stats response.
+constexpr double kStatsWindowSeconds = 10.0;
+
+// Minimum gap between slow-request log lines.
+constexpr int64_t kSlowLogMinIntervalMs = 1000;
+
 void CloseQuietly(int fd) {
   if (fd >= 0) ::close(fd);
+}
+
+const char* OpName(ServiceRequest::Op op) {
+  switch (op) {
+    case ServiceRequest::Op::kMatch:
+      return "match";
+    case ServiceRequest::Op::kUpsert:
+      return "upsert";
+    case ServiceRequest::Op::kPing:
+      return "ping";
+    case ServiceRequest::Op::kStats:
+      return "stats";
+    case ServiceRequest::Op::kHealth:
+      return "health";
+    case ServiceRequest::Op::kTrace:
+      return "trace";
+  }
+  return "unknown";
+}
+
+// {count, sum, p50, p90, p99} per histogram. Quantiles are interpolated
+// from the bucket counts (obs/window.h); *_us histograms report them in
+// microseconds.
+JsonValue HistogramSummaries(const MetricsSnapshot& snapshot) {
+  JsonValue histograms = JsonValue::Object();
+  for (const auto& [name, histogram] : snapshot.histograms) {
+    JsonValue doc = JsonValue::Object();
+    doc.Set("count", histogram.count);
+    doc.Set("sum", histogram.sum);
+    doc.Set("p50", HistogramQuantile(histogram, 0.50));
+    doc.Set("p90", HistogramQuantile(histogram, 0.90));
+    doc.Set("p99", HistogramQuantile(histogram, 0.99));
+    histograms.Set(name, std::move(doc));
+  }
+  return histograms;
+}
+
+// Typed refusal for engine-touching ops while the service cannot serve
+// them: recovering is retryable (the client waits and resends), failed
+// is terminal.
+std::string NotServingResponse(const JsonValue* id,
+                               MatchService::Lifecycle lifecycle) {
+  if (lifecycle == MatchService::Lifecycle::kRecovering) {
+    return ErrorResponseLine(
+        id, {ServiceErrorCode::kRecovering,
+             "startup recovery in progress; retry shortly"});
+  }
+  return ErrorResponseLine(id, {ServiceErrorCode::kInternal,
+                                "startup recovery failed; service is "
+                                "not serving"});
 }
 
 }  // namespace
@@ -228,14 +286,44 @@ std::string Server::ProcessLine(const std::string& line) {
   }
   const JsonValue* id =
       request.id.has_value() ? &request.id.value() : nullptr;
+  const MatchService::Lifecycle lifecycle = service_->lifecycle();
+  const bool sampled = SampleTrace();
 
   std::string response;
   switch (request.op) {
     case ServiceRequest::Op::kPing:
       response = PingResponseLine(id);
       break;
+    case ServiceRequest::Op::kHealth:
+      // Health must answer while recovery still holds the engine write
+      // lock, so BuildHealthDoc never touches engine state unless the
+      // service is serving.
+      response = HealthResponseLine(id, BuildHealthDoc());
+      break;
+    case ServiceRequest::Op::kTrace: {
+      if (request.trace_sample.has_value()) {
+        trace_sample_.store(*request.trace_sample,
+                            std::memory_order_relaxed);
+      }
+      TraceRecorder& recorder = TraceRecorder::Global();
+      if (request.trace_enabled) {
+        recorder.Enable();
+      } else {
+        recorder.Disable();
+      }
+      response = TraceResponseLine(
+          id, recorder.enabled(),
+          trace_sample_.load(std::memory_order_relaxed));
+      break;
+    }
     case ServiceRequest::Op::kStats: {
-      Span span("service-stats");
+      if (lifecycle != MatchService::Lifecycle::kServing) {
+        errors->Increment();
+        response = NotServingResponse(id, lifecycle);
+        break;
+      }
+      std::optional<Span> span;
+      if (sampled) span.emplace("service-stats");
       MatchService::Stats stats = service_->GetStats();
       MatchService::DurabilityInfo durability = service_->GetDurability();
       ServiceDurabilityStats wire;
@@ -244,12 +332,19 @@ std::string Server::ProcessLine(const std::string& line) {
       wire.snapshot_seq = durability.snapshot_seq;
       wire.recovery_batches_replayed = durability.recovery.batches_replayed;
       wire.recovery_ms = durability.recovery.recovery_ms;
+      JsonValue extra = BuildStatsExtra();
       response = StatsResponseLine(id, stats.records, stats.entities,
-                                   stats.pairs, &wire);
+                                   stats.pairs, &wire, &extra);
       break;
     }
     case ServiceRequest::Op::kMatch: {
-      Span span("service-match");
+      if (lifecycle != MatchService::Lifecycle::kServing) {
+        errors->Increment();
+        response = NotServingResponse(id, lifecycle);
+        break;
+      }
+      std::optional<Span> span;
+      if (sampled) span.emplace("service-match");
       Result<MatchService::MatchOutcome> outcome =
           service_->Match(request.records.front());
       if (!outcome.ok()) {
@@ -264,6 +359,11 @@ std::string Server::ProcessLine(const std::string& line) {
       break;
     }
     case ServiceRequest::Op::kUpsert: {
+      if (lifecycle != MatchService::Lifecycle::kServing) {
+        errors->Increment();
+        response = NotServingResponse(id, lifecycle);
+        break;
+      }
       if (draining()) {
         errors->Increment();
         response = ErrorResponseLine(
@@ -271,9 +371,12 @@ std::string Server::ProcessLine(const std::string& line) {
                  "server is draining; upsert not admitted"});
         break;
       }
-      Span span("service-upsert");
-      span.AddArg("records",
-                  static_cast<uint64_t>(request.records.size()));
+      std::optional<Span> span;
+      if (sampled) {
+        span.emplace("service-upsert");
+        span->AddArg("records",
+                     static_cast<uint64_t>(request.records.size()));
+      }
       Result<MatchService::UpsertOutcome> outcome =
           service_->Upsert(std::move(request.records));
       if (!outcome.ok()) {
@@ -288,8 +391,141 @@ std::string Server::ProcessLine(const std::string& line) {
       break;
     }
   }
-  request_us->Record(static_cast<double>(timer.ElapsedMicros()));
+  const double elapsed_us = static_cast<double>(timer.ElapsedMicros());
+  request_us->Record(elapsed_us);
+  if (options_.slow_request_us > 0 &&
+      elapsed_us >= static_cast<double>(options_.slow_request_us)) {
+    LogSlowRequest(request, id, elapsed_us, line.size());
+  }
   return response;
+}
+
+const char* Server::StateName() const {
+  switch (service_->lifecycle()) {
+    case MatchService::Lifecycle::kRecovering:
+      return "recovering";
+    case MatchService::Lifecycle::kFailed:
+      return "failed";
+    case MatchService::Lifecycle::kServing:
+      break;
+  }
+  return draining() ? "draining" : "serving";
+}
+
+bool Server::SampleTrace() {
+  if (!TraceRecorder::Global().enabled()) return false;
+  const uint64_t sample = trace_sample_.load(std::memory_order_relaxed);
+  if (sample <= 1) return true;
+  return trace_request_counter_.fetch_add(1, std::memory_order_relaxed) %
+             sample ==
+         0;
+}
+
+void Server::LogSlowRequest(const ServiceRequest& request,
+                            const JsonValue* id, double elapsed_us,
+                            size_t line_bytes) {
+  const int64_t now_ms = static_cast<int64_t>(uptime_timer_.ElapsedMillis());
+  int64_t last = last_slow_log_ms_.load(std::memory_order_relaxed);
+  if (now_ms - last < kSlowLogMinIntervalMs) return;
+  // One worker wins the slot; the rest drop their line (the histogram
+  // still counted the request, only the log line is rate-limited).
+  if (!last_slow_log_ms_.compare_exchange_strong(
+          last, now_ms, std::memory_order_relaxed)) {
+    return;
+  }
+  MERGEPURGE_LOG(kWarning) << "slow request: op=" << OpName(request.op)
+                           << (id != nullptr ? " id=" + id->Dump()
+                                             : std::string())
+                           << " us=" << static_cast<uint64_t>(elapsed_us)
+                           << " bytes=" << line_bytes << " threshold_us="
+                           << options_.slow_request_us;
+}
+
+JsonValue Server::BuildStatsExtra() {
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const double now_seconds = uptime_timer_.ElapsedSeconds();
+
+  JsonValue extra = JsonValue::Object();
+  extra.Set("state", StateName());
+  extra.Set("uptime_seconds", now_seconds);
+
+  JsonValue counters = JsonValue::Object();
+  for (const auto& [name, value] : snapshot.counters) {
+    counters.Set(name, value);
+  }
+  extra.Set("counters", std::move(counters));
+
+  JsonValue gauges = JsonValue::Object();
+  for (const auto& [name, value] : snapshot.gauges) {
+    gauges.Set(name, value);
+  }
+  extra.Set("gauges", std::move(gauges));
+
+  extra.Set("histograms", HistogramSummaries(snapshot));
+
+  // Feed the ring AFTER summarizing, so the window never diffs a sample
+  // against itself; the window then spans up to the previous
+  // kStatsWindowSeconds of stats requests.
+  JsonValue window_doc = JsonValue::Object();
+  stats_ring_.Push(now_seconds, std::move(snapshot));
+  SnapshotWindow window = stats_ring_.Over(kStatsWindowSeconds);
+  window_doc.Set("valid", window.valid);
+  if (window.valid) {
+    window_doc.Set("seconds", window.seconds);
+    window_doc.Set(
+        "requests_per_sec",
+        static_cast<double>(
+            window.delta.counter(metric_names::kServiceRequests)) /
+            window.seconds);
+    window_doc.Set(
+        "records_per_sec",
+        static_cast<double>(
+            window.delta.counter(metric_names::kServiceUpsertRecords)) /
+            window.seconds);
+    window_doc.Set("histograms", HistogramSummaries(window.delta));
+  }
+  extra.Set("window", std::move(window_doc));
+  return extra;
+}
+
+JsonValue Server::BuildHealthDoc() {
+  JsonValue health = JsonValue::Object();
+  const MatchService::Lifecycle lifecycle = service_->lifecycle();
+  health.Set("state", StateName());
+  health.Set("uptime_seconds", uptime_timer_.ElapsedSeconds());
+  if (lifecycle == MatchService::Lifecycle::kFailed) {
+    // Recovery already finished (that is how kFailed is reached), so
+    // this read of the init status cannot block.
+    health.Set("error", service_->init_status().ToString());
+    return health;
+  }
+  if (lifecycle != MatchService::Lifecycle::kServing) {
+    // Recovering: the recovery thread may hold the engine write lock
+    // for a long replay — report the reduced document instead of
+    // blocking the admin connection behind it.
+    return health;
+  }
+
+  MatchService::DurabilityInfo durability = service_->GetDurability();
+  JsonValue wal = JsonValue::Object();
+  wal.Set("enabled", durability.enabled);
+  if (durability.enabled) {
+    wal.Set("failed", durability.wal_failed);
+    if (durability.wal_failed) wal.Set("error", durability.wal_error);
+    wal.Set("applied_seq", durability.applied_seq);
+    wal.Set("snapshot_seq", durability.snapshot_seq);
+    wal.Set("open_segment_bytes", durability.wal_open_segment_bytes);
+  }
+  health.Set("wal", std::move(wal));
+  health.Set("snapshot_age_ms", durability.snapshot_age_ms);
+
+  MatchService::Stats stats = service_->GetStats();
+  JsonValue resident = JsonValue::Object();
+  resident.Set("records", stats.records);
+  resident.Set("pairs", stats.pairs);
+  resident.Set("components", stats.entities);
+  health.Set("resident", std::move(resident));
+  return health;
 }
 
 bool Server::WriteAll(int fd, std::string_view data) {

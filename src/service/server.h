@@ -34,12 +34,15 @@
 #include <string>
 #include <thread>
 
+#include "obs/json.h"
+#include "obs/window.h"
 #include "record/schema.h"
 #include "service/match_service.h"
 #include "service/protocol.h"
 #include "util/status.h"
 #include "util/sync.h"
 #include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace mergepurge {
 
@@ -64,6 +67,11 @@ struct ServerOptions {
   // Close a connection after this long without a complete read.
   // 0 disables the timeout.
   int idle_timeout_ms = 30000;
+
+  // Log a structured warning for any request slower than this many
+  // microseconds (rate-limited to one line per second so a pathological
+  // burst cannot flood the log). 0 disables slow-request logging.
+  int slow_request_us = 0;
 };
 
 class Server {
@@ -99,6 +107,11 @@ class Server {
     return connections_accepted_.load(std::memory_order_relaxed);
   }
 
+  // The composite lifecycle string the health/stats ops report:
+  // "recovering" / "failed" from the service, else "draining" /
+  // "serving" from the socket layer's drain flag.
+  const char* StateName() const;
+
  private:
   void AcceptLoop();
   void HandleConnection(int fd);
@@ -108,6 +121,26 @@ class Server {
 
   void RegisterConnection(int fd);
   void UnregisterConnection(int fd);
+
+  // True when this request should open a trace span: the global recorder
+  // is enabled and this is the first of each `trace_sample_` requests.
+  bool SampleTrace();
+
+  // Rate-limited structured warning for a request that exceeded
+  // options_.slow_request_us.
+  void LogSlowRequest(const ServiceRequest& request, const JsonValue* id,
+                      double elapsed_us, size_t line_bytes);
+
+  // The live-introspection sections merged into the stats response:
+  // state, uptime, full counters/gauges, histogram quantile summaries,
+  // and windowed rates over the last kStatsWindowSeconds (fed by a
+  // snapshot ring that grows one sample per stats call).
+  JsonValue BuildStatsExtra();
+
+  // The health document: lifecycle + WAL fail-stop state + snapshot age
+  // + resident sizes. While recovering (or failed) it reports a reduced
+  // document without touching the engine locks.
+  JsonValue BuildHealthDoc();
 
   ServerOptions options_;
   MatchService* service_;
@@ -125,6 +158,21 @@ class Server {
   std::set<int> open_fds_ MERGEPURGE_GUARDED_BY(conn_mu_);
   std::atomic<size_t> active_connections_{0};
   std::atomic<uint64_t> connections_accepted_{0};
+
+  // --- Live introspection (docs/observability.md). ---
+  // Steady-clock epoch for uptime_seconds and the snapshot ring's
+  // timestamps; starts at construction.
+  Timer uptime_timer_;
+  // One sample per stats request; Over(10s) yields the windowed rates.
+  SnapshotRing stats_ring_;
+  // Span-sampling interval, adjustable at runtime via the trace op:
+  // one span per this many requests while the recorder is enabled.
+  std::atomic<uint64_t> trace_sample_{64};
+  std::atomic<uint64_t> trace_request_counter_{0};
+  // Slow-request log rate limiter: uptime milliseconds of the last
+  // emitted line; claimed by compare-exchange so concurrent workers emit
+  // at most one line per second between them.
+  std::atomic<int64_t> last_slow_log_ms_{-1000000};
 };
 
 }  // namespace mergepurge

@@ -338,6 +338,14 @@ uint64_t Snapshotter::last_saved_seq() const {
   return last_saved_seq_;
 }
 
+double Snapshotter::ms_since_last_save() const {
+  MutexLock lock(mu_);
+  if (!saved_once_) return -1.0;
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - last_saved_at_)
+      .count();
+}
+
 void Snapshotter::Loop() {
   MutexLock lock(mu_);
   while (!stop_) {
@@ -386,7 +394,12 @@ Status Snapshotter::SaveOnce() {
   {
     MutexLock lock(mu_);
     if (state.seq > last_saved_seq_) last_saved_seq_ = state.seq;
+    saved_once_ = true;
+    last_saved_at_ = std::chrono::steady_clock::now();
   }
+  MetricsRegistry::Global()
+      .GetGauge(metric_names::kServiceSnapshotAgeMs)
+      ->Set(0.0);
   if (!options_.keep_wal && truncate_) truncate_(state.seq);
   return Status::OK();
 }

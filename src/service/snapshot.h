@@ -34,6 +34,7 @@
 #ifndef MERGEPURGE_SERVICE_SNAPSHOT_H_
 #define MERGEPURGE_SERVICE_SNAPSHOT_H_
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -117,6 +118,12 @@ class Snapshotter {
 
   uint64_t last_saved_seq() const;
 
+  // Milliseconds since the last durable save (this process; loaded
+  // snapshots from a previous run don't count). Negative when no save
+  // has happened yet — mirrored into service.snapshot.age_ms by the
+  // health op, which reports -1 the same way.
+  double ms_since_last_save() const;
+
  private:
   void Loop();
   // Copy + save + truncate; resets the batch counter.
@@ -131,6 +138,9 @@ class Snapshotter {
   bool stop_ MERGEPURGE_GUARDED_BY(mu_) = false;
   uint64_t batches_since_save_ MERGEPURGE_GUARDED_BY(mu_) = 0;
   uint64_t last_saved_seq_ MERGEPURGE_GUARDED_BY(mu_) = 0;
+  bool saved_once_ MERGEPURGE_GUARDED_BY(mu_) = false;
+  std::chrono::steady_clock::time_point last_saved_at_
+      MERGEPURGE_GUARDED_BY(mu_);
   bool started_ MERGEPURGE_GUARDED_BY(mu_) = false;
   std::thread thread_;
 };

@@ -102,6 +102,14 @@ class WalWriter {
 
   uint64_t next_seq() const;
 
+  // Fail-stop state: OK while healthy, the latched first error after a
+  // failed append or rotation (surfaced by the health admin op).
+  Status health() const;
+
+  // Bytes in the active (not yet truncated-away) segment, header
+  // included. Mirrored into the service.wal.open_segment_bytes gauge.
+  uint64_t open_segment_bytes() const;
+
  private:
   Status AppendLocked(const std::vector<Record>& records)
       MERGEPURGE_REQUIRES(mu_);
@@ -115,6 +123,7 @@ class WalWriter {
   uint64_t active_first_seq_ MERGEPURGE_GUARDED_BY(mu_) = 0;
   int fd_ MERGEPURGE_GUARDED_BY(mu_) = -1;
   uint64_t next_seq_ MERGEPURGE_GUARDED_BY(mu_) = 1;
+  uint64_t open_segment_bytes_ MERGEPURGE_GUARDED_BY(mu_) = 0;
   // Fail-stop latch: first error sticks (see Commit).
   Status broken_ MERGEPURGE_GUARDED_BY(mu_);
 };

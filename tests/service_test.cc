@@ -15,7 +15,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +28,7 @@
 #include "gen/generator.h"
 #include "keys/standard_keys.h"
 #include "obs/json.h"
+#include "obs/trace.h"
 #include "rules/employee_theory.h"
 #include "service/batcher.h"
 #include "service/match_service.h"
@@ -115,6 +118,27 @@ TEST(ProtocolTest, ParsesPingAndStats) {
   EXPECT_EQ(request.op, ServiceRequest::Op::kStats);
 }
 
+TEST(ProtocolTest, ParsesHealthAndTrace) {
+  ServiceRequest request;
+  ServiceError error;
+  EXPECT_TRUE(
+      ParseRequest(R"({"op":"health"})", TestSchema(), &request, &error));
+  EXPECT_EQ(request.op, ServiceRequest::Op::kHealth);
+
+  ASSERT_TRUE(ParseRequest(R"({"op":"trace","enabled":true,"sample":8})",
+                           TestSchema(), &request, &error));
+  EXPECT_EQ(request.op, ServiceRequest::Op::kTrace);
+  EXPECT_TRUE(request.trace_enabled);
+  ASSERT_TRUE(request.trace_sample.has_value());
+  EXPECT_EQ(*request.trace_sample, 8u);
+
+  // `sample` is optional; absent keeps the server's current interval.
+  ASSERT_TRUE(ParseRequest(R"({"op":"trace","enabled":false})",
+                           TestSchema(), &request, &error));
+  EXPECT_FALSE(request.trace_enabled);
+  EXPECT_FALSE(request.trace_sample.has_value());
+}
+
 struct BadRequestCase {
   const char* line;
   ServiceErrorCode code;
@@ -135,6 +159,12 @@ TEST(ProtocolTest, RejectsMalformedRequestsWithTypedErrors) {
       {R"({"op":"match","record":{},"surprise":1})",
        ServiceErrorCode::kBadRequest},
       {R"({"op":"merge","record":{}})", ServiceErrorCode::kUnknownOp},
+      {R"({"op":"health","records":[]})", ServiceErrorCode::kBadRequest},
+      {R"({"op":"trace"})", ServiceErrorCode::kBadRequest},
+      {R"({"op":"trace","enabled":"yes"})", ServiceErrorCode::kBadRequest},
+      {R"({"op":"trace","enabled":true,"sample":0})",
+       ServiceErrorCode::kBadRequest},
+      {R"({"op":"stats","enabled":true})", ServiceErrorCode::kBadRequest},
       {R"({"op":"match","record":{"no_such_field":"X"}})",
        ServiceErrorCode::kBadRecord},
       {R"({"op":"match","record":{"last_name":42}})",
@@ -687,6 +717,175 @@ TEST_F(ServerTest, PingUpsertMatchStatsRoundTrip) {
   JsonValue stats = client.Call("{\"op\":\"stats\"}\n");
   ASSERT_TRUE(Ok(stats));
   EXPECT_EQ(stats.Find("records")->int_value(), 1);
+}
+
+TEST_F(ServerTest, StatsCarriesIntrospectionSections) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port_));
+  ASSERT_TRUE(Ok(client.Call(
+      R"({"op":"upsert","records":[{"ssn":"123456789",)"
+      R"("first_name":"JOHN","last_name":"SMITH"}]})"
+      "\n")));
+
+  JsonValue stats = client.Call("{\"op\":\"stats\"}\n");
+  ASSERT_TRUE(Ok(stats));
+  EXPECT_EQ(stats.Find("state")->string_value(), "serving");
+  EXPECT_GE(stats.Find("uptime_seconds")->double_value(), 0.0);
+  ASSERT_NE(stats.Find("counters"), nullptr);
+  ASSERT_NE(stats.Find("gauges"), nullptr);
+  ASSERT_NE(stats.Find("histograms"), nullptr);
+
+  // The registry is process-global and other tests feed it, so assert
+  // floors, not exact counts.
+  const JsonValue* requests =
+      stats.Find("counters")->Find("service.requests");
+  ASSERT_NE(requests, nullptr);
+  EXPECT_GE(requests->int_value(), 2);
+  const JsonValue* upsert_us =
+      stats.Find("histograms")->Find("service.upsert_us");
+  ASSERT_NE(upsert_us, nullptr);
+  EXPECT_GE(upsert_us->Find("count")->int_value(), 1);
+  EXPECT_NE(upsert_us->Find("p50"), nullptr);
+  EXPECT_NE(upsert_us->Find("p99"), nullptr);
+  // Commit-pipeline stage attribution rides in the same histogram map.
+  const JsonValue* apply_us =
+      stats.Find("histograms")->Find("service.stage.apply_us");
+  ASSERT_NE(apply_us, nullptr);
+  EXPECT_GE(apply_us->Find("count")->int_value(), 1);
+  // Resident gauges were refreshed by the committed batch.
+  EXPECT_GE(stats.Find("gauges")
+                ->Find("service.records_resident")
+                ->double_value(),
+            1.0);
+
+  // A first poll has nothing to diff against; the window becomes valid
+  // once a second snapshot lands in the ring.
+  ASSERT_NE(stats.Find("window"), nullptr);
+  JsonValue again = client.Call("{\"op\":\"stats\"}\n");
+  ASSERT_TRUE(Ok(again));
+  const JsonValue* window = again.Find("window");
+  ASSERT_NE(window, nullptr);
+  ASSERT_TRUE(window->Find("valid")->bool_value());
+  EXPECT_GT(window->Find("seconds")->double_value(), 0.0);
+  EXPECT_GE(window->Find("requests_per_sec")->double_value(), 0.0);
+  ASSERT_NE(window->Find("histograms"), nullptr);
+}
+
+TEST_F(ServerTest, HealthReportsServingStateAndResidentSizes) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port_));
+  ASSERT_TRUE(Ok(client.Call(
+      R"({"op":"upsert","records":[{"ssn":"123456789",)"
+      R"("first_name":"JOHN","last_name":"SMITH"}]})"
+      "\n")));
+
+  JsonValue health = client.Call("{\"op\":\"health\",\"id\":5}\n");
+  ASSERT_TRUE(Ok(health));
+  EXPECT_EQ(health.Find("id")->int_value(), 5);
+  EXPECT_EQ(health.Find("state")->string_value(), "serving");
+  EXPECT_GE(health.Find("uptime_seconds")->double_value(), 0.0);
+  // No durability configured: the WAL section says so instead of lying
+  // with zeros.
+  const JsonValue* wal = health.Find("wal");
+  ASSERT_NE(wal, nullptr);
+  EXPECT_FALSE(wal->Find("enabled")->bool_value());
+  const JsonValue* resident = health.Find("resident");
+  ASSERT_NE(resident, nullptr);
+  EXPECT_EQ(resident->Find("records")->int_value(), 1);
+  EXPECT_GE(resident->Find("components")->int_value(), 1);
+}
+
+TEST_F(ServerTest, TraceToggleControlsRecorderAndSampling) {
+  StartServer();
+  TestClient client;
+  ASSERT_TRUE(client.Connect(port_));
+
+  JsonValue on =
+      client.Call(R"({"op":"trace","enabled":true,"sample":3})" "\n");
+  ASSERT_TRUE(Ok(on));
+  EXPECT_TRUE(on.Find("tracing")->bool_value());
+  EXPECT_EQ(on.Find("sample")->int_value(), 3);
+  EXPECT_TRUE(TraceRecorder::Global().enabled());
+
+  // Sampled requests still serve normally while tracing.
+  EXPECT_TRUE(Ok(client.Call("{\"op\":\"ping\"}\n")));
+
+  JsonValue off = client.Call(R"({"op":"trace","enabled":false})" "\n");
+  ASSERT_TRUE(Ok(off));
+  EXPECT_FALSE(off.Find("tracing")->bool_value());
+  // The sampling interval persists across toggles.
+  EXPECT_EQ(off.Find("sample")->int_value(), 3);
+  EXPECT_FALSE(TraceRecorder::Global().enabled());
+}
+
+TEST_F(ServerTest, StateNameReflectsDrain) {
+  StartServer();
+  EXPECT_STREQ(server_->StateName(), "serving");
+  server_->RequestDrain();
+  // RequestDrain shuts connection reads, so the draining state is
+  // observable through StateName (and the health doc it feeds), not
+  // through a new request on this socket.
+  EXPECT_STREQ(server_->StateName(), "draining");
+  server_->Join();
+}
+
+// Startup recovery runs off-thread: the server binds and answers health
+// ("recovering") immediately, refuses writes with a retryable error, and
+// flips to serving once the replay lands.
+TEST(ServerRecoveryTest, HealthAnswersDuringRecoveryAndUpsertsRefused) {
+  char tmpl[] = "/tmp/mergepurge_service_recovery_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  ASSERT_NE(dir, nullptr);
+
+  MatchServiceOptions options = ServiceOptions();
+  options.durability.data_dir = dir;
+  options.durability.fsync = FsyncPolicy::kNone;
+  options.durability.recovery_delay_for_testing_ms = 400;
+  MatchService service(options, EmployeeFactory());
+  EXPECT_EQ(service.lifecycle(), MatchService::Lifecycle::kRecovering);
+
+  ServerOptions server_options;
+  server_options.port = 0;
+  Server server(server_options, &service);
+  Result<uint16_t> port = server.Start();
+  ASSERT_TRUE(port.ok()) << port.status().ToString();
+
+  TestClient client;
+  ASSERT_TRUE(client.Connect(*port));
+
+  JsonValue health = client.Call("{\"op\":\"health\"}\n");
+  const JsonValue* ok = health.Find("ok");
+  ASSERT_NE(ok, nullptr);
+  EXPECT_TRUE(ok->bool_value());
+  EXPECT_EQ(health.Find("state")->string_value(), "recovering");
+  // The reduced recovering doc: no engine-backed sections, which would
+  // block behind the recovery thread's write lock.
+  EXPECT_EQ(health.Find("resident"), nullptr);
+
+  JsonValue refused = client.Call(
+      R"({"op":"upsert","records":[{"last_name":"DOE"}]})" "\n");
+  EXPECT_FALSE(refused.Find("ok")->bool_value());
+  EXPECT_EQ(refused.Find("error")->Find("code")->string_value(),
+            "recovering");
+  JsonValue stats_refused = client.Call("{\"op\":\"stats\"}\n");
+  EXPECT_FALSE(stats_refused.Find("ok")->bool_value());
+  EXPECT_EQ(stats_refused.Find("error")->Find("code")->string_value(),
+            "recovering");
+
+  ASSERT_TRUE(service.WaitForRecovery().ok());
+  JsonValue admitted = client.Call(
+      R"({"op":"upsert","records":[{"last_name":"DOE"}]})" "\n");
+  EXPECT_TRUE(admitted.Find("ok")->bool_value());
+  JsonValue healthy = client.Call("{\"op\":\"health\"}\n");
+  EXPECT_EQ(healthy.Find("state")->string_value(), "serving");
+  EXPECT_EQ(healthy.Find("resident")->Find("records")->int_value(), 1);
+
+  client.Close();
+  server.RequestDrain();
+  server.Join();
+  std::filesystem::remove_all(dir);
 }
 
 TEST_F(ServerTest, InvalidJsonGetsTypedErrorAndConnectionSurvives) {

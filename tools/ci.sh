@@ -40,7 +40,7 @@ run_suite "${root}/build-san" "" "-DMERGEPURGE_SANITIZE=address;undefined"
 # engine, the TCP service, fault-tolerance, the sync primitives) rather
 # than all of ctest.
 run_suite "${root}/build-tsan" \
-  "parallel_test|incremental_test|incremental_property_test|service_test|fault_tolerance_test|metrics_test|sync_test|durability_test" \
+  "parallel_test|incremental_test|incremental_property_test|service_test|fault_tolerance_test|metrics_test|obs_window_test|sync_test|durability_test" \
   "-DMERGEPURGE_SANITIZE=thread"
 
 # Compile-time lock discipline (clang only): build the whole tree with
@@ -160,6 +160,82 @@ done
   config/summary/latency_request/p99_us \
   histograms/service.client.request_us \
   histograms/service.client.match_us histograms/service.client.upsert_us
+# Live introspection e2e (docs/observability.md "Live introspection"):
+# drive a second burst with the loadgen's windowed progress reporter on,
+# poll {"op":"stats"} through mergepurge_top --json mid-burst, and
+# schema-validate the round-tripped doc: lifecycle state, resident
+# gauges, histogram summaries, the server-side rate window, and the six
+# commit-pipeline stage histograms.
+"${root}/build/tools/mergepurge_loadgen" \
+  --port="$(cat "${svc_dir}/port.txt")" --records=6000 --threads=4 \
+  --match-frac=0.2 --progress-interval-ms=200 \
+  --out="${svc_dir}/loadgen_live.json" 2>"${svc_dir}/loadgen_live.log" &
+live_loadgen_pid=$!
+sleep 0.7
+"${root}/build/tools/mergepurge_top" --port="$(cat "${svc_dir}/port.txt")" \
+  --json --count=2 --interval-ms=400 > "${svc_dir}/stats_live.jsonl"
+live_status=0
+wait "${live_loadgen_pid}" || live_status=$?
+if [ "${live_status}" -ne 0 ]; then
+  echo "ci: introspection-e2e loadgen failed (exit ${live_status})" >&2
+  cat "${svc_dir}/loadgen_live.log" >&2
+  exit 1
+fi
+grep -q 'req/s' "${svc_dir}/loadgen_live.log" || {
+  echo "ci: loadgen --progress-interval-ms printed no progress lines" >&2
+  cat "${svc_dir}/loadgen_live.log" >&2
+  exit 1
+}
+tail -n 1 "${svc_dir}/stats_live.jsonl" > "${svc_dir}/stats_live.json"
+"${root}/build/tools/validate_report" --file="${svc_dir}/stats_live.json" \
+  ok:bool state:string uptime_seconds:number \
+  records:number entities:number pairs:number durability/wal_seq:number \
+  counters:object gauges:object histograms:object \
+  window:object window/valid:bool \
+  counters/service.requests:number counters/service.batches:number \
+  gauges/service.records_resident:number \
+  gauges/service.pairs_resident:number \
+  gauges/service.components_resident:number \
+  gauges/service.wal.open_segment_bytes:number \
+  gauges/service.snapshot.age_ms:number \
+  histograms/service.upsert_us:object \
+  histograms/service.stage.queue_wait_us/p50:number \
+  histograms/service.stage.wal_append_us/p50:number \
+  histograms/service.stage.wal_fsync_us/p50:number \
+  histograms/service.stage.apply_us/p50:number \
+  histograms/service.stage.label_rebuild_us/p50:number \
+  histograms/service.stage.ack_us/p50:number
+# Once the burst has drained, the stage histograms must attribute the
+# commit pipeline exactly: one sample per committed batch in every
+# stage, and the per-stage p50s summing to the end-to-end upsert p50
+# (within 15% — quantiles interpolate within log-spaced buckets).
+"${root}/build/tools/mergepurge_top" --port="$(cat "${svc_dir}/port.txt")" \
+  --json --count=1 > "${svc_dir}/stats_final.json"
+python3 - "${svc_dir}/stats_live.json" "${svc_dir}/stats_final.json" <<'EOF'
+import json, sys
+live = json.load(open(sys.argv[1]))
+final = json.load(open(sys.argv[2]))
+window = live["window"]
+assert window["valid"], "server-side window invalid after two polls"
+assert window["requests_per_sec"] > 0, "window rated zero requests"
+hist = final["histograms"]
+batches = final["counters"]["service.batches"]
+stages = ["service.stage.queue_wait_us", "service.stage.wal_append_us",
+          "service.stage.wal_fsync_us", "service.stage.apply_us",
+          "service.stage.label_rebuild_us", "service.stage.ack_us"]
+for name in stages:
+    count = hist[name]["count"]
+    assert count == batches, (
+        f"{name} count {count} != service.batches {batches}")
+stage_sum = sum(hist[name]["p50"] for name in stages)
+upsert_p50 = final["histograms"]["service.upsert_us"]["p50"]
+assert abs(stage_sum - upsert_p50) <= 0.15 * upsert_p50, (
+    f"stage p50 sum {stage_sum:.0f}us outside 15% of "
+    f"upsert p50 {upsert_p50:.0f}us")
+print(f"ci: stage attribution ok: {len(stages)} stages x {batches} "
+      f"batches, sum(stage p50) {stage_sum:.0f}us vs upsert p50 "
+      f"{upsert_p50:.0f}us")
+EOF
 kill -TERM "${serve_pid}"
 serve_status=0
 wait "${serve_pid}" || serve_status=$?
@@ -180,7 +256,11 @@ fi
   histograms/service.request_us \
   histograms/service.match_us histograms/service.upsert_us \
   histograms/service.queue_wait_us histograms/service.batch_records \
-  histograms/service.wal.append_us
+  histograms/service.wal.append_us \
+  histograms/service.stage.queue_wait_us \
+  histograms/service.stage.wal_fsync_us histograms/service.stage.apply_us \
+  gauges/service.records_resident gauges/service.pairs_resident \
+  gauges/service.components_resident
 cp "${svc_dir}/BENCH_service.json" "${root}/BENCH_service.json"
 
 # Crash-recovery e2e: kill -9 the server mid-stream, restart it on the
@@ -210,7 +290,8 @@ done
 crash_port="$(cat "${crash_dir}/port.txt")"
 "${root}/build/tools/mergepurge_loadgen" \
   --port="${crash_port}" --records=8000 --threads=4 \
-  --match-frac=0.2 --out="${crash_dir}/loadgen.json" \
+  --match-frac=0.2 --progress-interval-ms=200 \
+  --out="${crash_dir}/loadgen.json" \
   2>"${crash_dir}/loadgen.log" &
 loadgen_pid=$!
 sleep 0.5

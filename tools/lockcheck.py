@@ -87,14 +87,20 @@ CHECKS = [
 ALLOW_RE = re.compile(r"lockcheck:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 KNOWN_IDS = {check_id for check_id, _, _ in CHECKS} | {"missing-sync-include"}
 
-# Lock-owning durability sources that must stay inside the annotated
-# sync vocabulary: each must include util/sync.h, either directly or (a
-# .cc) through its paired same-directory header.
+# Lock-owning service and introspection sources that must stay inside
+# the annotated sync vocabulary: each must include util/sync.h, either
+# directly or (a .cc) through its paired same-directory header.
 MUST_INCLUDE_SYNC = (
     os.path.join("src", "service", "wal.h"),
     os.path.join("src", "service", "wal.cc"),
     os.path.join("src", "service", "snapshot.h"),
     os.path.join("src", "service", "snapshot.cc"),
+    os.path.join("src", "service", "match_service.h"),
+    os.path.join("src", "service", "match_service.cc"),
+    os.path.join("src", "service", "server.h"),
+    os.path.join("src", "service", "server.cc"),
+    os.path.join("src", "obs", "window.h"),
+    os.path.join("src", "obs", "window.cc"),
 )
 SYNC_INCLUDE_RE = re.compile(r'#\s*include\s*"util/sync\.h"')
 

@@ -12,16 +12,12 @@
 //                                            are match probes)
 //                      [--upsert-batch=8]   (records per upsert request)
 //                      [--seed=42]
+//                      [--progress-interval-ms=0]  (periodic progress
+//                                            line on stderr; 0 = off)
 //                      [--out=BENCH_service.json]
 //
 // Every response is validated (ok:true, upsert entity count == batch
 // size); any failure makes the run exit 1. Exit 2 on usage errors.
-
-#include <arpa/inet.h>
-#include <netdb.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
@@ -38,6 +34,8 @@
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/run_report.h"
+#include "obs/window.h"
+#include "service/client.h"
 #include "service/protocol.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -54,11 +52,11 @@ constexpr int kExitUsage = 2;
 constexpr const char* kUsage =
     "usage: mergepurge_loadgen --port=N [--host=ADDR] [--threads=N] "
     "[--records=N] [--match-frac=F] [--upsert-batch=N] [--seed=N] "
-    "[--out=FILE.json]";
+    "[--progress-interval-ms=N] [--out=FILE.json]";
 
 constexpr const char* kKnownFlags[] = {
     "port", "host", "threads", "records", "match-frac", "upsert-batch",
-    "seed", "out",
+    "seed", "progress-interval-ms", "out",
 };
 
 int UsageError(const std::string& message) {
@@ -66,78 +64,6 @@ int UsageError(const std::string& message) {
                kUsage);
   return kExitUsage;
 }
-
-// One blocking NDJSON request/response connection.
-class Client {
- public:
-  ~Client() { Close(); }
-
-  bool connected() const { return fd_ >= 0; }
-
-  void Close() {
-    if (fd_ >= 0) ::close(fd_);
-    fd_ = -1;
-    buffer_.clear();
-  }
-
-  Status Connect(const std::string& host, uint16_t port) {
-    Close();
-    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd_ < 0) {
-      return Status::IoError(StringPrintf("socket: %s", strerror(errno)));
-    }
-    sockaddr_in addr;
-    std::memset(&addr, 0, sizeof(addr));
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(port);
-    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
-      return Status::InvalidArgument("bad host address '" + host + "'");
-    }
-    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
-      return Status::IoError(StringPrintf("connect %s:%u: %s", host.c_str(),
-                                          port, strerror(errno)));
-    }
-    return Status::OK();
-  }
-
-  // Sends one request line and reads one response line.
-  Result<JsonValue> Call(std::string_view request_line) {
-    std::string_view rest = request_line;
-    while (!rest.empty()) {
-      const ssize_t n = ::send(fd_, rest.data(), rest.size(), MSG_NOSIGNAL);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Status::IoError(StringPrintf("send: %s", strerror(errno)));
-      }
-      rest.remove_prefix(static_cast<size_t>(n));
-    }
-    std::string line;
-    while (true) {
-      const size_t newline = buffer_.find('\n');
-      if (newline != std::string::npos) {
-        line = buffer_.substr(0, newline);
-        buffer_.erase(0, newline + 1);
-        break;
-      }
-      char chunk[16 * 1024];
-      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
-      if (n == 0) {
-        return Status::IoError("server closed the connection mid-response");
-      }
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Status::IoError(StringPrintf("recv: %s", strerror(errno)));
-      }
-      buffer_.append(chunk, static_cast<size_t>(n));
-    }
-    return ParseResponseLine(line);
-  }
-
- private:
-  int fd_ = -1;
-  std::string buffer_;
-};
 
 struct WorkerResult {
   std::vector<double> request_us;  // Every request.
@@ -164,18 +90,39 @@ constexpr double kBackoffBaseMs = 5.0;
 constexpr double kBackoffMultiplier = 2.0;
 constexpr double kBackoffCapMs = 500.0;
 
-// Sends one request, reconnecting and resending on transport errors.
-// Requests are idempotent from the workload's point of view (matches are
-// read-only; a resent upsert at worst re-admits records that merge with
-// their first copy), so at-least-once delivery is safe. Returns the last
-// transport error once the schedule is exhausted.
-Result<JsonValue> CallWithRetry(Client* client, const std::string& host,
-                                uint16_t port, std::string_view request_line,
-                                Rng* rng, WorkerResult* result) {
+// True when the response is a typed retryable refusal: the server is up
+// but still replaying its WAL ({"ok":false,"error":{"code":"recovering"}}).
+// A restarted server under the crash-recovery e2e answers this way until
+// replay finishes, so the client backs off and resends like it does for
+// transport errors.
+bool IsRecoveringError(const JsonValue& response) {
+  const JsonValue* ok = response.Find("ok");
+  if (ok == nullptr || ok->bool_value()) return false;
+  const JsonValue* error = response.Find("error");
+  if (error == nullptr) return false;
+  const JsonValue* code = error->Find("code");
+  return code != nullptr && code->is_string() &&
+         code->string_value() == "recovering";
+}
+
+// Sends one request, reconnecting and resending on transport errors and
+// backing off on "recovering" refusals. Requests are idempotent from the
+// workload's point of view (matches are read-only; a resent upsert at
+// worst re-admits records that merge with their first copy), so
+// at-least-once delivery is safe. Returns the last transport error once
+// the schedule is exhausted.
+Result<JsonValue> CallWithRetry(ServiceClient* client,
+                                const std::string& host, uint16_t port,
+                                std::string_view request_line, Rng* rng,
+                                WorkerResult* result) {
+  static Counter* const retries_counter =
+      MetricsRegistry::Global().GetCounter(
+          metric_names::kServiceClientRetries);
   Status last_error = Status::OK();
   for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
     if (attempt > 1) {
       ++result->retries;
+      retries_counter->Increment();
       double delay_ms =
           kBackoffBaseMs *
           std::pow(kBackoffMultiplier, static_cast<double>(attempt - 2));
@@ -194,7 +141,14 @@ Result<JsonValue> CallWithRetry(Client* client, const std::string& host,
       }
     }
     Result<JsonValue> response = client->Call(request_line);
-    if (response.ok()) return response;
+    if (response.ok()) {
+      if (IsRecoveringError(*response)) {
+        // The connection is fine; only the request was refused.
+        last_error = Status::IoError("server is recovering");
+        continue;
+      }
+      return response;
+    }
     last_error = response.status();
     client->Close();  // The connection is unusable after a transport error.
   }
@@ -207,10 +161,22 @@ void RunWorker(const std::string& host, uint16_t port, const Schema& schema,
                const Dataset& dataset, size_t begin, size_t end,
                double match_frac, size_t upsert_batch, Rng rng,
                WorkerResult* result) {
+  // Client-side histograms are fed live (not merged at the end) so the
+  // --progress-interval-ms reporter can rate over registry snapshots.
+  static LatencyHistogram* const client_request_us =
+      MetricsRegistry::Global().GetHistogram(
+          metric_names::kServiceClientRequestUs);
+  static LatencyHistogram* const client_match_us =
+      MetricsRegistry::Global().GetHistogram(
+          metric_names::kServiceClientMatchUs);
+  static LatencyHistogram* const client_upsert_us =
+      MetricsRegistry::Global().GetHistogram(
+          metric_names::kServiceClientUpsertUs);
+
   // The first CallWithRetry connects lazily (and reconnects after any
   // transport error), so a server that is still starting up — or
   // restarting after a crash — costs retries, not failures.
-  Client client;
+  ServiceClient client;
   size_t next = begin;
   size_t sent_end = begin;  // Records in [begin, sent_end) were admitted.
   while (next < end) {
@@ -255,8 +221,10 @@ void RunWorker(const std::string& host, uint16_t port, const Schema& schema,
       continue;
     }
     result->request_us.push_back(micros);
+    client_request_us->Record(micros);
     if (is_match) {
       result->match_us.push_back(micros);
+      client_match_us->Record(micros);
     } else {
       const JsonValue* entities = response->Find("entities");
       if (entities == nullptr ||
@@ -267,6 +235,7 @@ void RunWorker(const std::string& host, uint16_t port, const Schema& schema,
             batch_records));
       }
       result->upsert_us.push_back(micros);
+      client_upsert_us->Record(micros);
       result->records_sent += batch_records;
       next += batch_records;
       sent_end = next;
@@ -335,6 +304,11 @@ int main(int argc, char** argv) {
   if (upsert_batch < 1) return UsageError("--upsert-batch must be >= 1");
   const uint64_t seed =
       static_cast<uint64_t>(args.GetInt("seed", 42));
+  const int64_t progress_interval_ms =
+      args.GetInt("progress-interval-ms", 0);
+  if (progress_interval_ms < 0) {
+    return UsageError("--progress-interval-ms must be >= 0");
+  }
   const std::string out_path = args.GetString("out", "BENCH_service.json");
 
   // Generate the workload: originals + duplicates gives the match probes
@@ -378,7 +352,53 @@ int main(int argc, char** argv) {
                          match_frac, static_cast<size_t>(upsert_batch),
                          root_rng.Fork(), &results[i]);
   }
+
+  // Periodic progress line: snapshot the registry each tick, rate the
+  // client-side histogram deltas over the window (obs/window.h).
+  std::atomic<bool> workers_done{false};
+  std::thread progress;
+  if (progress_interval_ms > 0) {
+    progress = std::thread([&workers_done, &wall, progress_interval_ms] {
+      const double interval_seconds =
+          static_cast<double>(progress_interval_ms) / 1000.0;
+      SnapshotRing ring;
+      ring.Push(wall.ElapsedSeconds(), MetricsRegistry::Global().Snapshot());
+      while (!workers_done.load(std::memory_order_acquire)) {
+        // Sleep in small slices so the reporter exits promptly when the
+        // workers finish early.
+        const auto tick_deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(progress_interval_ms);
+        while (!workers_done.load(std::memory_order_acquire) &&
+               std::chrono::steady_clock::now() < tick_deadline) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        }
+        if (workers_done.load(std::memory_order_acquire)) break;
+        const double now = wall.ElapsedSeconds();
+        ring.Push(now, MetricsRegistry::Global().Snapshot());
+        const SnapshotWindow window = ring.Over(interval_seconds * 1.5);
+        if (!window.valid) continue;
+        const auto it = window.delta.histograms.find(
+            metric_names::kServiceClientRequestUs);
+        if (it == window.delta.histograms.end()) continue;
+        const HistogramSnapshot& requests = it->second;
+        std::fprintf(
+            stderr,
+            "mergepurge_loadgen: t=%.1fs %.0f req/s, window p50 %.0fus "
+            "p99 %.0fus, %llu retries\n",
+            now,
+            static_cast<double>(requests.count) / window.seconds,
+            HistogramQuantile(requests, 0.50),
+            HistogramQuantile(requests, 0.99),
+            static_cast<unsigned long long>(window.delta.counter(
+                metric_names::kServiceClientRetries)));
+      }
+    });
+  }
+
   for (std::thread& t : workers) t.join();
+  workers_done.store(true, std::memory_order_release);
+  if (progress.joinable()) progress.join();
   const double wall_seconds =
       static_cast<double>(wall.ElapsedMicros()) / 1e6;
 
@@ -402,23 +422,13 @@ int main(int argc, char** argv) {
     failures += r.failures;
     if (first_error.empty()) first_error = r.first_error;
   }
-  MetricsRegistry::Global()
-      .GetCounter(metric_names::kServiceClientRetries)
-      ->Add(retries);
-  LatencyHistogram* client_request = MetricsRegistry::Global().GetHistogram(
-      metric_names::kServiceClientRequestUs);
-  LatencyHistogram* client_match = MetricsRegistry::Global().GetHistogram(
-      metric_names::kServiceClientMatchUs);
-  LatencyHistogram* client_upsert = MetricsRegistry::Global().GetHistogram(
-      metric_names::kServiceClientUpsertUs);
-  for (double v : request_us) client_request->Record(v);
-  for (double v : match_us) client_match->Record(v);
-  for (double v : upsert_us) client_upsert->Record(v);
+  // Retries and the client-side histograms were fed live by the workers
+  // (CallWithRetry / RunWorker), so the registry already carries them.
 
   // A final stats round-trip: the server's view of what we admitted.
   JsonValue server_stats = JsonValue::Object();
   {
-    Client client;
+    ServiceClient client;
     if (client.Connect(host, static_cast<uint16_t>(port)).ok()) {
       Result<JsonValue> response =
           client.Call("{\"op\":\"stats\"}\n");

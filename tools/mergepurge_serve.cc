@@ -16,6 +16,8 @@
 //                    [--idle-timeout-ms=30000]
 //                    [--batch-records=256]    (upsert batcher fill limit)
 //                    [--batch-delay-ms=2.0]   (upsert batcher deadline)
+//                    [--slow-request-us=0]    (log requests slower than
+//                                              this; 0 = off)
 //                    [--data-dir=DIR]         (crash durability: WAL +
 //                                              snapshots + recovery on
 //                                              start; docs/durability.md)
@@ -67,7 +69,8 @@ constexpr const char* kUsage =
     "usage: mergepurge_serve [--port=N] [--port-file=PATH] [--window=N] "
     "[--keys=...] [--rules=FILE] [--workers=N] [--max-conn=N] "
     "[--max-line-bytes=N] [--idle-timeout-ms=N] [--batch-records=N] "
-    "[--batch-delay-ms=F] [--data-dir=DIR] [--fsync=always|group|none] "
+    "[--batch-delay-ms=F] [--slow-request-us=N] [--data-dir=DIR] "
+    "[--fsync=always|group|none] "
     "[--snapshot-batches=N] [--snapshot-interval-ms=N] [--keep-wal] "
     "[--metrics-out=FILE.json] "
     "[--trace-out=FILE.json] [--log-level=LEVEL] [--rules-check]";
@@ -76,7 +79,8 @@ constexpr const char* kKnownFlags[] = {
     "port",           "port-file",     "window",
     "keys",           "rules",         "workers",
     "max-conn",       "max-line-bytes", "idle-timeout-ms",
-    "batch-records",  "batch-delay-ms", "metrics-out",
+    "batch-records",  "batch-delay-ms", "slow-request-us",
+    "metrics-out",
     "trace-out",      "log-level",     "rules-check",
     "data-dir",       "fsync",         "snapshot-batches",
     "snapshot-interval-ms", "keep-wal",
@@ -238,6 +242,12 @@ int main(int argc, char** argv) {
                       args.GetString("idle-timeout-ms", "") + ")");
   }
   server_options.idle_timeout_ms = static_cast<int>(idle_timeout);
+  const int64_t slow_request_us = args.GetInt("slow-request-us", 0);
+  if (slow_request_us < 0) {
+    return UsageError("--slow-request-us must be >= 0 (got " +
+                      args.GetString("slow-request-us", "") + ")");
+  }
+  server_options.slow_request_us = static_cast<int>(slow_request_us);
 
   // --- Optional theory preflight: a service with a linted-broken theory
   // (e.g. one that merges all-blank records) must refuse to start. ---
@@ -284,28 +294,12 @@ int main(int argc, char** argv) {
     };
   }
 
+  // The service constructs in the recovering state (durability on) and
+  // replays on a background thread; the server starts listening right
+  // away so health checks can observe "recovering" while match/upsert
+  // are refused with a retryable error.
   MatchService service(std::move(service_options),
                        std::move(theory_factory));
-  if (!service.init_status().ok()) {
-    return Fail("recovery failed: " + service.init_status().ToString());
-  }
-  const MatchService::DurabilityInfo recovered = service.GetDurability();
-  if (recovered.enabled) {
-    std::fprintf(
-        stderr,
-        "mergepurge_serve: recovered to seq %llu (snapshot seq %llu, "
-        "%llu batches / %llu records replayed, %llu torn bytes cut, "
-        "%.1f ms)\n",
-        static_cast<unsigned long long>(recovered.recovery.last_seq),
-        static_cast<unsigned long long>(recovered.recovery.snapshot_seq),
-        static_cast<unsigned long long>(
-            recovered.recovery.batches_replayed),
-        static_cast<unsigned long long>(
-            recovered.recovery.records_replayed),
-        static_cast<unsigned long long>(
-            recovered.recovery.truncated_bytes),
-        recovered.recovery.recovery_ms);
-  }
   Server server(server_options, &service);
   SignalDrain::Global().OnSignal(
       [&server](int) { server.RequestDrain(); });
@@ -323,6 +317,30 @@ int main(int argc, char** argv) {
       server.Join();
       return Fail("cannot write port file: " + port_path);
     }
+  }
+
+  Status recovery_status = service.WaitForRecovery();
+  if (!recovery_status.ok()) {
+    server.RequestDrain();
+    server.Join();
+    return Fail("recovery failed: " + recovery_status.ToString());
+  }
+  const MatchService::DurabilityInfo recovered = service.GetDurability();
+  if (recovered.enabled) {
+    std::fprintf(
+        stderr,
+        "mergepurge_serve: recovered to seq %llu (snapshot seq %llu, "
+        "%llu batches / %llu records replayed, %llu torn bytes cut, "
+        "%.1f ms)\n",
+        static_cast<unsigned long long>(recovered.recovery.last_seq),
+        static_cast<unsigned long long>(recovered.recovery.snapshot_seq),
+        static_cast<unsigned long long>(
+            recovered.recovery.batches_replayed),
+        static_cast<unsigned long long>(
+            recovered.recovery.records_replayed),
+        static_cast<unsigned long long>(
+            recovered.recovery.truncated_bytes),
+        recovered.recovery.recovery_ms);
   }
 
   // Blocks until a drain signal (or RequestDrain) stops the server.
