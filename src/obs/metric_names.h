@@ -161,6 +161,28 @@ inline constexpr char kServiceClientUpsertUs[] =
 // restart mid-run); see the loadgen backoff loop.
 inline constexpr char kServiceClientRetries[] = "service.client.retries";
 
+// --- Shard coordinator (src/shard; see docs/sharding.md). Counted in
+// the coordinator process; the per-shard engines report the ordinary
+// service.* set in their own registries. ---
+// Owner-routed record admissions (each record counts once, on its
+// owner set — replicas are counted separately below).
+inline constexpr char kCoordRouteRecords[] = "coord.route_records";
+// Boundary-band replicas shipped to neighboring shards (§4
+// fragmentation volume).
+inline constexpr char kCoordReplicaRecords[] = "coord.replica_records";
+// Per-shard-batch retry attempts (reconnect/backoff via CallWithRetry).
+inline constexpr char kCoordShardRetries[] = "coord.shard_retries";
+// Wall time of one upsert's full shard fan-out (route + send + collect).
+inline constexpr char kCoordFanoutUs[] = "coord.fanout_us";      // Hist.
+// Time folding shard responses into the global closure.
+inline constexpr char kCoordClosureMergeUs[] =
+    "coord.closure_merge_us";                                    // Hist.
+// Global ids admitted / distinct global entities after closure.
+inline constexpr char kCoordGlobalRecords[] =
+    "coord.global_records";                                      // Gauge.
+inline constexpr char kCoordGlobalEntities[] =
+    "coord.global_entities";                                     // Gauge.
+
 }  // namespace metric_names
 
 // Registers every catalogued fixed-name metric in `registry` so snapshots

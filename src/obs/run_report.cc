@@ -28,7 +28,9 @@ void PreregisterStandardMetrics(MetricsRegistry& registry) {
         mn::kServiceWalSegmentsRemoved, mn::kServiceSnapshotSaves,
         mn::kServiceSnapshotFailures, mn::kServiceRecoveryBatchesReplayed,
         mn::kServiceRecoveryRecordsReplayed,
-        mn::kServiceRecoveryTruncatedBytes, mn::kServiceClientRetries}) {
+        mn::kServiceRecoveryTruncatedBytes, mn::kServiceClientRetries,
+        mn::kCoordRouteRecords, mn::kCoordReplicaRecords,
+        mn::kCoordShardRetries}) {
     registry.GetCounter(name);
   }
   for (const char* name :
@@ -40,13 +42,15 @@ void PreregisterStandardMetrics(MetricsRegistry& registry) {
         mn::kServiceSnapshotWriteUs, mn::kServiceRecoveryUs,
         mn::kServiceStageQueueWaitUs, mn::kServiceStageWalAppendUs,
         mn::kServiceStageWalFsyncUs, mn::kServiceStageApplyUs,
-        mn::kServiceStageLabelRebuildUs, mn::kServiceStageAckUs}) {
+        mn::kServiceStageLabelRebuildUs, mn::kServiceStageAckUs,
+        mn::kCoordFanoutUs, mn::kCoordClosureMergeUs}) {
     registry.GetHistogram(name);
   }
   for (const char* name :
        {mn::kServiceRecordsResident, mn::kServicePairsResident,
         mn::kServiceComponentsResident, mn::kServiceWalOpenSegmentBytes,
-        mn::kServiceSnapshotAgeMs}) {
+        mn::kServiceSnapshotAgeMs, mn::kCoordGlobalRecords,
+        mn::kCoordGlobalEntities}) {
     registry.GetGauge(name);
   }
   // Batch sizes are small integers, not microseconds: count-scaled

@@ -16,13 +16,12 @@ UpsertBatcher::UpsertBatcher(BatcherOptions options, CommitFn commit)
 
 UpsertBatcher::~UpsertBatcher() { Drain(); }
 
-std::future<Result<std::vector<uint32_t>>> UpsertBatcher::Submit(
+std::future<Result<UpsertSlice>> UpsertBatcher::Submit(
     std::vector<Record> records) {
   PendingUpsert pending;
   pending.records = std::move(records);
   pending.enqueued_at = std::chrono::steady_clock::now();
-  std::future<Result<std::vector<uint32_t>>> future =
-      pending.promise.get_future();
+  std::future<Result<UpsertSlice>> future = pending.promise.get_future();
   {
     MutexLock lock(mu_);
     if (stop_) {
@@ -132,21 +131,25 @@ void UpsertBatcher::WriterLoop() {
             commit_start - taken.front().enqueued_at)
             .count());
 
-    Result<std::vector<uint32_t>> labels = commit_(std::move(combined));
+    Result<BatchCommit> commit = commit_(std::move(combined));
     batches->Increment();
     batch_records->Record(static_cast<double>(taken_records));
 
     const auto ack_start = std::chrono::steady_clock::now();
-    if (!labels.ok()) {
+    if (!commit.ok()) {
       for (PendingUpsert& upsert : taken) {
-        upsert.promise.set_value(labels.status());
+        upsert.promise.set_value(commit.status());
       }
     } else {
       size_t offset = 0;
       for (PendingUpsert& upsert : taken) {
         const size_t n = upsert.records.size();
-        upsert.promise.set_value(std::vector<uint32_t>(
-            labels->begin() + offset, labels->begin() + offset + n));
+        UpsertSlice slice;
+        slice.entities.assign(commit->labels.begin() + offset,
+                              commit->labels.begin() + offset + n);
+        slice.base_tid = commit->base_tid + static_cast<TupleId>(offset);
+        slice.merges = commit->merges;
+        upsert.promise.set_value(std::move(slice));
         offset += n;
       }
     }
@@ -155,7 +158,7 @@ void UpsertBatcher::WriterLoop() {
                              .count());
 
     lock.Lock();
-    if (labels.ok()) batch_sizes_.push_back(taken_records);
+    if (commit.ok()) batch_sizes_.push_back(taken_records);
   }
 }
 

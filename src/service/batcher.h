@@ -41,12 +41,35 @@ struct BatcherOptions {
   double max_delay_ms = 2.0;
 };
 
+// One committed batch as produced by the CommitFn. Records of a batch
+// land contiguously in the engine, so the tuple id of record i is
+// `base_tid + i`; `merges` is the closure delta — every {survivor,
+// absorbed} component-label union the batch caused among PRE-EXISTING
+// components (new records' memberships are already visible through
+// `labels`). A sharding coordinator replays these into its global
+// union-find instead of re-pulling full label dumps.
+struct BatchCommit {
+  std::vector<uint32_t> labels;  // One entity label per record, in order.
+  TupleId base_tid = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> merges;
+};
+
+// The per-request slice of a committed batch handed back to Submit
+// callers: the request's own labels and tids (contiguous from
+// `base_tid`), plus the WHOLE batch's merge delta — merge application
+// is idempotent, so every rider of a coalesced batch may safely replay
+// it.
+struct UpsertSlice {
+  std::vector<uint32_t> entities;
+  TupleId base_tid = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> merges;
+};
+
 class UpsertBatcher {
  public:
-  // `commit` admits one coalesced batch and returns one entity label per
-  // record, in order. It runs exclusively on the batcher's writer thread.
-  using CommitFn =
-      std::function<Result<std::vector<uint32_t>>(std::vector<Record>)>;
+  // `commit` admits one coalesced batch and returns the labels/tids/
+  // merge delta. It runs exclusively on the batcher's writer thread.
+  using CommitFn = std::function<Result<BatchCommit>(std::vector<Record>)>;
 
   UpsertBatcher(BatcherOptions options, CommitFn commit);
 
@@ -57,10 +80,9 @@ class UpsertBatcher {
   UpsertBatcher& operator=(const UpsertBatcher&) = delete;
 
   // Enqueues the records and returns a future that resolves to their
-  // entity labels (or the commit error) once the containing batch
-  // commits. After Drain() the future resolves immediately to an error.
-  std::future<Result<std::vector<uint32_t>>> Submit(
-      std::vector<Record> records);
+  // slice of the committed batch (or the commit error). After Drain()
+  // the future resolves immediately to an error.
+  std::future<Result<UpsertSlice>> Submit(std::vector<Record> records);
 
   // Flushes everything pending, then stops the writer thread. Idempotent.
   void Drain();
@@ -77,7 +99,7 @@ class UpsertBatcher {
  private:
   struct PendingUpsert {
     std::vector<Record> records;
-    std::promise<Result<std::vector<uint32_t>>> promise;
+    std::promise<Result<UpsertSlice>> promise;
     std::chrono::steady_clock::time_point enqueued_at;
   };
 

@@ -1,12 +1,18 @@
 #include "service/client.h"
 
 #include <arpa/inet.h>
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <thread>
 #include <unistd.h>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 #include "service/protocol.h"
 #include "util/string_util.h"
 
@@ -71,6 +77,62 @@ Result<JsonValue> ServiceClient::Call(std::string_view request_line) {
     buffer_.append(chunk, static_cast<size_t>(n));
   }
   return ParseResponseLine(line);
+}
+
+bool IsRecoveringError(const JsonValue& response) {
+  const JsonValue* ok = response.Find("ok");
+  if (ok == nullptr || ok->bool_value()) return false;
+  const JsonValue* error = response.Find("error");
+  if (error == nullptr) return false;
+  const JsonValue* code = error->Find("code");
+  return code != nullptr && code->is_string() &&
+         code->string_value() == "recovering";
+}
+
+Result<JsonValue> CallWithRetry(ServiceClient* client,
+                                const std::string& host, uint16_t port,
+                                std::string_view request_line, Rng* rng,
+                                const RetryOptions& options,
+                                const std::function<void()>& on_retry) {
+  static Counter* const retries_counter =
+      MetricsRegistry::Global().GetCounter(
+          metric_names::kServiceClientRetries);
+  Status last_error = Status::OK();
+  for (int attempt = 1; attempt <= options.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      retries_counter->Increment();
+      if (on_retry) on_retry();
+      double delay_ms =
+          options.backoff_base_ms *
+          std::pow(options.backoff_multiplier,
+                   static_cast<double>(attempt - 2));
+      delay_ms = std::min(delay_ms, options.backoff_cap_ms);
+      delay_ms += static_cast<double>(rng->NextBounded(
+          static_cast<uint64_t>(options.backoff_base_ms)));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(delay_ms));
+    }
+    if (!client->connected()) {
+      Status connected = client->Connect(host, port);
+      if (!connected.ok()) {
+        last_error = connected;
+        client->Close();
+        continue;
+      }
+    }
+    Result<JsonValue> response = client->Call(request_line);
+    if (response.ok()) {
+      if (IsRecoveringError(*response)) {
+        // The connection is fine; only the request was refused.
+        last_error = Status::IoError("server is recovering");
+        continue;
+      }
+      return response;
+    }
+    last_error = response.status();
+    client->Close();  // The connection is unusable after a transport error.
+  }
+  return last_error;
 }
 
 }  // namespace mergepurge

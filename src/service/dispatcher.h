@@ -1,0 +1,64 @@
+// RequestDispatcher: the seam between the socket front end (Server) and
+// whatever answers engine-touching requests behind it. The single-node
+// binary plugs in EngineDispatcher (a resident MatchService); the shard
+// coordinator plugs in its fan-out dispatcher (src/shard/coordinator.h)
+// — both speak the identical wire protocol upward, so loadgen,
+// mergepurge_top and the admin ops work unchanged against either.
+//
+// The Server keeps everything transport- and process-level: framing,
+// connection hardening, ping, trace toggles, drain, slow-request
+// logging, and the introspection sections of stats/health (state,
+// uptime, counters, gauges, histogram summaries, windowed rates). The
+// dispatcher owns the backend-specific content: lifecycle gating, the
+// match/upsert/stats payloads, and the backend sections of health.
+
+#ifndef MERGEPURGE_SERVICE_DISPATCHER_H_
+#define MERGEPURGE_SERVICE_DISPATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+#include "record/record.h"
+#include "service/match_service.h"
+
+namespace mergepurge {
+
+class RequestDispatcher {
+ public:
+  virtual ~RequestDispatcher() = default;
+
+  // Lifecycle gate for engine-touching ops (match/upsert/stats). While
+  // kRecovering the server answers the retryable "recovering" error;
+  // kFailed answers a terminal internal error. The vocabulary is shared
+  // with MatchService because the transitions mean the same thing at
+  // both layers (one-way, observable lock-free).
+  virtual MatchService::Lifecycle lifecycle() const = 0;
+
+  // Engine-touching ops; called only while lifecycle() == kServing.
+  // Each returns one complete response line (protocol.h builders) and
+  // accounts its own kServiceErrors increment on failure.
+  virtual std::string HandleMatch(const JsonValue* id,
+                                  std::vector<Record> records) = 0;
+  virtual std::string HandleUpsert(const JsonValue* id,
+                                   std::vector<Record> records) = 0;
+
+  // `extra` carries the server's introspection sections to merge after
+  // the backend's fixed fields (docs/observability.md).
+  virtual std::string HandleStats(const JsonValue* id,
+                                  const JsonValue& extra) = 0;
+
+  // Appends the backend sections of the health document after the
+  // server's state/uptime/instance fields. Must not block on engine
+  // locks unless lifecycle() == kServing (health answers while a
+  // recovery replay holds the engine write lock).
+  virtual void FillHealth(JsonValue* health) = 0;
+
+  // Flushes and stops the backend. Called exactly once, from
+  // Server::Join().
+  virtual void Drain() = 0;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_SERVICE_DISPATCHER_H_

@@ -1,0 +1,107 @@
+#include "service/engine_dispatcher.h"
+
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "service/protocol.h"
+
+namespace mergepurge {
+
+namespace {
+
+Counter* ErrorsCounter() {
+  static Counter* const errors =
+      MetricsRegistry::Global().GetCounter(metric_names::kServiceErrors);
+  return errors;
+}
+
+}  // namespace
+
+std::string EngineDispatcher::HandleMatch(const JsonValue* id,
+                                          std::vector<Record> records) {
+  Result<MatchService::MatchOutcome> outcome =
+      service_->Match(records.front());
+  if (!outcome.ok()) {
+    ErrorsCounter()->Increment();
+    return ErrorResponseLine(
+        id, {ServiceErrorCode::kInternal, outcome.status().ToString()});
+  }
+  return MatchResponseLine(id, outcome->entity, outcome->matches,
+                           outcome->entities);
+}
+
+std::string EngineDispatcher::HandleUpsert(const JsonValue* id,
+                                           std::vector<Record> records) {
+  const size_t count = records.size();
+  Result<MatchService::UpsertOutcome> outcome =
+      service_->Upsert(std::move(records));
+  if (!outcome.ok()) {
+    ErrorsCounter()->Increment();
+    return ErrorResponseLine(
+        id, {ServiceErrorCode::kInternal, outcome.status().ToString()});
+  }
+  // Tids are contiguous from the request's base (see UpsertBatcher), so
+  // the wire carries them expanded — the coordinator binds each record's
+  // tid to a global id without any ordering assumption between
+  // concurrent upserts.
+  std::vector<TupleId> tids;
+  tids.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    tids.push_back(outcome->base_tid + static_cast<TupleId>(i));
+  }
+  return UpsertResponseLine(id, outcome->entities, outcome->new_pairs,
+                            &tids, &outcome->merges);
+}
+
+std::string EngineDispatcher::HandleStats(const JsonValue* id,
+                                          const JsonValue& extra) {
+  MatchService::Stats stats = service_->GetStats();
+  MatchService::DurabilityInfo durability = service_->GetDurability();
+  ServiceDurabilityStats wire;
+  wire.enabled = durability.enabled;
+  wire.wal_seq = durability.applied_seq;
+  wire.snapshot_seq = durability.snapshot_seq;
+  wire.recovery_batches_replayed = durability.recovery.batches_replayed;
+  wire.recovery_ms = durability.recovery.recovery_ms;
+  return StatsResponseLine(id, stats.records, stats.entities, stats.pairs,
+                           &wire, &extra);
+}
+
+void EngineDispatcher::FillHealth(JsonValue* health) {
+  const MatchService::Lifecycle lifecycle = service_->lifecycle();
+  if (lifecycle == MatchService::Lifecycle::kFailed) {
+    // Recovery already finished (that is how kFailed is reached), so
+    // this read of the init status cannot block.
+    health->Set("error", service_->init_status().ToString());
+    return;
+  }
+  if (lifecycle != MatchService::Lifecycle::kServing) {
+    // Recovering: the recovery thread may hold the engine write lock
+    // for a long replay — report the reduced document instead of
+    // blocking the admin connection behind it.
+    return;
+  }
+
+  MatchService::DurabilityInfo durability = service_->GetDurability();
+  JsonValue wal = JsonValue::Object();
+  wal.Set("enabled", durability.enabled);
+  if (durability.enabled) {
+    wal.Set("failed", durability.wal_failed);
+    if (durability.wal_failed) wal.Set("error", durability.wal_error);
+    wal.Set("applied_seq", durability.applied_seq);
+    wal.Set("snapshot_seq", durability.snapshot_seq);
+    wal.Set("open_segment_bytes", durability.wal_open_segment_bytes);
+  }
+  health->Set("wal", std::move(wal));
+  health->Set("snapshot_age_ms", durability.snapshot_age_ms);
+
+  MatchService::Stats stats = service_->GetStats();
+  JsonValue resident = JsonValue::Object();
+  resident.Set("records", stats.records);
+  resident.Set("pairs", stats.pairs);
+  resident.Set("components", stats.entities);
+  health->Set("resident", std::move(resident));
+}
+
+}  // namespace mergepurge

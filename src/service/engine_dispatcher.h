@@ -1,0 +1,41 @@
+// EngineDispatcher: the single-node RequestDispatcher — answers
+// match/upsert/stats/health straight from a resident MatchService. This
+// is the PR-4 server behaviour, factored out of Server::ProcessLine so
+// the shard coordinator can reuse the socket front end with a different
+// backend.
+
+#ifndef MERGEPURGE_SERVICE_ENGINE_DISPATCHER_H_
+#define MERGEPURGE_SERVICE_ENGINE_DISPATCHER_H_
+
+#include <string>
+#include <vector>
+
+#include "service/dispatcher.h"
+
+namespace mergepurge {
+
+class EngineDispatcher : public RequestDispatcher {
+ public:
+  // `service` must outlive the dispatcher.
+  explicit EngineDispatcher(MatchService* service) : service_(service) {}
+
+  MatchService::Lifecycle lifecycle() const override {
+    return service_->lifecycle();
+  }
+
+  std::string HandleMatch(const JsonValue* id,
+                          std::vector<Record> records) override;
+  std::string HandleUpsert(const JsonValue* id,
+                           std::vector<Record> records) override;
+  std::string HandleStats(const JsonValue* id,
+                          const JsonValue& extra) override;
+  void FillHealth(JsonValue* health) override;
+  void Drain() override { service_->Drain(); }
+
+ private:
+  MatchService* service_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_SERVICE_ENGINE_DISPATCHER_H_

@@ -271,21 +271,22 @@ Result<MatchService::UpsertOutcome> MatchService::Upsert(
         LifecycleName(lifecycle()) + ")");
   }
 
-  std::future<Result<std::vector<uint32_t>>> future =
+  std::future<Result<UpsertSlice>> future =
       batcher_->Submit(std::move(records));
-  Result<std::vector<uint32_t>> labels = future.get();
-  if (!labels.ok()) return labels.status();
+  Result<UpsertSlice> slice = future.get();
+  if (!slice.ok()) return slice.status();
 
   UpsertOutcome outcome;
-  outcome.entities = std::move(*labels);
+  outcome.entities = std::move(slice->entities);
+  outcome.base_tid = slice->base_tid;
+  outcome.merges = std::move(slice->merges);
   outcome.new_pairs =
       last_batch_new_pairs_.load(std::memory_order_relaxed);
   upsert_us->Record(static_cast<double>(timer.ElapsedMicros()));
   return outcome;
 }
 
-Result<std::vector<uint32_t>> MatchService::CommitBatch(
-    std::vector<Record> records) {
+Result<BatchCommit> MatchService::CommitBatch(std::vector<Record> records) {
   // Stage attribution (metric_names.h): the WAL records its own
   // wal_append/wal_fsync split; apply and label_rebuild are timed here.
   // Every stage gets exactly one sample per committed batch — with
@@ -328,7 +329,7 @@ Result<std::vector<uint32_t>> MatchService::CommitBatch(
     stage_wal_fsync_us->Record(0.0);
   }
 
-  std::vector<uint32_t> new_labels;
+  BatchCommit result;
   {
     writer_waiting_.fetch_add(1, std::memory_order_acq_rel);
     WriterLock lock(engine_mu_);
@@ -342,6 +343,13 @@ Result<std::vector<uint32_t>> MatchService::CommitBatch(
 
     TheoryLease theory(this);
     const size_t first_new = engine_.size();
+    // Snapshot the pre-batch labels of the resident records: diffing
+    // them against the rebuilt cache below yields the batch's closure
+    // delta (which pre-existing components this batch united). The copy
+    // is O(n) like the rebuild itself, so it does not change the
+    // commit's complexity.
+    std::vector<uint32_t> old_labels;
+    if (first_new > 0) old_labels = engine_.CachedComponentLabels();
     Timer stage_timer;
     Result<uint64_t> added = engine_.AddBatch(batch, *theory);
     stage_apply_us->Record(static_cast<double>(stage_timer.ElapsedMicros()));
@@ -354,7 +362,20 @@ Result<std::vector<uint32_t>> MatchService::CommitBatch(
     const std::vector<uint32_t>& labels = engine_.CachedComponentLabels();
     stage_label_rebuild_us->Record(
         static_cast<double>(stage_timer.ElapsedMicros()));
-    new_labels.assign(labels.begin() + first_new, labels.end());
+    result.base_tid = static_cast<TupleId>(first_new);
+    result.labels.assign(labels.begin() + first_new, labels.end());
+    // Closure delta: a resident record whose label changed was absorbed
+    // into another component (labels are smallest-tuple-id, so they only
+    // ever decrease). Dedup'd per (survivor, absorbed) pair.
+    for (size_t i = 0; i < old_labels.size(); ++i) {
+      if (labels[i] != old_labels[i]) {
+        result.merges.emplace_back(labels[i], old_labels[i]);
+      }
+    }
+    std::sort(result.merges.begin(), result.merges.end());
+    result.merges.erase(
+        std::unique(result.merges.begin(), result.merges.end()),
+        result.merges.end());
     // Resident sizes, refreshed while exclusive so the gauges always
     // describe a committed state (readers of the gauges take no lock).
     records_resident->Set(static_cast<double>(engine_.size()));
@@ -364,7 +385,7 @@ Result<std::vector<uint32_t>> MatchService::CommitBatch(
   // Outside engine_mu_: the snapshotter lock is a leaf, never nested
   // inside the engine lock (docs/concurrency.md).
   if (snapshotter_ != nullptr) snapshotter_->NotifyBatch();
-  return new_labels;
+  return result;
 }
 
 MatchService::Stats MatchService::GetStats() const {

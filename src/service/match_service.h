@@ -119,6 +119,13 @@ class MatchService {
     // this request (batch-level, not per-request: coalescing makes a
     // per-request attribution ill-defined).
     uint64_t new_pairs = 0;
+    // Tuple id of this request's first record; the request's records
+    // land contiguously, so record i has tid `base_tid + i`.
+    TupleId base_tid = 0;
+    // {survivor, absorbed} component-label unions caused by the
+    // containing batch (whole-batch delta; idempotent to replay). A
+    // sharding coordinator folds these into its global closure.
+    std::vector<std::pair<uint32_t, uint32_t>> merges;
   };
 
   // Admits records via the batcher; blocks until their batch commits
@@ -220,7 +227,7 @@ class MatchService {
   // on, the batch is WAL-committed BEFORE the engine lock is taken —
   // write-ahead ordering, and the (possibly fsyncing) append never
   // blocks readers.
-  Result<std::vector<uint32_t>> CommitBatch(std::vector<Record> records);
+  Result<BatchCommit> CommitBatch(std::vector<Record> records);
 
   // Startup recovery: snapshot restore + WAL tail replay, then opens
   // the WAL for appends and starts the snapshotter. Runs on the

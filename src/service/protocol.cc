@@ -217,9 +217,10 @@ std::string MatchResponseLine(const JsonValue* id,
   return FinishLine(out);
 }
 
-std::string UpsertResponseLine(const JsonValue* id,
-                               const std::vector<uint32_t>& entities,
-                               uint64_t new_pairs) {
+std::string UpsertResponseLine(
+    const JsonValue* id, const std::vector<uint32_t>& entities,
+    uint64_t new_pairs, const std::vector<TupleId>* tids,
+    const std::vector<std::pair<uint32_t, uint32_t>>* merges) {
   JsonValue out = ResponseBase(id, true);
   JsonValue entity_array = JsonValue::Array();
   for (uint32_t e : entities) {
@@ -227,6 +228,23 @@ std::string UpsertResponseLine(const JsonValue* id,
   }
   out.Set("entities", std::move(entity_array));
   out.Set("new_pairs", JsonValue(new_pairs));
+  if (tids != nullptr) {
+    JsonValue tid_array = JsonValue::Array();
+    for (TupleId t : *tids) {
+      tid_array.Append(JsonValue(static_cast<uint64_t>(t)));
+    }
+    out.Set("tids", std::move(tid_array));
+  }
+  if (merges != nullptr) {
+    JsonValue merge_array = JsonValue::Array();
+    for (const auto& [survivor, absorbed] : *merges) {
+      JsonValue pair = JsonValue::Array();
+      pair.Append(JsonValue(static_cast<uint64_t>(survivor)));
+      pair.Append(JsonValue(static_cast<uint64_t>(absorbed)));
+      merge_array.Append(std::move(pair));
+    }
+    out.Set("merges", std::move(merge_array));
+  }
   return FinishLine(out);
 }
 

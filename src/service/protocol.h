@@ -99,9 +99,17 @@ std::string MatchResponseLine(const JsonValue* id,
                               const std::vector<TupleId>& matches,
                               const std::vector<uint32_t>& entities);
 
-std::string UpsertResponseLine(const JsonValue* id,
-                               const std::vector<uint32_t>& entities,
-                               uint64_t new_pairs);
+// `tids`, when non-null, adds a "tids" array: the engine tuple id
+// assigned to each submitted record, positionally aligned with
+// "entities". `merges`, when non-null, adds a "merges" array of
+// [survivor, absorbed] component-label pairs that this batch united —
+// the incremental closure delta a sharding coordinator needs to keep a
+// global union-find in sync without polling full label dumps. Both are
+// response-side additions: clients that don't know them ignore them.
+std::string UpsertResponseLine(
+    const JsonValue* id, const std::vector<uint32_t>& entities,
+    uint64_t new_pairs, const std::vector<TupleId>* tids = nullptr,
+    const std::vector<std::pair<uint32_t, uint32_t>>* merges = nullptr);
 
 std::string PingResponseLine(const JsonValue* id);
 

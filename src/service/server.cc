@@ -13,6 +13,7 @@
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "service/engine_dispatcher.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -88,7 +89,16 @@ std::string NotServingResponse(const JsonValue* id,
 
 Server::Server(ServerOptions options, MatchService* service)
     : options_(std::move(options)),
-      service_(service),
+      owned_dispatcher_(std::make_unique<EngineDispatcher>(service)),
+      dispatcher_(owned_dispatcher_.get()),
+      schema_(employee::MakeSchema()) {
+  if (options_.num_workers == 0) options_.num_workers = 1;
+  if (options_.max_connections == 0) options_.max_connections = 1;
+}
+
+Server::Server(ServerOptions options, RequestDispatcher* dispatcher)
+    : options_(std::move(options)),
+      dispatcher_(dispatcher),
       schema_(employee::MakeSchema()) {
   if (options_.num_workers == 0) options_.num_workers = 1;
   if (options_.max_connections == 0) options_.max_connections = 1;
@@ -176,7 +186,7 @@ void Server::Join() {
     CloseQuietly(listen_fd_);
     listen_fd_ = -1;
   }
-  service_->Drain();
+  dispatcher_->Drain();
   MERGEPURGE_LOG(kInfo) << "drained: " << connections_accepted_.load()
            << " connections served";
 }
@@ -286,7 +296,7 @@ std::string Server::ProcessLine(const std::string& line) {
   }
   const JsonValue* id =
       request.id.has_value() ? &request.id.value() : nullptr;
-  const MatchService::Lifecycle lifecycle = service_->lifecycle();
+  const MatchService::Lifecycle lifecycle = dispatcher_->lifecycle();
   const bool sampled = SampleTrace();
 
   std::string response;
@@ -324,17 +334,8 @@ std::string Server::ProcessLine(const std::string& line) {
       }
       std::optional<Span> span;
       if (sampled) span.emplace("service-stats");
-      MatchService::Stats stats = service_->GetStats();
-      MatchService::DurabilityInfo durability = service_->GetDurability();
-      ServiceDurabilityStats wire;
-      wire.enabled = durability.enabled;
-      wire.wal_seq = durability.applied_seq;
-      wire.snapshot_seq = durability.snapshot_seq;
-      wire.recovery_batches_replayed = durability.recovery.batches_replayed;
-      wire.recovery_ms = durability.recovery.recovery_ms;
       JsonValue extra = BuildStatsExtra();
-      response = StatsResponseLine(id, stats.records, stats.entities,
-                                   stats.pairs, &wire, &extra);
+      response = dispatcher_->HandleStats(id, extra);
       break;
     }
     case ServiceRequest::Op::kMatch: {
@@ -345,17 +346,7 @@ std::string Server::ProcessLine(const std::string& line) {
       }
       std::optional<Span> span;
       if (sampled) span.emplace("service-match");
-      Result<MatchService::MatchOutcome> outcome =
-          service_->Match(request.records.front());
-      if (!outcome.ok()) {
-        errors->Increment();
-        response = ErrorResponseLine(
-            id, {ServiceErrorCode::kInternal,
-                 outcome.status().ToString()});
-      } else {
-        response = MatchResponseLine(id, outcome->entity,
-                                     outcome->matches, outcome->entities);
-      }
+      response = dispatcher_->HandleMatch(id, std::move(request.records));
       break;
     }
     case ServiceRequest::Op::kUpsert: {
@@ -377,17 +368,7 @@ std::string Server::ProcessLine(const std::string& line) {
         span->AddArg("records",
                      static_cast<uint64_t>(request.records.size()));
       }
-      Result<MatchService::UpsertOutcome> outcome =
-          service_->Upsert(std::move(request.records));
-      if (!outcome.ok()) {
-        errors->Increment();
-        response = ErrorResponseLine(
-            id, {ServiceErrorCode::kInternal,
-                 outcome.status().ToString()});
-      } else {
-        response =
-            UpsertResponseLine(id, outcome->entities, outcome->new_pairs);
-      }
+      response = dispatcher_->HandleUpsert(id, std::move(request.records));
       break;
     }
   }
@@ -401,7 +382,7 @@ std::string Server::ProcessLine(const std::string& line) {
 }
 
 const char* Server::StateName() const {
-  switch (service_->lifecycle()) {
+  switch (dispatcher_->lifecycle()) {
     case MatchService::Lifecycle::kRecovering:
       return "recovering";
     case MatchService::Lifecycle::kFailed:
@@ -448,6 +429,9 @@ JsonValue Server::BuildStatsExtra() {
   JsonValue extra = JsonValue::Object();
   extra.Set("state", StateName());
   extra.Set("uptime_seconds", now_seconds);
+  if (!options_.instance_label.empty()) {
+    extra.Set("instance", options_.instance_label);
+  }
 
   JsonValue counters = JsonValue::Object();
   for (const auto& [name, value] : snapshot.counters) {
@@ -490,41 +474,16 @@ JsonValue Server::BuildStatsExtra() {
 
 JsonValue Server::BuildHealthDoc() {
   JsonValue health = JsonValue::Object();
-  const MatchService::Lifecycle lifecycle = service_->lifecycle();
   health.Set("state", StateName());
   health.Set("uptime_seconds", uptime_timer_.ElapsedSeconds());
-  if (lifecycle == MatchService::Lifecycle::kFailed) {
-    // Recovery already finished (that is how kFailed is reached), so
-    // this read of the init status cannot block.
-    health.Set("error", service_->init_status().ToString());
-    return health;
+  if (!options_.instance_label.empty()) {
+    health.Set("instance", options_.instance_label);
   }
-  if (lifecycle != MatchService::Lifecycle::kServing) {
-    // Recovering: the recovery thread may hold the engine write lock
-    // for a long replay — report the reduced document instead of
-    // blocking the admin connection behind it.
-    return health;
-  }
-
-  MatchService::DurabilityInfo durability = service_->GetDurability();
-  JsonValue wal = JsonValue::Object();
-  wal.Set("enabled", durability.enabled);
-  if (durability.enabled) {
-    wal.Set("failed", durability.wal_failed);
-    if (durability.wal_failed) wal.Set("error", durability.wal_error);
-    wal.Set("applied_seq", durability.applied_seq);
-    wal.Set("snapshot_seq", durability.snapshot_seq);
-    wal.Set("open_segment_bytes", durability.wal_open_segment_bytes);
-  }
-  health.Set("wal", std::move(wal));
-  health.Set("snapshot_age_ms", durability.snapshot_age_ms);
-
-  MatchService::Stats stats = service_->GetStats();
-  JsonValue resident = JsonValue::Object();
-  resident.Set("records", stats.records);
-  resident.Set("pairs", stats.pairs);
-  resident.Set("components", stats.entities);
-  health.Set("resident", std::move(resident));
+  // Backend-specific sections (WAL/snapshot/resident for the engine
+  // dispatcher, shard fan-out for the coordinator); the dispatcher
+  // respects its own lifecycle so this never blocks behind a recovery
+  // replay.
+  dispatcher_->FillHealth(&health);
   return health;
 }
 

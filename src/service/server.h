@@ -37,6 +37,7 @@
 #include "obs/json.h"
 #include "obs/window.h"
 #include "record/schema.h"
+#include "service/dispatcher.h"
 #include "service/match_service.h"
 #include "service/protocol.h"
 #include "util/status.h"
@@ -72,12 +73,22 @@ struct ServerOptions {
   // microseconds (rate-limited to one line per second so a pathological
   // burst cannot flood the log). 0 disables slow-request logging.
   int slow_request_us = 0;
+
+  // When non-empty, stamped as "instance" into every stats and health
+  // response (and surfaced in the run report by the binaries), so
+  // multi-shard output is attributable per process.
+  std::string instance_label;
 };
 
 class Server {
  public:
-  // `service` must outlive the server.
+  // Convenience: single-node service — wraps `service` (which must
+  // outlive the server) in an owned EngineDispatcher.
   Server(ServerOptions options, MatchService* service);
+
+  // General form: any backend behind the RequestDispatcher seam (the
+  // shard coordinator uses this). `dispatcher` must outlive the server.
+  Server(ServerOptions options, RequestDispatcher* dispatcher);
 
   // Drains and joins if still running.
   ~Server();
@@ -143,7 +154,9 @@ class Server {
   JsonValue BuildHealthDoc();
 
   ServerOptions options_;
-  MatchService* service_;
+  // Owned only by the convenience (MatchService) constructor.
+  std::unique_ptr<RequestDispatcher> owned_dispatcher_;
+  RequestDispatcher* dispatcher_;
   Schema schema_;
 
   int listen_fd_ = -1;

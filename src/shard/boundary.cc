@@ -1,0 +1,50 @@
+#include "shard/boundary.h"
+
+namespace mergepurge {
+
+BoundaryBand::BoundaryBand(size_t num_shards, size_t band_width)
+    : num_shards_(num_shards),
+      band_width_(band_width),
+      upper_(num_shards),
+      lower_(num_shards) {}
+
+bool BoundaryBand::Admit(std::multiset<std::string>* band,
+                         std::string_view key, bool upper) {
+  bool in_band = true;
+  if (band->size() >= band_width_) {
+    if (upper) {
+      // Tracked: the band_width_ largest so far; least extreme = min.
+      // Ties count as in-band (equal keys are adjacent in sort order).
+      in_band = key >= *band->begin();
+    } else {
+      in_band = key <= *band->rbegin();
+    }
+  }
+  if (in_band) {
+    band->emplace(key);
+    if (band->size() > band_width_) {
+      band->erase(upper ? band->begin() : std::prev(band->end()));
+    }
+  }
+  return in_band;
+}
+
+void BoundaryBand::Replicas(size_t owner, std::string_view key,
+                            std::vector<size_t>* out) {
+  if (band_width_ == 0) return;
+  if (owner + 1 < num_shards_ && Admit(&upper_[owner], key, true)) {
+    out->push_back(owner + 1);
+  }
+  if (owner > 0 && Admit(&lower_[owner], key, false)) {
+    out->push_back(owner - 1);
+  }
+}
+
+uint64_t BoundaryBand::tracked() const {
+  uint64_t total = 0;
+  for (const auto& band : upper_) total += band.size();
+  for (const auto& band : lower_) total += band.size();
+  return total;
+}
+
+}  // namespace mergepurge

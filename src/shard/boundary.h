@@ -1,0 +1,68 @@
+// BoundaryBand: the paper's §4 fragmentation rule, applied dynamically
+// to a long-lived service. When the key space is split at a cut between
+// shard i and shard i+1, a window of size w can pair a record among the
+// w-1 largest keys of shard i with one among the w-1 smallest keys of
+// shard i+1. Batch fragmentation replicates that band once, after
+// sorting; a service admits records forever, so the band must be
+// maintained ONLINE.
+//
+// Per cut and per side we track the w-1 most extreme keys admitted so
+// far. A new record is in-band — and is replicated to the neighbor —
+// iff fewer than w-1 keys are tracked or its key ties/beats the least
+// extreme tracked key. This test is conservative and monotone: the set
+// of keys beating a record only grows over time, so any record that
+// ends among the w-1 most extreme in the FINAL sorted order was in-band
+// at its own arrival and was replicated then. (The converse does not
+// hold: early records are replicated and later pushed out of the band —
+// harmless, replicas can only add records to a neighbor's engine, and
+// duplicate matches collapse in the global closure.)
+//
+// Not thread-safe: in-band-ness depends on admission order, so the
+// coordinator serializes calls under its routing mutex.
+
+#ifndef MERGEPURGE_SHARD_BOUNDARY_H_
+#define MERGEPURGE_SHARD_BOUNDARY_H_
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mergepurge {
+
+class BoundaryBand {
+ public:
+  // `band_width` is w-1 for window size w. A width of 0 disables
+  // replication (only valid when windows never cross cuts).
+  BoundaryBand(size_t num_shards, size_t band_width);
+
+  // Records that a key owned by `owner` was admitted; appends to `out`
+  // every neighbor shard that must receive a replica (at most two:
+  // owner-1 when the key sits in the owner's lower band, owner+1 for
+  // the upper band). Updates the tracked extremes as a side effect.
+  void Replicas(size_t owner, std::string_view key,
+                std::vector<size_t>* out);
+
+  // Total keys currently tracked across all cuts (diagnostics).
+  uint64_t tracked() const;
+
+ private:
+  // Admits `key` into a bounded extreme-set. Returns true when the key
+  // is in-band. `greater` picks the max-tracking (upper band) or
+  // min-tracking (lower band) direction.
+  bool Admit(std::multiset<std::string>* band, std::string_view key,
+             bool upper);
+
+  size_t num_shards_;
+  size_t band_width_;
+  // upper_[i]: the band_width_ largest keys admitted to shard i
+  // (candidates for pairing across the cut to shard i+1). lower_[i]:
+  // the band_width_ smallest keys admitted to shard i (cut to i-1).
+  std::vector<std::multiset<std::string>> upper_;
+  std::vector<std::multiset<std::string>> lower_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_SHARD_BOUNDARY_H_

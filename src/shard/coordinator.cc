@@ -1,0 +1,550 @@
+#include "shard/coordinator.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "service/protocol.h"
+#include "util/timer.h"
+
+namespace mergepurge {
+
+namespace {
+
+Counter* ErrorsCounter() {
+  static Counter* const errors =
+      MetricsRegistry::Global().GetCounter(metric_names::kServiceErrors);
+  return errors;
+}
+
+Counter* RouteCounter() {
+  static Counter* const routes = MetricsRegistry::Global().GetCounter(
+      metric_names::kCoordRouteRecords);
+  return routes;
+}
+
+Counter* ReplicaCounter() {
+  static Counter* const replicas = MetricsRegistry::Global().GetCounter(
+      metric_names::kCoordReplicaRecords);
+  return replicas;
+}
+
+Counter* ShardRetryCounter() {
+  static Counter* const retries = MetricsRegistry::Global().GetCounter(
+      metric_names::kCoordShardRetries);
+  return retries;
+}
+
+// A shard answered, but with {"ok":false,...}: surface its typed error.
+Status ShardRefusal(size_t shard, const JsonValue& response) {
+  std::string message = "shard " + std::to_string(shard) + " refused";
+  const JsonValue* error = response.Find("error");
+  if (error != nullptr && error->is_object()) {
+    const JsonValue* code = error->Find("code");
+    const JsonValue* detail = error->Find("message");
+    if (code != nullptr && code->is_string()) {
+      message += " (" + code->string_value() + ")";
+    }
+    if (detail != nullptr && detail->is_string()) {
+      message += ": " + detail->string_value();
+    }
+  }
+  return Status::Internal(std::move(message));
+}
+
+Status CheckShardOk(size_t shard, const Result<JsonValue>& response) {
+  if (!response.ok()) {
+    return Status::Internal("shard " + std::to_string(shard) + ": " +
+                            response.status().ToString());
+  }
+  const JsonValue* ok = response->Find("ok");
+  if (ok == nullptr || ok->kind() != JsonValue::Kind::kBool ||
+      !ok->bool_value()) {
+    return ShardRefusal(shard, *response);
+  }
+  return Status::OK();
+}
+
+bool ReadUintArray(const JsonValue& response, const char* key,
+                   std::vector<uint32_t>* out) {
+  const JsonValue* array = response.Find(key);
+  if (array == nullptr || !array->is_array()) return false;
+  out->clear();
+  out->reserve(array->size());
+  for (const JsonValue& element : array->elements()) {
+    if (!element.is_number()) return false;
+    out->push_back(static_cast<uint32_t>(element.int_value()));
+  }
+  return true;
+}
+
+bool ReadMerges(const JsonValue& response,
+                std::vector<std::pair<uint32_t, uint32_t>>* out) {
+  const JsonValue* array = response.Find("merges");
+  if (array == nullptr || !array->is_array()) return false;
+  out->clear();
+  out->reserve(array->size());
+  for (const JsonValue& pair : array->elements()) {
+    if (!pair.is_array() || pair.size() != 2 || !pair.at(0).is_number() ||
+        !pair.at(1).is_number()) {
+      return false;
+    }
+    out->emplace_back(static_cast<uint32_t>(pair.at(0).int_value()),
+                      static_cast<uint32_t>(pair.at(1).int_value()));
+  }
+  return true;
+}
+
+uint64_t ReadUint(const JsonValue& response, const char* key) {
+  const JsonValue* value = response.Find(key);
+  if (value == nullptr || !value->is_number()) return 0;
+  return static_cast<uint64_t>(value->int_value());
+}
+
+std::string SimpleOpLine(const char* op) {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("op", JsonValue(op));
+  return doc.Dump(0) + "\n";
+}
+
+}  // namespace
+
+CoordService::CoordService(CoordinatorOptions options)
+    : options_(std::move(options)), routing_rng_(options_.seed) {
+  {
+    MutexLock lock(closure_mu_);
+    spaces_.reserve(options_.shards.size());
+    for (size_t i = 0; i < options_.shards.size(); ++i) {
+      spaces_.push_back(std::make_unique<ShardLabelSpace>(&closure_));
+    }
+  }
+  MutexLock lock(pool_mu_);
+  pools_.resize(options_.shards.size());
+}
+
+CoordService::~CoordService() { Drain(); }
+
+Status CoordService::SeedRouter(const std::vector<Record>& sample) {
+  MutexLock lock(routing_mu_);
+  if (router_ != nullptr) {
+    return Status::InvalidArgument("router already built");
+  }
+  return BuildRouterLocked(sample);
+}
+
+Status CoordService::EnsureRouter(const std::vector<Record>& sample) {
+  MutexLock lock(routing_mu_);
+  if (router_ != nullptr) return Status::OK();
+  return BuildRouterLocked(sample);
+}
+
+Status CoordService::BuildRouterLocked(const std::vector<Record>& sample) {
+  ShardRouterOptions router_options;
+  router_options.num_shards = options_.shards.size();
+  router_options.histogram_depth = options_.histogram_depth;
+  router_options.sample_size = 0;  // Deterministic: fit on every key.
+  Result<ShardRouter> router = ShardRouter::Build(
+      options_.keys, sample, router_options, &routing_rng_);
+  if (!router.ok()) return router.status();
+  const size_t band_width = options_.window > 0 ? options_.window - 1 : 0;
+  bands_.clear();
+  bands_.reserve(options_.keys.size());
+  for (size_t k = 0; k < options_.keys.size(); ++k) {
+    bands_.emplace_back(options_.shards.size(), band_width);
+  }
+  router_ = std::make_shared<const ShardRouter>(std::move(*router));
+  return Status::OK();
+}
+
+std::unique_ptr<CoordService::PooledClient> CoordService::LeaseClient(
+    size_t shard) {
+  MutexLock lock(pool_mu_);
+  std::vector<std::unique_ptr<PooledClient>>& pool = pools_[shard];
+  if (!pool.empty()) {
+    std::unique_ptr<PooledClient> client = std::move(pool.back());
+    pool.pop_back();
+    return client;
+  }
+  // Each connection gets an independent deterministic jitter stream.
+  const uint64_t seed = options_.seed ^ (0x9e3779b97f4a7c15ull *
+                                         static_cast<uint64_t>(
+                                             ++clients_created_));
+  return std::make_unique<PooledClient>(seed);
+}
+
+void CoordService::ReturnClient(size_t shard,
+                                std::unique_ptr<PooledClient> client) {
+  MutexLock lock(pool_mu_);
+  if (pools_.empty()) return;  // Drained: drop the connection.
+  pools_[shard].push_back(std::move(client));
+}
+
+void CoordService::RunCall(ShardCall* call) {
+  std::unique_ptr<PooledClient> leased = LeaseClient(call->shard);
+  const ShardAddress& address = options_.shards[call->shard];
+  call->response = CallWithRetry(
+      &leased->client, address.host, address.port, call->line, &leased->rng,
+      options_.retry, [] { ShardRetryCounter()->Increment(); });
+  ReturnClient(call->shard, std::move(leased));
+}
+
+void CoordService::FanOut(std::vector<ShardCall>* calls) {
+  if (calls->empty()) return;
+  if (calls->size() == 1) {
+    RunCall(&calls->front());
+    return;
+  }
+  // Joined per-call threads: fan-out width is the shard count (small),
+  // and the caller is already one of many server workers, so a pool
+  // would only add queueing between requests.
+  std::vector<std::thread> threads;
+  threads.reserve(calls->size() - 1);
+  for (size_t i = 1; i < calls->size(); ++i) {
+    threads.emplace_back([this, call = &(*calls)[i]] { RunCall(call); });
+  }
+  RunCall(&calls->front());
+  for (std::thread& thread : threads) thread.join();
+}
+
+std::string CoordService::HandleUpsert(const JsonValue* id,
+                                       std::vector<Record> records) {
+  Status ready = EnsureRouter(records);
+  if (!ready.ok()) {
+    ErrorsCounter()->Increment();
+    return ErrorResponseLine(
+        id, {ServiceErrorCode::kInternal,
+             "router bootstrap failed: " + ready.ToString()});
+  }
+
+  // --- Route: owners per key, plus boundary-band replicas. ---
+  const size_t count = records.size();
+  std::vector<std::vector<size_t>> members(options_.shards.size());
+  uint64_t replica_memberships = 0;
+  {
+    MutexLock lock(routing_mu_);
+    const ShardRouter& router = *router_;
+    std::vector<size_t> owners;
+    std::vector<size_t> destinations;
+    for (size_t i = 0; i < count; ++i) {
+      owners.clear();
+      destinations.clear();
+      for (size_t k = 0; k < router.num_keys(); ++k) {
+        const std::string key = router.KeyOf(k, records[i]);
+        const size_t owner = router.OwnerOfKey(k, key);
+        owners.push_back(owner);
+        destinations.push_back(owner);
+        bands_[k].Replicas(owner, key, &destinations);
+      }
+      std::sort(owners.begin(), owners.end());
+      owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+      std::sort(destinations.begin(), destinations.end());
+      destinations.erase(
+          std::unique(destinations.begin(), destinations.end()),
+          destinations.end());
+      // Band replicas = destinations beyond the dedup'd owner set.
+      replica_memberships += destinations.size() - owners.size();
+      for (const size_t shard : destinations) {
+        members[shard].push_back(i);
+      }
+    }
+  }
+  RouteCounter()->Add(count);
+  if (replica_memberships > 0) ReplicaCounter()->Add(replica_memberships);
+
+  // --- Admit: one global id per record, before any shard sees it. ---
+  std::vector<uint32_t> gids(count);
+  {
+    MutexLock lock(closure_mu_);
+    for (size_t i = 0; i < count; ++i) gids[i] = closure_.NewId();
+  }
+
+  // --- Fan out one upsert per shard holding records. ---
+  std::vector<ShardCall> calls;
+  for (size_t shard = 0; shard < members.size(); ++shard) {
+    if (members[shard].empty()) continue;
+    JsonValue shard_records = JsonValue::Array();
+    for (const size_t i : members[shard]) {
+      shard_records.Append(RecordToJson(options_.schema, records[i]));
+    }
+    JsonValue doc = JsonValue::Object();
+    doc.Set("op", JsonValue("upsert"));
+    doc.Set("records", std::move(shard_records));
+    ShardCall call;
+    call.shard = shard;
+    call.line = doc.Dump(0) + "\n";
+    calls.push_back(std::move(call));
+  }
+
+  Timer fanout_timer;
+  FanOut(&calls);
+  static LatencyHistogram* const fanout_hist =
+      MetricsRegistry::Global().GetHistogram(
+          metric_names::kCoordFanoutUs);
+  fanout_hist->Record(static_cast<double>(fanout_timer.ElapsedMicros()));
+
+  // --- Fold shard responses into the global closure. ---
+  Status failure = Status::OK();
+  uint64_t new_pairs = 0;
+  std::vector<uint32_t> out_entities(count, 0);
+  Timer merge_timer;
+  {
+    MutexLock lock(closure_mu_);
+    std::vector<uint32_t> entities;
+    std::vector<uint32_t> tids;
+    std::vector<std::pair<uint32_t, uint32_t>> merges;
+    for (const ShardCall& call : calls) {
+      Status ok = CheckShardOk(call.shard, call.response);
+      if (!ok.ok()) {
+        // Keep folding the shards that DID commit — their records are
+        // resident, so the closure must reflect them; the request as a
+        // whole still fails upward and the client resends (idempotent).
+        if (failure.ok()) failure = ok;
+        continue;
+      }
+      const JsonValue& response = *call.response;
+      const std::vector<size_t>& indices = members[call.shard];
+      if (!ReadUintArray(response, "entities", &entities) ||
+          !ReadUintArray(response, "tids", &tids) ||
+          !ReadMerges(response, &merges) ||
+          entities.size() != indices.size() ||
+          tids.size() != indices.size()) {
+        if (failure.ok()) {
+          failure = Status::Internal(
+              "shard " + std::to_string(call.shard) +
+              ": malformed upsert response (tids/entities/merges)");
+        }
+        continue;
+      }
+      ShardLabelSpace& space = *spaces_[call.shard];
+      // Whole-batch merge delta first (may involve riders of a
+      // coalesced batch we never sent; unions are idempotent).
+      for (const auto& [survivor, absorbed] : merges) {
+        space.UnionTids(survivor, absorbed);
+      }
+      for (size_t j = 0; j < indices.size(); ++j) {
+        space.Bind(tids[j], gids[indices[j]]);
+        space.UnionTids(tids[j], entities[j]);
+      }
+      // Batch-level figure (includes coalesced riders), summed across
+      // shards — a throughput diagnostic, not an exact per-request one.
+      new_pairs += ReadUint(response, "new_pairs");
+    }
+    for (size_t i = 0; i < count; ++i) {
+      out_entities[i] = closure_.Find(gids[i]);
+    }
+    static Gauge* const records_gauge =
+        MetricsRegistry::Global().GetGauge(metric_names::kCoordGlobalRecords);
+    static Gauge* const entities_gauge =
+        MetricsRegistry::Global().GetGauge(
+            metric_names::kCoordGlobalEntities);
+    records_gauge->Set(static_cast<double>(closure_.num_ids()));
+    entities_gauge->Set(static_cast<double>(closure_.num_entities()));
+  }
+  static LatencyHistogram* const merge_hist =
+      MetricsRegistry::Global().GetHistogram(
+          metric_names::kCoordClosureMergeUs);
+  merge_hist->Record(static_cast<double>(merge_timer.ElapsedMicros()));
+
+  if (!failure.ok()) {
+    ErrorsCounter()->Increment();
+    return ErrorResponseLine(
+        id, {ServiceErrorCode::kInternal, failure.ToString()});
+  }
+  return UpsertResponseLine(id, out_entities, new_pairs);
+}
+
+std::string CoordService::HandleMatch(const JsonValue* id,
+                                      std::vector<Record> records) {
+  std::shared_ptr<const ShardRouter> router;
+  {
+    MutexLock lock(routing_mu_);
+    router = router_;
+  }
+  if (router == nullptr) {
+    // Nothing has ever been admitted, so nothing can match.
+    return MatchResponseLine(id, std::nullopt, {}, {});
+  }
+
+  // Owners only — boundary records are replicated INTO owner shards, so
+  // a probe's window neighbors all live where the probe routes. No band
+  // update: matches are read-only.
+  const std::vector<size_t> destinations =
+      router->DestinationsOf(records.front());
+  JsonValue doc = JsonValue::Object();
+  doc.Set("op", JsonValue("match"));
+  doc.Set("record", RecordToJson(options_.schema, records.front()));
+  const std::string line = doc.Dump(0) + "\n";
+
+  std::vector<ShardCall> calls;
+  calls.reserve(destinations.size());
+  for (const size_t shard : destinations) {
+    ShardCall call;
+    call.shard = shard;
+    call.line = line;
+    calls.push_back(std::move(call));
+  }
+  FanOut(&calls);
+
+  Status failure = Status::OK();
+  std::vector<uint32_t> global_entities;
+  {
+    MutexLock lock(closure_mu_);
+    std::vector<uint32_t> labels;
+    for (const ShardCall& call : calls) {
+      Status ok = CheckShardOk(call.shard, call.response);
+      if (!ok.ok()) {
+        if (failure.ok()) failure = ok;
+        continue;
+      }
+      if (!ReadUintArray(*call.response, "entities", &labels)) continue;
+      for (const uint32_t label : labels) {
+        // Unbound labels are shard-resident state this coordinator never
+        // admitted (e.g. a durable shard's previous run); they have no
+        // global identity to report.
+        std::optional<uint32_t> gid = spaces_[call.shard]->Lookup(label);
+        if (gid.has_value()) global_entities.push_back(*gid);
+      }
+    }
+  }
+  if (!failure.ok()) {
+    ErrorsCounter()->Increment();
+    return ErrorResponseLine(
+        id, {ServiceErrorCode::kInternal, failure.ToString()});
+  }
+  std::sort(global_entities.begin(), global_entities.end());
+  global_entities.erase(
+      std::unique(global_entities.begin(), global_entities.end()),
+      global_entities.end());
+  std::optional<uint32_t> entity;
+  if (!global_entities.empty()) entity = global_entities.front();
+  // "matches" carries the same global ids: shard tuple ids would be
+  // meaningless upward, and the global id IS the entity handle here.
+  std::vector<TupleId> matches(global_entities.begin(),
+                               global_entities.end());
+  return MatchResponseLine(id, entity, matches, global_entities);
+}
+
+std::string CoordService::HandleStats(const JsonValue* id,
+                                      const JsonValue& extra) {
+  std::vector<ShardCall> calls;
+  calls.reserve(options_.shards.size());
+  const std::string line = SimpleOpLine("stats");
+  for (size_t shard = 0; shard < options_.shards.size(); ++shard) {
+    ShardCall call;
+    call.shard = shard;
+    call.line = line;
+    calls.push_back(std::move(call));
+  }
+  FanOut(&calls);
+
+  uint64_t pairs = 0;
+  JsonValue shards = JsonValue::Array();
+  for (const ShardCall& call : calls) {
+    const ShardAddress& address = options_.shards[call.shard];
+    JsonValue entry = JsonValue::Object();
+    entry.Set("shard", JsonValue(static_cast<uint64_t>(call.shard)));
+    entry.Set("host", JsonValue(address.host));
+    entry.Set("port", JsonValue(static_cast<uint64_t>(address.port)));
+    Status ok = CheckShardOk(call.shard, call.response);
+    if (!ok.ok()) {
+      entry.Set("error", JsonValue(ok.ToString()));
+      shards.Append(std::move(entry));
+      continue;
+    }
+    pairs += ReadUint(*call.response, "pairs");
+    for (const auto& [key, value] : call.response->members()) {
+      if (key == "id") continue;
+      entry.Set(key, value);
+    }
+    shards.Append(std::move(entry));
+  }
+
+  ClosureStats closure = GetClosureStats();
+  JsonValue merged = JsonValue::Object();
+  for (const auto& [key, value] : extra.members()) {
+    merged.Set(key, value);
+  }
+  merged.Set("shards", std::move(shards));
+  // Top-level records/entities are the GLOBAL view: per-shard sums
+  // overcount boundary replicas, the closure does not.
+  return StatsResponseLine(id, closure.records, closure.entities, pairs,
+                           nullptr, &merged);
+}
+
+void CoordService::FillHealth(JsonValue* health) {
+  {
+    MutexLock lock(routing_mu_);
+    health->Set("router_ready", JsonValue(router_ != nullptr));
+    uint64_t tracked = 0;
+    for (const BoundaryBand& band : bands_) tracked += band.tracked();
+    health->Set("band_tracked", JsonValue(tracked));
+  }
+  ClosureStats closure = GetClosureStats();
+  JsonValue closure_json = JsonValue::Object();
+  closure_json.Set("records", JsonValue(closure.records));
+  closure_json.Set("entities", JsonValue(closure.entities));
+  health->Set("closure", std::move(closure_json));
+
+  // One attempt per shard, no backoff: health must answer promptly even
+  // with a shard down.
+  RetryOptions single;
+  single.max_attempts = 1;
+  std::vector<ShardCall> calls;
+  calls.reserve(options_.shards.size());
+  const std::string line = SimpleOpLine("health");
+  JsonValue shards = JsonValue::Array();
+  for (size_t shard = 0; shard < options_.shards.size(); ++shard) {
+    std::unique_ptr<PooledClient> leased = LeaseClient(shard);
+    const ShardAddress& address = options_.shards[shard];
+    Result<JsonValue> response =
+        CallWithRetry(&leased->client, address.host, address.port, line,
+                      &leased->rng, single);
+    ReturnClient(shard, std::move(leased));
+
+    JsonValue entry = JsonValue::Object();
+    entry.Set("shard", JsonValue(static_cast<uint64_t>(shard)));
+    entry.Set("host", JsonValue(address.host));
+    entry.Set("port", JsonValue(static_cast<uint64_t>(address.port)));
+    if (!response.ok()) {
+      entry.Set("reachable", JsonValue(false));
+      entry.Set("error", JsonValue(response.status().ToString()));
+    } else {
+      entry.Set("reachable", JsonValue(true));
+      const JsonValue* state = response->Find("state");
+      if (state != nullptr) entry.Set("state", *state);
+      const JsonValue* instance = response->Find("instance");
+      if (instance != nullptr) entry.Set("instance", *instance);
+    }
+    shards.Append(std::move(entry));
+  }
+  health->Set("shards", std::move(shards));
+}
+
+void CoordService::Drain() {
+  // Nothing is buffered coordinator-side (every upsert is acknowledged
+  // only after its shards committed); just release the connections.
+  MutexLock lock(pool_mu_);
+  pools_.clear();
+}
+
+std::vector<uint32_t> CoordService::GlobalLabels() {
+  MutexLock lock(closure_mu_);
+  const uint64_t count = closure_.num_ids();
+  std::vector<uint32_t> labels(count);
+  for (uint64_t gid = 0; gid < count; ++gid) {
+    labels[gid] = closure_.Find(static_cast<uint32_t>(gid));
+  }
+  return labels;
+}
+
+CoordService::ClosureStats CoordService::GetClosureStats() const {
+  MutexLock lock(closure_mu_);
+  ClosureStats stats;
+  stats.records = closure_.num_ids();
+  stats.entities = closure_.num_entities();
+  return stats;
+}
+
+}  // namespace mergepurge

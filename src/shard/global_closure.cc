@@ -1,0 +1,87 @@
+#include "shard/global_closure.h"
+
+#include <utility>
+
+namespace mergepurge {
+
+uint32_t GlobalClosure::NewId() {
+  const uint32_t gid = static_cast<uint32_t>(parent_.size());
+  parent_.push_back(gid);
+  ++num_entities_;
+  return gid;
+}
+
+uint32_t GlobalClosure::Find(uint32_t gid) {
+  // Path halving; roots are canonical because Union keeps the smaller
+  // id as root, so Find(gid) is the smallest id in gid's entity.
+  while (parent_[gid] != gid) {
+    parent_[gid] = parent_[parent_[gid]];
+    gid = parent_[gid];
+  }
+  return gid;
+}
+
+void GlobalClosure::Union(uint32_t a, uint32_t b) {
+  a = Find(a);
+  b = Find(b);
+  if (a == b) return;
+  if (b < a) std::swap(a, b);
+  parent_[b] = a;
+  --num_entities_;
+}
+
+TupleId ShardLabelSpace::FindTid(TupleId tid) {
+  // Lazy make-set: an unseen tid is its own root.
+  auto it = parent_.find(tid);
+  if (it == parent_.end()) {
+    parent_.emplace(tid, tid);
+    return tid;
+  }
+  while (it->second != tid) {
+    // Path halving over the hash map.
+    auto grand = parent_.find(it->second);
+    it->second = grand->second;
+    tid = it->second;
+    it = parent_.find(tid);
+  }
+  return tid;
+}
+
+void ShardLabelSpace::UnionTids(TupleId a, TupleId b) {
+  TupleId ra = FindTid(a);
+  TupleId rb = FindTid(b);
+  if (ra == rb) return;
+  if (rb < ra) std::swap(ra, rb);  // Smaller tid wins, like the engine.
+  parent_[rb] = ra;
+  // Reconcile bindings: if both components were bound, their global ids
+  // are the same entity now.
+  auto bound_b = binding_.find(rb);
+  if (bound_b != binding_.end()) {
+    auto bound_a = binding_.find(ra);
+    if (bound_a != binding_.end()) {
+      closure_->Union(bound_a->second, bound_b->second);
+    } else {
+      binding_.emplace(ra, bound_b->second);
+    }
+    binding_.erase(bound_b);
+  }
+}
+
+void ShardLabelSpace::Bind(TupleId tid, uint32_t gid) {
+  const TupleId root = FindTid(tid);
+  auto bound = binding_.find(root);
+  if (bound != binding_.end()) {
+    closure_->Union(bound->second, gid);
+  } else {
+    binding_.emplace(root, gid);
+  }
+}
+
+std::optional<uint32_t> ShardLabelSpace::Lookup(TupleId tid) {
+  const TupleId root = FindTid(tid);
+  auto bound = binding_.find(root);
+  if (bound == binding_.end()) return std::nullopt;
+  return closure_->Find(bound->second);
+}
+
+}  // namespace mergepurge

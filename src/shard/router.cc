@@ -1,0 +1,55 @@
+#include "shard/router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mergepurge {
+
+Result<ShardRouter> ShardRouter::Build(std::vector<KeySpec> keys,
+                                       const std::vector<Record>& sample,
+                                       const ShardRouterOptions& options,
+                                       Rng* rng) {
+  if (keys.empty()) {
+    return Status::InvalidArgument("router needs at least one key spec");
+  }
+  if (sample.empty()) {
+    return Status::InvalidArgument("router sample must be non-empty");
+  }
+  if (options.num_shards < 1) {
+    return Status::InvalidArgument("router needs at least one shard");
+  }
+  std::vector<KeyBuilder> builders;
+  builders.reserve(keys.size());
+  for (KeySpec& spec : keys) builders.emplace_back(std::move(spec));
+
+  std::vector<KeyPartitioner> partitioners;
+  partitioners.reserve(builders.size());
+  for (const KeyBuilder& builder : builders) {
+    std::vector<std::string> sample_keys;
+    sample_keys.reserve(sample.size());
+    for (const Record& record : sample) {
+      sample_keys.push_back(builder.BuildKey(record));
+    }
+    Histogram histogram = BuildHistogram(
+        sample_keys, options.histogram_depth, options.sample_size, rng);
+    Result<KeyPartitioner> partitioner =
+        KeyPartitioner::FromHistogram(histogram, options.num_shards);
+    if (!partitioner.ok()) return partitioner.status();
+    partitioners.push_back(std::move(*partitioner));
+  }
+  return ShardRouter(std::move(builders), std::move(partitioners),
+                     options.num_shards);
+}
+
+std::vector<size_t> ShardRouter::DestinationsOf(const Record& record) const {
+  std::vector<size_t> owners;
+  owners.reserve(builders_.size());
+  for (size_t k = 0; k < builders_.size(); ++k) {
+    owners.push_back(OwnerOf(k, record));
+  }
+  std::sort(owners.begin(), owners.end());
+  owners.erase(std::unique(owners.begin(), owners.end()), owners.end());
+  return owners;
+}
+
+}  // namespace mergepurge

@@ -1,0 +1,84 @@
+// ShardRouter: key-range routing of records to shard engines, built on
+// the paper's §2.2.1 machinery — one equi-depth KeyPartitioner per
+// configured key, fit from a sample's prefix Histogram. Because the
+// bin->cluster map is monotone in the (uppercased) key prefix, shard i
+// owns a contiguous key range per key, which is what makes the w-1
+// boundary band (shard/boundary.h) sufficient for cross-shard window
+// coverage.
+//
+// Multi-key routing: a record's destinations are the dedup'd union of
+// its per-key owners. Each shard runs the FULL multi-key engine over the
+// records it holds, so every within-shard window pair the single-engine
+// run would find is found by some shard (matches are never lost;
+// replicas can only add genuine theory-matches — the superset semantics
+// docs/sharding.md spells out).
+
+#ifndef MERGEPURGE_SHARD_ROUTER_H_
+#define MERGEPURGE_SHARD_ROUTER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "cluster/partitioner.h"
+#include "keys/key_builder.h"
+#include "record/record.h"
+#include "util/status.h"
+
+namespace mergepurge {
+
+struct ShardRouterOptions {
+  size_t num_shards = 2;
+  // Leading key characters the histogram considers (clamped to [1, 4]).
+  size_t histogram_depth = 3;
+  // 0 fits on every sampled key; otherwise a uniform subsample.
+  size_t sample_size = 0;
+};
+
+class ShardRouter {
+ public:
+  // Fits one partitioner per key spec from `sample`. The sample must be
+  // non-empty; with sample_size == 0 the build is fully deterministic
+  // (`rng` is only drawn from when subsampling).
+  static Result<ShardRouter> Build(std::vector<KeySpec> keys,
+                                   const std::vector<Record>& sample,
+                                   const ShardRouterOptions& options,
+                                   Rng* rng);
+
+  size_t num_shards() const { return num_shards_; }
+  size_t num_keys() const { return builders_.size(); }
+
+  // The key string of `record` under key spec k.
+  std::string KeyOf(size_t key_index, const Record& record) const {
+    return builders_[key_index].BuildKey(record);
+  }
+
+  // Owner shard of a key string under key spec k. Monotone in the
+  // uppercased key prefix; always < num_shards().
+  size_t OwnerOfKey(size_t key_index, std::string_view key) const {
+    return partitioners_[key_index].ClusterOf(key);
+  }
+
+  size_t OwnerOf(size_t key_index, const Record& record) const {
+    return OwnerOfKey(key_index, KeyOf(key_index, record));
+  }
+
+  // Dedup'd, ascending union of per-key owners: the shards that must
+  // admit `record` (before boundary-band replication).
+  std::vector<size_t> DestinationsOf(const Record& record) const;
+
+ private:
+  ShardRouter(std::vector<KeyBuilder> builders,
+              std::vector<KeyPartitioner> partitioners, size_t num_shards)
+      : builders_(std::move(builders)),
+        partitioners_(std::move(partitioners)),
+        num_shards_(num_shards) {}
+
+  std::vector<KeyBuilder> builders_;
+  std::vector<KeyPartitioner> partitioners_;
+  size_t num_shards_;
+};
+
+}  // namespace mergepurge
+
+#endif  // MERGEPURGE_SHARD_ROUTER_H_

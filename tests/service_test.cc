@@ -380,15 +380,16 @@ TEST(BatcherTest, CoalescesConcurrentSubmissionsAndPreservesOrder) {
   Mutex mu;
   std::vector<size_t> commit_sizes;
   UpsertBatcher batcher(
-      options,
-      [&](std::vector<Record> records) -> Result<std::vector<uint32_t>> {
+      options, [&](std::vector<Record> records) -> Result<BatchCommit> {
         MutexLock lock(mu);
         commit_sizes.push_back(records.size());
         // Label each record with its global commit position.
         static uint32_t next = 0;
-        std::vector<uint32_t> labels(records.size());
-        for (uint32_t& l : labels) l = next++;
-        return labels;
+        BatchCommit commit;
+        commit.base_tid = next;
+        commit.labels.resize(records.size());
+        for (uint32_t& l : commit.labels) l = next++;
+        return commit;
       });
 
   constexpr size_t kThreads = 8;
@@ -400,14 +401,16 @@ TEST(BatcherTest, CoalescesConcurrentSubmissionsAndPreservesOrder) {
       for (size_t i = 0; i < kPerThread; ++i) {
         std::vector<Record> records(3);
         auto future = batcher.Submit(std::move(records));
-        Result<std::vector<uint32_t>> labels = future.get();
-        ASSERT_TRUE(labels.ok());
-        ASSERT_EQ(labels->size(), 3u);
+        Result<UpsertSlice> slice = future.get();
+        ASSERT_TRUE(slice.ok());
+        ASSERT_EQ(slice->entities.size(), 3u);
         // A request's labels are contiguous: the batcher never splits a
         // request across commits.
-        EXPECT_EQ((*labels)[1], (*labels)[0] + 1);
-        EXPECT_EQ((*labels)[2], (*labels)[0] + 2);
-        total_labels.fetch_add(labels->size());
+        EXPECT_EQ(slice->entities[1], slice->entities[0] + 1);
+        EXPECT_EQ(slice->entities[2], slice->entities[0] + 2);
+        // The sliced base tid names the request's first record.
+        EXPECT_EQ(slice->base_tid, slice->entities[0]);
+        total_labels.fetch_add(slice->entities.size());
       }
     });
   }
@@ -427,8 +430,10 @@ TEST(BatcherTest, CoalescesConcurrentSubmissionsAndPreservesOrder) {
 TEST(BatcherTest, SubmitAfterDrainFails) {
   UpsertBatcher batcher(
       BatcherOptions{},
-      [](std::vector<Record> records) -> Result<std::vector<uint32_t>> {
-        return std::vector<uint32_t>(records.size(), 0);
+      [](std::vector<Record> records) -> Result<BatchCommit> {
+        BatchCommit commit;
+        commit.labels.assign(records.size(), 0);
+        return commit;
       });
   batcher.Drain();
   auto future = batcher.Submit(std::vector<Record>(1));

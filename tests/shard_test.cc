@@ -1,0 +1,434 @@
+// Shard subsystem: router determinism over histogram edge cases,
+// boundary-band membership (the paper's §4 fragmentation rule applied
+// online), the global-closure label algebra, and the headline 2-shard
+// in-process coordinator contract test — the entity partition produced
+// through a coordinator fronting two shard engines must equal the
+// partition a single engine produces over the same record stream
+// (shard-count invariance, docs/sharding.md).
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gen/generator.h"
+#include "keys/standard_keys.h"
+#include "obs/json.h"
+#include "rules/employee_theory.h"
+#include "service/match_service.h"
+#include "service/protocol.h"
+#include "service/server.h"
+#include "shard/boundary.h"
+#include "shard/coordinator.h"
+#include "shard/global_closure.h"
+#include "shard/router.h"
+
+namespace mergepurge {
+namespace {
+
+Record LastNameRecord(std::string_view last) {
+  Record r;
+  r.set_field(employee::kLastName, std::string(last));
+  return r;
+}
+
+std::vector<Record> LastNameRecords(
+    const std::vector<std::string>& names) {
+  std::vector<Record> records;
+  records.reserve(names.size());
+  for (const std::string& name : names) {
+    records.push_back(LastNameRecord(name));
+  }
+  return records;
+}
+
+Dataset GenerateDataset(size_t num_records, uint64_t seed) {
+  GeneratorConfig config;
+  config.num_records = num_records;
+  config.seed = seed;
+  auto db = DatabaseGenerator(config).Generate();
+  EXPECT_TRUE(db.ok());
+  return std::move(db->dataset);
+}
+
+// --- ShardRouter. ---
+
+TEST(ShardRouterTest, BuildIsDeterministicAndMonotone) {
+  const std::vector<std::string> names = {
+      "ADAMS", "BAKER", "COOPER", "DAVIS",  "EVANS",  "FISHER",
+      "GREEN", "HARRIS", "IRWIN", "JONES",  "KELLER", "LOPEZ",
+      "MOORE", "NORRIS", "OWENS", "PARKER", "QUINN",  "REED",
+      "SMITH", "TAYLOR", "UNDERWOOD", "VANCE", "WALKER", "YOUNG"};
+  const std::vector<Record> sample = LastNameRecords(names);
+  ShardRouterOptions options;
+  options.num_shards = 4;
+  Rng rng_a(7), rng_b(7);
+  Result<ShardRouter> a =
+      ShardRouter::Build({LastNameKey()}, sample, options, &rng_a);
+  Result<ShardRouter> b =
+      ShardRouter::Build({LastNameKey()}, sample, options, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  size_t previous = 0;
+  std::set<size_t> owners_seen;
+  for (const std::string& name : names) {  // Already sorted.
+    const size_t owner = a->OwnerOfKey(0, name);
+    EXPECT_EQ(owner, b->OwnerOfKey(0, name)) << name;
+    EXPECT_LT(owner, 4u);
+    // Monotone: sorted keys route to non-decreasing shards, so each
+    // shard owns a contiguous key range.
+    EXPECT_GE(owner, previous) << name;
+    previous = owner;
+    owners_seen.insert(owner);
+  }
+  // An equi-depth split of 24 evenly spread names uses all 4 shards.
+  EXPECT_EQ(owners_seen.size(), 4u);
+}
+
+TEST(ShardRouterTest, SingleClusterWhenAllKeysCollide) {
+  // Every sampled key identical: the histogram has one occupied bin and
+  // the equi-depth split degenerates to a single cluster. The router
+  // must stay valid (everything routes to one shard) rather than fail.
+  const std::vector<Record> sample =
+      LastNameRecords({"SMITH", "SMITH", "SMITH", "SMITH"});
+  ShardRouterOptions options;
+  options.num_shards = 4;
+  Rng rng(7);
+  Result<ShardRouter> router =
+      ShardRouter::Build({LastNameKey()}, sample, options, &rng);
+  ASSERT_TRUE(router.ok());
+  const size_t owner = router->OwnerOfKey(0, "SMITH");
+  EXPECT_LT(owner, 4u);
+  // Unseen keys on either side still map to valid shards.
+  EXPECT_LT(router->OwnerOfKey(0, "AARON"), 4u);
+  EXPECT_LT(router->OwnerOfKey(0, "ZEBRA"), 4u);
+  EXPECT_LE(router->OwnerOfKey(0, "AARON"), owner);
+  EXPECT_GE(router->OwnerOfKey(0, "ZEBRA"), owner);
+}
+
+TEST(ShardRouterTest, HandlesUnicodeKeyPrefixes) {
+  // Multi-byte UTF-8 prefixes land in the histogram's "other" symbol
+  // (cluster/histogram.h maps non-[0-9A-Za-z] bytes to symbol 0), so
+  // the router must (a) build without error, (b) route them to valid
+  // shards deterministically, and (c) keep them at-or-below every
+  // ASCII-letter key's shard — symbol 0 precedes digits and letters in
+  // bin order, whatever the raw UTF-8 bytes compare as.
+  const std::vector<std::string> leading = {"ÅBERG", "ÉLODIE", "ŌTA",
+                                            "ŻUK"};
+  std::vector<std::string> unicode = leading;
+  unicode.insert(unicode.end(), {"MÜLLER", "NÚÑEZ"});
+  std::vector<std::string> names = unicode;
+  names.insert(names.end(), {"ADAMS", "JONES", "ZHOU"});
+  const std::vector<Record> sample = LastNameRecords(names);
+  ShardRouterOptions options;
+  options.num_shards = 3;
+  Rng rng_a(11), rng_b(11);
+  Result<ShardRouter> a =
+      ShardRouter::Build({LastNameKey()}, sample, options, &rng_a);
+  Result<ShardRouter> b =
+      ShardRouter::Build({LastNameKey()}, sample, options, &rng_b);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  const size_t ascii_floor = a->OwnerOfKey(0, "ADAMS");
+  for (const std::string& name : unicode) {
+    const size_t owner = a->OwnerOfKey(0, name);
+    EXPECT_LT(owner, 3u) << name;
+    EXPECT_EQ(owner, b->OwnerOfKey(0, name)) << name;
+  }
+  // The floor applies to names whose LEADING byte is non-ASCII; names
+  // like MÜLLER bin by their ASCII first letter as usual.
+  for (const std::string& name : leading) {
+    EXPECT_LE(a->OwnerOfKey(0, name), ascii_floor) << name;
+  }
+  // Records carrying these names route identically to their raw keys.
+  for (const Record& record : sample) {
+    EXPECT_EQ(a->OwnerOf(0, record),
+              a->OwnerOfKey(0, a->KeyOf(0, record)));
+  }
+}
+
+TEST(ShardRouterTest, EmptySampleOrKeysIsRejected) {
+  Rng rng(1);
+  ShardRouterOptions options;
+  EXPECT_FALSE(
+      ShardRouter::Build({}, LastNameRecords({"A"}), options, &rng).ok());
+  EXPECT_FALSE(
+      ShardRouter::Build({LastNameKey()}, {}, options, &rng).ok());
+  options.num_shards = 0;
+  EXPECT_FALSE(ShardRouter::Build({LastNameKey()},
+                                  LastNameRecords({"A"}), options, &rng)
+                   .ok());
+}
+
+TEST(ShardRouterTest, DestinationsAreDedupedUnionOfPerKeyOwners) {
+  const std::vector<std::string> names = {"ADAMS", "BAKER", "SMITH",
+                                          "TAYLOR"};
+  const std::vector<Record> sample = LastNameRecords(names);
+  ShardRouterOptions options;
+  options.num_shards = 2;
+  Rng rng(3);
+  // Two identical key specs: per-key owners coincide, so destinations
+  // must collapse to one entry per shard.
+  Result<ShardRouter> router = ShardRouter::Build(
+      {LastNameKey(), LastNameKey()}, sample, options, &rng);
+  ASSERT_TRUE(router.ok());
+  for (const Record& record : sample) {
+    const std::vector<size_t> destinations =
+        router->DestinationsOf(record);
+    ASSERT_EQ(destinations.size(), 1u);
+    EXPECT_EQ(destinations[0], router->OwnerOf(0, record));
+  }
+}
+
+// --- BoundaryBand. ---
+
+TEST(BoundaryBandTest, ReplicatesTheExtremeBandToNeighbors) {
+  // 2 shards, window 3 -> band width 2 per cut side.
+  BoundaryBand band(2, 2);
+  std::vector<size_t> out;
+
+  // Shard 0's upper band (toward shard 1): the first two keys are
+  // trivially among the two largest seen.
+  band.Replicas(0, "MOORE", &out);
+  EXPECT_EQ(out, std::vector<size_t>({1}));
+  out.clear();
+  band.Replicas(0, "NOLAN", &out);
+  EXPECT_EQ(out, std::vector<size_t>({1}));
+  out.clear();
+  // "ADAMS" is below both tracked keys: not in the upper band.
+  band.Replicas(0, "ADAMS", &out);
+  EXPECT_TRUE(out.empty());
+  // "ZEBRA" beats the tracked minimum: in-band, evicting "MOORE".
+  band.Replicas(0, "ZEBRA", &out);
+  EXPECT_EQ(out, std::vector<size_t>({1}));
+  out.clear();
+  // "MOORE" again: the band is now {NOLAN, ZEBRA}, so MOORE is out.
+  band.Replicas(0, "MOORE", &out);
+  EXPECT_TRUE(out.empty());
+
+  // Shard 1's lower band mirrors toward shard 0.
+  band.Replicas(1, "QUINN", &out);
+  EXPECT_EQ(out, std::vector<size_t>({0}));
+  out.clear();
+  band.Replicas(1, "PRICE", &out);
+  EXPECT_EQ(out, std::vector<size_t>({0}));
+  out.clear();
+  band.Replicas(1, "ZWEIG", &out);  // Above both tracked: out of band.
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BoundaryBandTest, EdgeShardsHaveOneSidedBands) {
+  BoundaryBand band(3, 2);
+  std::vector<size_t> out;
+  // Shard 0 has no lower neighbor; shard 2 no upper.
+  band.Replicas(0, "AAA", &out);
+  EXPECT_EQ(out, std::vector<size_t>({1}));
+  out.clear();
+  band.Replicas(2, "ZZZ", &out);
+  EXPECT_EQ(out, std::vector<size_t>({1}));
+  out.clear();
+  // A middle shard can be in both of its cut bands at once.
+  band.Replicas(1, "MMM", &out);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(out, std::vector<size_t>({0, 2}));
+}
+
+TEST(BoundaryBandTest, ZeroWidthDisablesReplication) {
+  BoundaryBand band(2, 0);
+  std::vector<size_t> out;
+  band.Replicas(0, "ANY", &out);
+  band.Replicas(1, "KEY", &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(band.tracked(), 0u);
+}
+
+TEST(BoundaryBandTest, FinalExtremesWereAlwaysReplicated) {
+  // The conservative online rule's correctness obligation: every key
+  // that ENDS among the band_width most extreme must have been
+  // replicated at its own arrival, whatever the arrival order.
+  const size_t kWidth = 3;
+  std::vector<std::string> keys = {"ECHO", "ALFA", "GOLF", "CHARLIE",
+                                   "FOXTROT", "BRAVO", "HOTEL", "DELTA",
+                                   "INDIA", "JULIET"};
+  // Try several arrival orders (deterministic rotations + reverse).
+  for (size_t rotation = 0; rotation < keys.size(); ++rotation) {
+    std::vector<std::string> order = keys;
+    std::rotate(order.begin(), order.begin() + rotation, order.end());
+    if (rotation % 2 == 1) std::reverse(order.begin(), order.end());
+
+    BoundaryBand band(2, kWidth);
+    std::set<std::string> replicated;
+    std::vector<size_t> out;
+    for (const std::string& key : order) {
+      out.clear();
+      band.Replicas(0, key, &out);
+      if (!out.empty()) replicated.insert(key);
+    }
+    std::vector<std::string> sorted = keys;
+    std::sort(sorted.begin(), sorted.end());
+    for (size_t i = sorted.size() - kWidth; i < sorted.size(); ++i) {
+      EXPECT_TRUE(replicated.count(sorted[i]))
+          << sorted[i] << " (rotation " << rotation << ")";
+    }
+  }
+}
+
+// --- GlobalClosure / ShardLabelSpace. ---
+
+TEST(GlobalClosureTest, SmallestIdIsCanonicalAndUnionsAreIdempotent) {
+  GlobalClosure closure;
+  for (int i = 0; i < 5; ++i) closure.NewId();
+  EXPECT_EQ(closure.num_ids(), 5u);
+  EXPECT_EQ(closure.num_entities(), 5u);
+
+  closure.Union(3, 1);
+  closure.Union(4, 3);
+  EXPECT_EQ(closure.Find(4), 1u);
+  EXPECT_EQ(closure.num_entities(), 3u);
+  closure.Union(1, 4);  // Replay: no further change.
+  EXPECT_EQ(closure.num_entities(), 3u);
+  EXPECT_EQ(closure.Find(0), 0u);
+  EXPECT_EQ(closure.Find(2), 2u);
+}
+
+TEST(ShardLabelSpaceTest, BindingsReconcileThroughTidUnions) {
+  GlobalClosure closure;
+  ShardLabelSpace space(&closure);
+  const uint32_t g0 = closure.NewId();
+  const uint32_t g1 = closure.NewId();
+  const uint32_t g2 = closure.NewId();
+
+  space.Bind(10, g0);
+  space.Bind(20, g1);
+  space.Bind(30, g2);
+  EXPECT_EQ(closure.num_entities(), 3u);
+
+  // A shard-side merge of tids 10 and 20 must union their global ids.
+  space.UnionTids(20, 10);
+  EXPECT_EQ(closure.num_entities(), 2u);
+  EXPECT_EQ(space.Lookup(10), space.Lookup(20));
+  EXPECT_EQ(*space.Lookup(20), std::min(g0, g1));
+
+  // Binding a second gid onto an already-bound component unions too
+  // (a boundary replica landing on the component's tid).
+  space.Bind(10, g2);
+  EXPECT_EQ(closure.num_entities(), 1u);
+  EXPECT_EQ(*space.Lookup(30), *space.Lookup(10));
+
+  // Unbound tids have no global identity.
+  EXPECT_FALSE(space.Lookup(999).has_value());
+
+  // Replays are harmless.
+  space.UnionTids(10, 20);
+  space.Bind(30, g2);
+  EXPECT_EQ(closure.num_entities(), 1u);
+}
+
+// --- Coordinator contract: shard-count invariance. ---
+
+MatchServiceOptions SingleKeyEngine() {
+  MatchServiceOptions options;
+  options.engine.keys = {LastNameKey()};
+  options.engine.window = 8;
+  return options;
+}
+
+MatchService::TheoryFactory EmployeeFactory() {
+  return [] { return std::make_unique<EmployeeTheory>(); };
+}
+
+TEST(CoordinatorTest, TwoShardPartitionEqualsSingleEngine) {
+  MatchService shard0(SingleKeyEngine(), EmployeeFactory());
+  MatchService shard1(SingleKeyEngine(), EmployeeFactory());
+  ServerOptions server_options;
+  server_options.port = 0;
+  Server server0(server_options, &shard0);
+  Server server1(server_options, &shard1);
+  Result<uint16_t> port0 = server0.Start();
+  Result<uint16_t> port1 = server1.Start();
+  ASSERT_TRUE(port0.ok());
+  ASSERT_TRUE(port1.ok());
+
+  CoordinatorOptions coord_options;
+  coord_options.shards = {{"127.0.0.1", *port0}, {"127.0.0.1", *port1}};
+  coord_options.schema = employee::MakeSchema();
+  coord_options.keys = {LastNameKey()};
+  coord_options.window = 8;
+  CoordService coord(std::move(coord_options));
+
+  Dataset dataset = GenerateDataset(240, 20260809);
+  ASSERT_TRUE(coord.SeedRouter(dataset.records()).ok());
+
+  MatchService single(SingleKeyEngine(), EmployeeFactory());
+
+  const size_t kBatch = 7;  // Deliberately not a divisor of 240.
+  for (size_t begin = 0; begin < dataset.size(); begin += kBatch) {
+    const size_t end = std::min(begin + kBatch, dataset.size());
+    std::vector<Record> batch;
+    std::vector<Record> replay;
+    for (size_t i = begin; i < end; ++i) {
+      batch.push_back(dataset.record(static_cast<TupleId>(i)));
+      replay.push_back(dataset.record(static_cast<TupleId>(i)));
+    }
+    const std::string line = coord.HandleUpsert(nullptr, std::move(batch));
+    Result<JsonValue> response = ParseResponseLine(line);
+    ASSERT_TRUE(response.ok());
+    const JsonValue* ok = response->Find("ok");
+    ASSERT_NE(ok, nullptr);
+    ASSERT_TRUE(ok->bool_value()) << line;
+    ASSERT_EQ(response->Find("entities")->size(), end - begin);
+    ASSERT_TRUE(single.Upsert(std::move(replay)).ok());
+  }
+
+  single.Drain();
+  const std::vector<uint32_t> expected = single.ComponentLabels();
+  const std::vector<uint32_t> actual = coord.GlobalLabels();
+  ASSERT_EQ(actual.size(), expected.size());
+  EXPECT_EQ(actual, expected);
+
+  // The merged stats keep the global view: every record counted once
+  // despite boundary replicas, per-shard sections nested under shards.
+  const JsonValue extra = JsonValue::Object();
+  Result<JsonValue> stats =
+      ParseResponseLine(coord.HandleStats(nullptr, extra));
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(static_cast<size_t>(stats->Find("records")->int_value()),
+            dataset.size());
+  ASSERT_NE(stats->Find("shards"), nullptr);
+  EXPECT_EQ(stats->Find("shards")->size(), 2u);
+  // The shards together hold at least every record once; replicas can
+  // only add.
+  uint64_t resident = 0;
+  for (const JsonValue& shard : stats->Find("shards")->elements()) {
+    resident += static_cast<uint64_t>(shard.Find("records")->int_value());
+  }
+  EXPECT_GE(resident, dataset.size());
+
+  // A match through the coordinator resolves in the GLOBAL id space:
+  // probing with an exact copy of record 0 must report record 0's own
+  // global entity among the matched components.
+  const std::string match_line =
+      coord.HandleMatch(nullptr, {dataset.record(0)});
+  Result<JsonValue> match = ParseResponseLine(match_line);
+  ASSERT_TRUE(match.ok());
+  ASSERT_TRUE(match->Find("ok")->bool_value());
+  ASSERT_FALSE(match->Find("entity")->is_null());
+  bool found = false;
+  for (const JsonValue& e : match->Find("entities")->elements()) {
+    if (static_cast<uint32_t>(e.int_value()) == actual[0]) found = true;
+  }
+  EXPECT_TRUE(found) << match_line;
+
+  coord.Drain();
+  server0.RequestDrain();
+  server1.RequestDrain();
+  server0.Join();
+  server1.Join();
+}
+
+}  // namespace
+}  // namespace mergepurge

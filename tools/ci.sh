@@ -40,7 +40,7 @@ run_suite "${root}/build-san" "" "-DMERGEPURGE_SANITIZE=address;undefined"
 # engine, the TCP service, fault-tolerance, the sync primitives) rather
 # than all of ctest.
 run_suite "${root}/build-tsan" \
-  "parallel_test|incremental_test|incremental_property_test|service_test|fault_tolerance_test|metrics_test|obs_window_test|sync_test|durability_test" \
+  "parallel_test|incremental_test|incremental_property_test|service_test|shard_test|fault_tolerance_test|metrics_test|obs_window_test|sync_test|durability_test" \
   "-DMERGEPURGE_SANITIZE=thread"
 
 # Compile-time lock discipline (clang only): build the whole tree with
@@ -337,6 +337,205 @@ fi
   histograms/service.recovery.us
 "${root}/build/tools/mergepurge_walcheck" --data-dir="${crash_dir}/data"
 
+# Sharded-coordinator e2e (docs/sharding.md): four shard engines behind
+# mergepurge_coord. Phase 1 benches the sharded data path with the same
+# loadgen mix as the service e2e — it must beat the single-engine
+# records/s measured above (the whole point of sharding) — and
+# validates the merged stats: global record/entity/pair figures at top
+# level, one attributed section per shard, and the coord.* metric set.
+# Phase 2, on a fresh topology, kills one shard with kill -9 mid-load,
+# restarts it on the same port over the same WAL, and requires the
+# loadgen to finish clean (exit 0) with the coordinator absorbing the
+# outage (coord.shard_retries > 0). Afterwards the shard-count
+# invariance must still hold against a single engine fed the same
+# sequential stream: the sharded run may never END UP WITH MORE
+# entities (a lost cross-boundary match would split an entity — the
+# boundary band exists to make that impossible), and may merge at most
+# a sliver more (conservative band replicas and at-least-once resends
+# can only add genuine matches; tests/shard_test.cc pins exact label
+# equality for the deterministic in-process case).
+coord_dir="$(mktemp -d)"
+trap 'kill "${serve_pid}" 2>/dev/null || true; kill -9 "${crash_pid}" 2>/dev/null || true; for f in "${coord_dir}"/pid_*; do kill -9 "$(cat "${f}")" 2>/dev/null || true; done; rm -rf "${lint_dir}" "${obs_dir}" "${svc_dir}" "${crash_dir}" "${coord_dir}"' EXIT
+echo "=== coordinator e2e (${coord_dir}) ==="
+# wait_port <port-file> <log-file>
+wait_port() {
+  for _ in $(seq 1 50); do
+    [ -s "$1" ] && return 0
+    sleep 0.1
+  done
+  echo "ci: server did not write its port file ($1)" >&2
+  cat "$2" >&2
+  exit 1
+}
+for i in 0 1 2 3; do
+  "${root}/build/tools/mergepurge_serve" --port=0 \
+    --port-file="${coord_dir}/b_port${i}.txt" --keys=last-name \
+    --instance-label="shard-${i}" \
+    --data-dir="${coord_dir}/b_data${i}" --fsync=group \
+    --batch-delay-ms=1 --log-level=warn 2>"${coord_dir}/b_serve${i}.log" &
+  echo $! > "${coord_dir}/pid_b${i}"
+done
+for i in 0 1 2 3; do
+  wait_port "${coord_dir}/b_port${i}.txt" "${coord_dir}/b_serve${i}.log"
+done
+coord_shards="127.0.0.1:$(cat "${coord_dir}/b_port0.txt"),127.0.0.1:$(cat "${coord_dir}/b_port1.txt"),127.0.0.1:$(cat "${coord_dir}/b_port2.txt"),127.0.0.1:$(cat "${coord_dir}/b_port3.txt")"
+"${root}/build/tools/mergepurge_coord" --shards="${coord_shards}" \
+  --port=0 --port-file="${coord_dir}/b_coord_port.txt" --keys=last-name \
+  --log-level=warn 2>"${coord_dir}/b_coord.log" &
+echo $! > "${coord_dir}/pid_bc"
+wait_port "${coord_dir}/b_coord_port.txt" "${coord_dir}/b_coord.log"
+"${root}/build/tools/mergepurge_loadgen" \
+  --port="$(cat "${coord_dir}/b_coord_port.txt")" --records=10000 \
+  --threads=4 --match-frac=0.4 --out="${coord_dir}/BENCH_coord.json"
+"${root}/build/tools/validate_report" \
+  --file="${coord_dir}/BENCH_coord.json" outcome \
+  config/summary/requests_per_second config/summary/records_per_second \
+  config/summary/latency_request/p50_us \
+  config/summary/latency_request/p99_us \
+  histograms/service.client.request_us
+python3 - "${coord_dir}/BENCH_coord.json" "${svc_dir}/BENCH_service.json" <<'EOF'
+import json, sys
+coord = json.load(open(sys.argv[1]))["config"]["summary"]
+single = json.load(open(sys.argv[2]))["config"]["summary"]
+c, s = coord["records_per_second"], single["records_per_second"]
+assert c > s, f"4-shard coordinator ({c:.0f} rec/s) did not beat the single engine ({s:.0f} rec/s)"
+print(f"ci: coordinator throughput ok: {c:.0f} rec/s vs single-engine {s:.0f} rec/s")
+EOF
+"${root}/build/tools/mergepurge_top" \
+  --port="$(cat "${coord_dir}/b_coord_port.txt")" --json --count=1 \
+  > "${coord_dir}/b_stats.json"
+"${root}/build/tools/validate_report" --file="${coord_dir}/b_stats.json" \
+  ok:bool records:number entities:number pairs:number shards \
+  counters/coord.route_records:number \
+  counters/coord.replica_records:number
+python3 - "${coord_dir}/b_stats.json" <<'EOF'
+import json, sys
+stats = json.load(open(sys.argv[1]))
+assert stats["records"] == 10000, f"merged stats lost records: {stats['records']}"
+shards = stats["shards"]
+assert len(shards) == 4, f"expected 4 shard sections, got {len(shards)}"
+labels = sorted(s.get("instance") for s in shards)
+assert labels == [f"shard-{i}" for i in range(4)], f"instance labels wrong: {labels}"
+resident = sum(s["records"] for s in shards)
+assert resident >= 10000, f"shards hold {resident} < 10000 records"
+print(f"ci: merged stats ok: 10000 global records, {resident} resident across 4 shards ({resident - 10000} boundary replicas)")
+EOF
+kill -TERM "$(cat "${coord_dir}/pid_bc")"
+bench_coord_status=0
+wait "$(cat "${coord_dir}/pid_bc")" || bench_coord_status=$?
+if [ "${bench_coord_status}" -ne 0 ]; then
+  echo "ci: mergepurge_coord did not drain cleanly (exit ${bench_coord_status})" >&2
+  cat "${coord_dir}/b_coord.log" >&2
+  exit 1
+fi
+for i in 0 1 2 3; do
+  kill -TERM "$(cat "${coord_dir}/pid_b${i}")" 2>/dev/null || true
+  wait "$(cat "${coord_dir}/pid_b${i}")" || {
+    echo "ci: bench shard ${i} did not drain cleanly" >&2
+    exit 1
+  }
+done
+cp "${coord_dir}/BENCH_coord.json" "${root}/BENCH_coord.json"
+
+# Phase 2: crash a shard under durable load, restart it, check the
+# invariance. Sequential (--threads=1, fixed seed) so the reference
+# single-engine stream is identical.
+for i in 0 1 2 3; do
+  "${root}/build/tools/mergepurge_serve" --port=0 \
+    --port-file="${coord_dir}/c_port${i}.txt" --keys=last-name \
+    --instance-label="shard-${i}" \
+    --data-dir="${coord_dir}/c_data${i}" --fsync=group --keep-wal \
+    --batch-delay-ms=1 --log-level=warn 2>"${coord_dir}/c_serve${i}.log" &
+  echo $! > "${coord_dir}/pid_c${i}"
+done
+for i in 0 1 2 3; do
+  wait_port "${coord_dir}/c_port${i}.txt" "${coord_dir}/c_serve${i}.log"
+done
+coord_shards="127.0.0.1:$(cat "${coord_dir}/c_port0.txt"),127.0.0.1:$(cat "${coord_dir}/c_port1.txt"),127.0.0.1:$(cat "${coord_dir}/c_port2.txt"),127.0.0.1:$(cat "${coord_dir}/c_port3.txt")"
+"${root}/build/tools/mergepurge_coord" --shards="${coord_shards}" \
+  --port=0 --port-file="${coord_dir}/c_coord_port.txt" --keys=last-name \
+  --metrics-out="${coord_dir}/coord_metrics.json" \
+  --log-level=warn 2>"${coord_dir}/c_coord.log" &
+echo $! > "${coord_dir}/pid_cc"
+wait_port "${coord_dir}/c_coord_port.txt" "${coord_dir}/c_coord.log"
+"${root}/build/tools/mergepurge_loadgen" \
+  --port="$(cat "${coord_dir}/c_coord_port.txt")" --records=6000 \
+  --threads=1 --match-frac=0 --seed=7 \
+  --out="${coord_dir}/c_loadgen.json" 2>"${coord_dir}/c_loadgen.log" &
+coord_loadgen_pid=$!
+sleep 1.2
+kill -9 "$(cat "${coord_dir}/pid_c1")" 2>/dev/null || true
+wait "$(cat "${coord_dir}/pid_c1")" 2>/dev/null || true
+sleep 0.3
+"${root}/build/tools/mergepurge_serve" \
+  --port="$(cat "${coord_dir}/c_port1.txt")" --keys=last-name \
+  --instance-label=shard-1 \
+  --data-dir="${coord_dir}/c_data1" --fsync=group --keep-wal \
+  --batch-delay-ms=1 --log-level=warn 2>"${coord_dir}/c_serve1b.log" &
+echo $! > "${coord_dir}/pid_c1"
+coord_loadgen_status=0
+wait "${coord_loadgen_pid}" || coord_loadgen_status=$?
+if [ "${coord_loadgen_status}" -ne 0 ]; then
+  echo "ci: loadgen did not survive the shard crash (exit ${coord_loadgen_status})" >&2
+  cat "${coord_dir}/c_loadgen.log" "${coord_dir}/c_coord.log" >&2
+  exit 1
+fi
+"${root}/build/tools/mergepurge_top" \
+  --port="$(cat "${coord_dir}/c_coord_port.txt")" --json --count=1 \
+  > "${coord_dir}/c_stats.json"
+# Reference: the identical sequential stream through one engine.
+"${root}/build/tools/mergepurge_serve" --port=0 \
+  --port-file="${coord_dir}/ref_port.txt" --keys=last-name \
+  --batch-delay-ms=1 --log-level=warn 2>"${coord_dir}/ref_serve.log" &
+echo $! > "${coord_dir}/pid_ref"
+wait_port "${coord_dir}/ref_port.txt" "${coord_dir}/ref_serve.log"
+"${root}/build/tools/mergepurge_loadgen" \
+  --port="$(cat "${coord_dir}/ref_port.txt")" --records=6000 \
+  --threads=1 --match-frac=0 --seed=7 --out="${coord_dir}/ref_loadgen.json"
+"${root}/build/tools/mergepurge_top" \
+  --port="$(cat "${coord_dir}/ref_port.txt")" --json --count=1 \
+  > "${coord_dir}/ref_stats.json"
+python3 - "${coord_dir}/c_stats.json" "${coord_dir}/ref_stats.json" <<'EOF'
+import json, sys
+coord = json.load(open(sys.argv[1]))
+ref = json.load(open(sys.argv[2]))
+retries = coord["counters"]["coord.shard_retries"]
+assert retries > 0, "shard kill -9 caused zero coordinator retries; the kill missed the load"
+unreachable = [s["shard"] for s in coord["shards"] if "error" in s]
+assert not unreachable, f"shards unreachable after restart: {unreachable}"
+assert coord["records"] == 6000, f"global closure lost records: {coord['records']}"
+ce, se = coord["entities"], ref["entities"]
+assert ce <= se, (
+    f"sharded run SPLIT entities ({ce} > single-engine {se}): a cross-boundary match was lost")
+assert se - ce <= max(5, se // 500), (
+    f"sharded run over-merged ({ce} vs single-engine {se})")
+print(f"ci: crash invariance ok: {retries} shard retries, {ce} global entities vs {se} single-engine")
+EOF
+kill -TERM "$(cat "${coord_dir}/pid_cc")"
+coord_status=0
+wait "$(cat "${coord_dir}/pid_cc")" || coord_status=$?
+if [ "${coord_status}" -ne 0 ]; then
+  echo "ci: crash-phase coordinator did not drain cleanly (exit ${coord_status})" >&2
+  cat "${coord_dir}/c_coord.log" >&2
+  exit 1
+fi
+"${root}/build/tools/validate_report" \
+  --file="${coord_dir}/coord_metrics.json" outcome \
+  config/shards config/service/records config/service/entities \
+  counters/coord.route_records counters/coord.replica_records \
+  counters/coord.shard_retries \
+  histograms/coord.fanout_us histograms/coord.closure_merge_us \
+  gauges/coord.global_records gauges/coord.global_entities
+for i in 0 1 2 3; do
+  kill -TERM "$(cat "${coord_dir}/pid_c${i}")" 2>/dev/null || true
+  wait "$(cat "${coord_dir}/pid_c${i}")" || {
+    echo "ci: crash-phase shard ${i} did not drain cleanly" >&2
+    exit 1
+  }
+done
+kill -TERM "$(cat "${coord_dir}/pid_ref")" 2>/dev/null || true
+wait "$(cat "${coord_dir}/pid_ref")" || true
+
 # Latency-regression gates: compare the fresh service bench (from the
 # e2e above) and a fresh sorted-neighborhood bench against the committed
 # baselines in bench/baselines/, failing on a >25% p50 / best-seconds
@@ -354,4 +553,4 @@ echo "=== bench gates ==="
   --fresh="${root}/BENCH_snm.json" \
   --metric=config/best_seconds --max-regress-pct=25
 
-echo "ci: plain, asan/ubsan, tsan and lock-discipline gates passed; tidy + rulecheck + obs + service e2e + crash-recovery e2e + bench gates validated"
+echo "ci: plain, asan/ubsan, tsan and lock-discipline gates passed; tidy + rulecheck + obs + service e2e + crash-recovery e2e + coordinator e2e + bench gates validated"

@@ -101,6 +101,8 @@ MUST_INCLUDE_SYNC = (
     os.path.join("src", "service", "server.cc"),
     os.path.join("src", "obs", "window.h"),
     os.path.join("src", "obs", "window.cc"),
+    os.path.join("src", "shard", "coordinator.h"),
+    os.path.join("src", "shard", "coordinator.cc"),
 )
 SYNC_INCLUDE_RE = re.compile(r'#\s*include\s*"util/sync\.h"')
 

@@ -80,79 +80,14 @@ struct WorkerResult {
   }
 };
 
-// Retry schedule for transient transport failures (connection refused
-// while the server restarts under the crash-recovery e2e, ECONNRESET, a
-// peer close mid-response). Same shape as ResilientRunner's backoff: the
-// delay before attempt k (k >= 2) is min(base * mult^(k-2), cap) plus
-// jitter drawn uniformly from [0, base).
-constexpr int kMaxAttempts = 12;
-constexpr double kBackoffBaseMs = 5.0;
-constexpr double kBackoffMultiplier = 2.0;
-constexpr double kBackoffCapMs = 500.0;
-
-// True when the response is a typed retryable refusal: the server is up
-// but still replaying its WAL ({"ok":false,"error":{"code":"recovering"}}).
-// A restarted server under the crash-recovery e2e answers this way until
-// replay finishes, so the client backs off and resends like it does for
-// transport errors.
-bool IsRecoveringError(const JsonValue& response) {
-  const JsonValue* ok = response.Find("ok");
-  if (ok == nullptr || ok->bool_value()) return false;
-  const JsonValue* error = response.Find("error");
-  if (error == nullptr) return false;
-  const JsonValue* code = error->Find("code");
-  return code != nullptr && code->is_string() &&
-         code->string_value() == "recovering";
-}
-
-// Sends one request, reconnecting and resending on transport errors and
-// backing off on "recovering" refusals. Requests are idempotent from the
-// workload's point of view (matches are read-only; a resent upsert at
-// worst re-admits records that merge with their first copy), so
-// at-least-once delivery is safe. Returns the last transport error once
-// the schedule is exhausted.
-Result<JsonValue> CallWithRetry(ServiceClient* client,
-                                const std::string& host, uint16_t port,
-                                std::string_view request_line, Rng* rng,
-                                WorkerResult* result) {
-  static Counter* const retries_counter =
-      MetricsRegistry::Global().GetCounter(
-          metric_names::kServiceClientRetries);
-  Status last_error = Status::OK();
-  for (int attempt = 1; attempt <= kMaxAttempts; ++attempt) {
-    if (attempt > 1) {
-      ++result->retries;
-      retries_counter->Increment();
-      double delay_ms =
-          kBackoffBaseMs *
-          std::pow(kBackoffMultiplier, static_cast<double>(attempt - 2));
-      delay_ms = std::min(delay_ms, kBackoffCapMs);
-      delay_ms += static_cast<double>(
-          rng->NextBounded(static_cast<uint64_t>(kBackoffBaseMs)));
-      std::this_thread::sleep_for(
-          std::chrono::duration<double, std::milli>(delay_ms));
-    }
-    if (!client->connected()) {
-      Status connected = client->Connect(host, port);
-      if (!connected.ok()) {
-        last_error = connected;
-        client->Close();
-        continue;
-      }
-    }
-    Result<JsonValue> response = client->Call(request_line);
-    if (response.ok()) {
-      if (IsRecoveringError(*response)) {
-        // The connection is fine; only the request was refused.
-        last_error = Status::IoError("server is recovering");
-        continue;
-      }
-      return response;
-    }
-    last_error = response.status();
-    client->Close();  // The connection is unusable after a transport error.
-  }
-  return last_error;
+// The reconnect-with-backoff loop itself lives in service/client.h
+// (CallWithRetry — shared with the shard coordinator's connection
+// pool); this wrapper only adds the per-worker retry accounting.
+Result<JsonValue> WorkerCall(ServiceClient* client, const std::string& host,
+                             uint16_t port, std::string_view request_line,
+                             Rng* rng, WorkerResult* result) {
+  return CallWithRetry(client, host, port, request_line, rng,
+                       RetryOptions{}, [result] { ++result->retries; });
 }
 
 // The per-thread closed loop: upserts its slice of the dataset in batches,
@@ -207,7 +142,7 @@ void RunWorker(const std::string& host, uint16_t port, const Schema& schema,
 
     Timer timer;
     Result<JsonValue> response =
-        CallWithRetry(&client, host, port, request_line, &rng, result);
+        WorkerCall(&client, host, port, request_line, &rng, result);
     const double micros = static_cast<double>(timer.ElapsedMicros());
     if (!response.ok()) {
       result->Fail(response.status().ToString());

@@ -26,6 +26,10 @@
 //                    [--snapshot-interval-ms=1000]
 //                    [--keep-wal]             (never truncate the WAL;
 //                                              recovery audit / CI diff)
+//                    [--instance-label=NAME]  (stamped into health/stats
+//                                              responses and the report;
+//                                              names shards in a
+//                                              coordinator deployment)
 //                    [--metrics-out=FILE.json] [--trace-out=FILE.json]
 //                    [--log-level=LEVEL]
 //                    [--rules-check]          (lint the theory at startup;
@@ -72,7 +76,7 @@ constexpr const char* kUsage =
     "[--batch-delay-ms=F] [--slow-request-us=N] [--data-dir=DIR] "
     "[--fsync=always|group|none] "
     "[--snapshot-batches=N] [--snapshot-interval-ms=N] [--keep-wal] "
-    "[--metrics-out=FILE.json] "
+    "[--instance-label=NAME] [--metrics-out=FILE.json] "
     "[--trace-out=FILE.json] [--log-level=LEVEL] [--rules-check]";
 
 constexpr const char* kKnownFlags[] = {
@@ -83,7 +87,7 @@ constexpr const char* kKnownFlags[] = {
     "metrics-out",
     "trace-out",      "log-level",     "rules-check",
     "data-dir",       "fsync",         "snapshot-batches",
-    "snapshot-interval-ms", "keep-wal",
+    "snapshot-interval-ms", "keep-wal", "instance-label",
 };
 
 int Fail(const std::string& message) {
@@ -248,6 +252,7 @@ int main(int argc, char** argv) {
                       args.GetString("slow-request-us", "") + ")");
   }
   server_options.slow_request_us = static_cast<int>(slow_request_us);
+  server_options.instance_label = args.GetString("instance-label", "");
 
   // --- Optional theory preflight: a service with a linted-broken theory
   // (e.g. one that merges all-blank records) must refuse to start. ---
@@ -360,6 +365,10 @@ int main(int argc, char** argv) {
     report.SetConfig("batch_records",
                      JsonValue(static_cast<uint64_t>(batch_records)));
     report.SetConfig("batch_delay_ms", JsonValue(batch_delay_ms));
+    if (args.Has("instance-label")) {
+      report.SetConfig("instance_label",
+                       JsonValue(args.GetString("instance-label", "")));
+    }
     report.SetDataset(stats.records, employee::kNumFields);
     JsonValue service_json = JsonValue::Object();
     service_json.Set("records", JsonValue(stats.records));
