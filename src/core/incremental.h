@@ -129,7 +129,7 @@ class IncrementalMergePurge {
   // trigger path compression inside closure_.ComponentLabels() during a
   // rebuild, and AddBatch holds the lock across its Grow/Union mutations,
   // so concurrent readers never race on the parent array.
-  mutable Mutex labels_mu_;
+  mutable Mutex labels_mu_{lockrank::kLabels};
   mutable UnionFind closure_ MERGEPURGE_GUARDED_BY(labels_mu_){0};
   mutable bool labels_valid_ MERGEPURGE_GUARDED_BY(labels_mu_) = false;
   mutable std::vector<uint32_t> labels_cache_

@@ -74,7 +74,7 @@ class SignalDrain {
   std::atomic<bool> installed_{false};
   std::atomic<bool> exit_after_callbacks_{true};
   std::atomic<int> signal_number_{0};
-  Mutex mu_;
+  Mutex mu_{lockrank::kDrain};
   std::vector<std::function<void(int)>> callbacks_ MERGEPURGE_GUARDED_BY(mu_);
 };
 

@@ -186,7 +186,7 @@ class MetricsRegistry {
  private:
   // mu_ guards only the registration maps; metric values themselves are
   // atomics, so handles returned by Get* are written without the lock.
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kMetricsRegistry};
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
       MERGEPURGE_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_

@@ -48,7 +48,7 @@ class ProgressReporter {
   void Paint(bool force) MERGEPURGE_REQUIRES(mu_);
 
   std::atomic<bool> enabled_{false};
-  Mutex mu_;
+  Mutex mu_{lockrank::kProgress};
   std::string phase_ MERGEPURGE_GUARDED_BY(mu_);
   uint64_t total_ MERGEPURGE_GUARDED_BY(mu_) = 0;
   uint64_t done_ MERGEPURGE_GUARDED_BY(mu_) = 0;

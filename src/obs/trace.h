@@ -90,7 +90,7 @@ class TraceRecorder {
   std::atomic<bool> enabled_{false};
   std::atomic<uint64_t> next_span_id_{1};
   Timer epoch_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kTrace};
   std::vector<TraceSpan> spans_ MERGEPURGE_GUARDED_BY(mu_);
 };
 

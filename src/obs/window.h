@@ -77,7 +77,7 @@ class SnapshotRing {
   };
 
   const size_t capacity_;
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kSnapshotRing};
   std::deque<Sample> samples_ MERGEPURGE_GUARDED_BY(mu_);
 };
 

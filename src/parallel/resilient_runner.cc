@@ -35,7 +35,7 @@ struct ResilientRunner::TaskState {
 struct ResilientRunner::RunContext {
   explicit RunContext(size_t num_workers) : pool(num_workers) {}
 
-  Mutex mu;
+  Mutex mu{lockrank::kResilientRun};
   CondVar cv;
   // Set once before any attempt is submitted, then read-only.
   const std::vector<ResilientTask>* tasks = nullptr;

@@ -108,7 +108,7 @@ class UpsertBatcher {
   BatcherOptions options_;
   CommitFn commit_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kBatcher};
   CondVar pending_cv_;
   std::deque<PendingUpsert> pending_ MERGEPURGE_GUARDED_BY(mu_);
   size_t pending_records_ MERGEPURGE_GUARDED_BY(mu_) = 0;

@@ -239,7 +239,7 @@ class MatchService {
   MatchServiceOptions options_;
   TheoryFactory theory_factory_;
 
-  mutable SharedMutex engine_mu_;
+  mutable SharedMutex engine_mu_{lockrank::kEngine};
   // Write-preference gate. glibc's rwlock is reader-preferring: a steady
   // stream of Match calls can starve the batcher's writer thread
   // indefinitely. The writer raises this before blocking on the
@@ -264,7 +264,7 @@ class MatchService {
   // kServing from birth without durability; flipped by the recovery
   // thread (one-way) with durability on.
   std::atomic<Lifecycle> lifecycle_{Lifecycle::kServing};
-  mutable Mutex recovery_mu_;
+  mutable Mutex recovery_mu_{lockrank::kRecovery};
   mutable CondVar recovery_cv_;
   bool recovery_done_ MERGEPURGE_GUARDED_BY(recovery_mu_) = true;
   Status init_status_ MERGEPURGE_GUARDED_BY(recovery_mu_);
@@ -276,7 +276,10 @@ class MatchService {
   std::thread recovery_thread_;
   std::atomic<bool> crashed_{false};
 
-  mutable Mutex theory_mu_;
+  // Leased under the engine lock (CommitBatch, Match): engine before
+  // theory is a declared hierarchy edge, not an accident.
+  mutable Mutex theory_mu_ MERGEPURGE_ACQUIRED_AFTER(engine_mu_){
+      lockrank::kTheoryPool};
   mutable std::vector<std::unique_ptr<EquationalTheory>> theory_pool_
       MERGEPURGE_GUARDED_BY(theory_mu_);
 

@@ -1,6 +1,7 @@
 #include "service/protocol.h"
 
 #include <algorithm>
+#include <cctype>
 
 #include "util/string_util.h"
 
@@ -24,6 +25,8 @@ const char* ServiceErrorCodeName(ServiceErrorCode code) {
       return "draining";
     case ServiceErrorCode::kRecovering:
       return "recovering";
+    case ServiceErrorCode::kConfigMismatch:
+      return "config_mismatch";
     case ServiceErrorCode::kInternal:
       return "internal";
   }
@@ -71,6 +74,33 @@ bool RecordFromJson(const Schema& schema, const JsonValue& value,
   return true;
 }
 
+std::string CanonicalKeysSpec(std::string_view spec) {
+  std::string out;
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find(',', begin);
+    if (end == std::string_view::npos) end = spec.size();
+    std::string_view token = spec.substr(begin, end - begin);
+    while (!token.empty() && std::isspace(static_cast<unsigned char>(
+                                 token.front()))) {
+      token.remove_prefix(1);
+    }
+    while (!token.empty() && std::isspace(static_cast<unsigned char>(
+                                 token.back()))) {
+      token.remove_suffix(1);
+    }
+    if (!token.empty()) {
+      if (!out.empty()) out.push_back(',');
+      for (char c : token) {
+        out.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(c))));
+      }
+    }
+    begin = end + 1;
+  }
+  return out;
+}
+
 bool ParseRequest(std::string_view line, const Schema& schema,
                   ServiceRequest* out, ServiceError* error) {
   Result<JsonValue> parsed = JsonValue::Parse(line);
@@ -88,7 +118,8 @@ bool ParseRequest(std::string_view line, const Schema& schema,
   for (const auto& [key, value] : doc.members()) {
     (void)value;
     if (key != "op" && key != "id" && key != "record" && key != "records" &&
-        key != "enabled" && key != "sample") {
+        key != "enabled" && key != "sample" && key != "keys" &&
+        key != "window") {
       *error = {ServiceErrorCode::kBadRequest,
                 "unknown request member '" + key + "'"};
       return false;
@@ -113,6 +144,13 @@ bool ParseRequest(std::string_view line, const Schema& schema,
   if (name != "trace" && (enabled != nullptr || sample != nullptr)) {
     *error = {ServiceErrorCode::kBadRequest,
               name + " takes no \"enabled\"/\"sample\" members"};
+    return false;
+  }
+  const JsonValue* keys = doc.Find("keys");
+  const JsonValue* window = doc.Find("window");
+  if (name != "hello" && (keys != nullptr || window != nullptr)) {
+    *error = {ServiceErrorCode::kBadRequest,
+              name + " takes no \"keys\"/\"window\" members"};
     return false;
   }
   if (name == "match") {
@@ -172,11 +210,34 @@ bool ParseRequest(std::string_view line, const Schema& schema,
       }
       request.trace_sample = static_cast<uint64_t>(sample->int_value());
     }
+  } else if (name == "hello") {
+    request.op = ServiceRequest::Op::kHello;
+    if (record != nullptr || records != nullptr) {
+      *error = {ServiceErrorCode::kBadRequest,
+                "hello takes no record payload"};
+      return false;
+    }
+    if (keys != nullptr) {
+      if (!keys->is_string()) {
+        *error = {ServiceErrorCode::kBadRequest,
+                  "hello \"keys\" must be a string"};
+        return false;
+      }
+      request.hello_keys = CanonicalKeysSpec(keys->string_value());
+    }
+    if (window != nullptr) {
+      if (!window->is_number() || window->int_value() < 1) {
+        *error = {ServiceErrorCode::kBadRequest,
+                  "hello \"window\" must be a positive integer"};
+        return false;
+      }
+      request.hello_window = static_cast<uint64_t>(window->int_value());
+    }
   } else {
     *error = {ServiceErrorCode::kUnknownOp,
               "unknown op '" + name +
                   "' (expected match, upsert, ping, stats, health, "
-                  "or trace)"};
+                  "trace, or hello)"};
     return false;
   }
   *out = std::move(request);
@@ -291,6 +352,14 @@ std::string TraceResponseLine(const JsonValue* id, bool enabled,
   JsonValue out = ResponseBase(id, true);
   out.Set("tracing", JsonValue(enabled));
   out.Set("sample", JsonValue(sample));
+  return FinishLine(out);
+}
+
+std::string HelloResponseLine(const JsonValue* id, const std::string& keys,
+                              uint64_t window) {
+  JsonValue out = ResponseBase(id, true);
+  out.Set("keys", JsonValue(keys));
+  out.Set("window", JsonValue(window));
   return FinishLine(out);
 }
 

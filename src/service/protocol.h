@@ -11,6 +11,7 @@
 //   {"op":"stats"[,"id":<any>]}
 //   {"op":"health"[,"id":<any>]}
 //   {"op":"trace","enabled":<bool>[,"sample":<N>][,"id":<any>]}
+//   {"op":"hello"[,"keys":"<spec>"][,"window":<N>][,"id":<any>]}
 //
 // Responses always carry "ok" and echo "id" when the request had one:
 //   {"ok":true,...}                          — op-specific payload
@@ -48,6 +49,9 @@ enum class ServiceErrorCode {
   kTooManyConnections,  // Connection cap reached; fatal.
   kDraining,         // Server is shutting down; request not admitted.
   kRecovering,       // Startup recovery still replaying; retry shortly.
+  kConfigMismatch,   // hello carried a topology (keys/window) that
+                     // differs from this server's; not retryable — the
+                     // deployment is misconfigured.
   kInternal,         // Engine-side failure.
 };
 
@@ -60,7 +64,7 @@ struct ServiceError {
 };
 
 struct ServiceRequest {
-  enum class Op { kMatch, kUpsert, kPing, kStats, kHealth, kTrace };
+  enum class Op { kMatch, kUpsert, kPing, kStats, kHealth, kTrace, kHello };
 
   Op op = Op::kPing;
   // Echoed verbatim into the response when present.
@@ -72,7 +76,18 @@ struct ServiceRequest {
   // the server's current interval).
   bool trace_enabled = false;
   std::optional<uint64_t> trace_sample;
+  // kHello only: the caller's topology, for the server to verify
+  // against its own. Absent members mean "don't check" (a bare hello is
+  // a topology query).
+  std::optional<std::string> hello_keys;
+  std::optional<uint64_t> hello_window;
 };
+
+// Canonicalizes a --keys spec for the hello handshake: comma-split,
+// whitespace-trimmed, lowercased, empties dropped, re-joined. Both ends
+// canonicalize before comparing, so "Last-Name, Address" and
+// "last-name,address" agree.
+std::string CanonicalKeysSpec(std::string_view spec);
 
 // --- Record <-> JSON. Records travel as objects keyed by schema field
 // name; all values are strings (the record model is string fields).
@@ -140,6 +155,11 @@ std::string HealthResponseLine(const JsonValue* id, const JsonValue& health);
 // Acknowledges a trace toggle with the resulting recorder state.
 std::string TraceResponseLine(const JsonValue* id, bool enabled,
                               uint64_t sample);
+
+// Answers a hello with this server's topology: the canonical keys spec
+// ("" when the server was not told one) and window (0 likewise).
+std::string HelloResponseLine(const JsonValue* id, const std::string& keys,
+                              uint64_t window);
 
 std::string ErrorResponseLine(const JsonValue* id, const ServiceError& error);
 

@@ -49,6 +49,8 @@ const char* OpName(ServiceRequest::Op op) {
       return "health";
     case ServiceRequest::Op::kTrace:
       return "trace";
+    case ServiceRequest::Op::kHello:
+      return "hello";
   }
   return "unknown";
 }
@@ -310,6 +312,39 @@ std::string Server::ProcessLine(const std::string& line) {
       // service is serving.
       response = HealthResponseLine(id, BuildHealthDoc());
       break;
+    case ServiceRequest::Op::kHello: {
+      // Like ping/health, hello must answer while recovery still holds
+      // the engine write lock: the coordinator verifies topology at
+      // startup, exactly when shards are likely to be replaying.
+      const bool keys_mismatch =
+          request.hello_keys.has_value() &&
+          !options_.topology_keys.empty() &&
+          *request.hello_keys != options_.topology_keys;
+      const bool window_mismatch =
+          request.hello_window.has_value() &&
+          options_.topology_window != 0 &&
+          *request.hello_window != options_.topology_window;
+      if (keys_mismatch || window_mismatch) {
+        errors->Increment();
+        std::string message =
+            "topology mismatch: this server runs keys=" +
+            options_.topology_keys +
+            " window=" + std::to_string(options_.topology_window) +
+            ", caller sent";
+        if (request.hello_keys.has_value()) {
+          message += " keys=" + *request.hello_keys;
+        }
+        if (request.hello_window.has_value()) {
+          message += " window=" + std::to_string(*request.hello_window);
+        }
+        response = ErrorResponseLine(
+            id, {ServiceErrorCode::kConfigMismatch, message});
+      } else {
+        response = HelloResponseLine(id, options_.topology_keys,
+                                     options_.topology_window);
+      }
+      break;
+    }
     case ServiceRequest::Op::kTrace: {
       if (request.trace_sample.has_value()) {
         trace_sample_.store(*request.trace_sample,

@@ -78,6 +78,16 @@ struct ServerOptions {
   // response (and surfaced in the run report by the binaries), so
   // multi-shard output is attributable per process.
   std::string instance_label;
+
+  // The topology this server was configured with, answered (and
+  // verified) by the hello op: canonical --keys spec
+  // (protocol.h CanonicalKeysSpec) and window size. A hello carrying a
+  // different topology gets a config_mismatch error — the coordinator
+  // handshake that stops a mis-deployed shard fleet before any record
+  // is routed. Empty / 0 mean "not configured": hello then answers
+  // without checking that member.
+  std::string topology_keys;
+  uint64_t topology_window = 0;
 };
 
 class Server {
@@ -167,7 +177,7 @@ class Server {
   std::unique_ptr<ThreadPool> pool_;
   std::thread accept_thread_;
 
-  Mutex conn_mu_;
+  Mutex conn_mu_{lockrank::kServerConn};
   std::set<int> open_fds_ MERGEPURGE_GUARDED_BY(conn_mu_);
   std::atomic<size_t> active_connections_{0};
   std::atomic<uint64_t> connections_accepted_{0};

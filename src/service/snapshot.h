@@ -133,7 +133,7 @@ class Snapshotter {
   const CopyFn copy_;
   const TruncateFn truncate_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kSnapshotter};
   CondVar cv_;
   bool stop_ MERGEPURGE_GUARDED_BY(mu_) = false;
   uint64_t batches_since_save_ MERGEPURGE_GUARDED_BY(mu_) = 0;

@@ -117,7 +117,7 @@ class WalWriter {
   const FsyncPolicy policy_;
   FaultInjector* const faults_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kWal};
   std::string dir_ MERGEPURGE_GUARDED_BY(mu_);
   std::string active_path_ MERGEPURGE_GUARDED_BY(mu_);
   uint64_t active_first_seq_ MERGEPURGE_GUARDED_BY(mu_) = 0;

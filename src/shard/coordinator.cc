@@ -126,6 +126,64 @@ CoordService::CoordService(CoordinatorOptions options)
 
 CoordService::~CoordService() { Drain(); }
 
+Status CoordService::VerifyShards() {
+  JsonValue doc = JsonValue::Object();
+  doc.Set("op", JsonValue("hello"));
+  if (!options_.keys_spec.empty()) {
+    doc.Set("keys", JsonValue(options_.keys_spec));
+  }
+  doc.Set("window", JsonValue(static_cast<uint64_t>(options_.window)));
+  const std::string line = doc.Dump(0) + "\n";
+
+  std::vector<ShardCall> calls(options_.shards.size());
+  for (size_t i = 0; i < calls.size(); ++i) {
+    calls[i].shard = i;
+    calls[i].line = line;
+  }
+  FanOut(&calls);
+
+  for (const ShardCall& call : calls) {
+    const ShardAddress& address = options_.shards[call.shard];
+    const std::string where = "shard " + std::to_string(call.shard) + " (" +
+                              address.host + ":" +
+                              std::to_string(address.port) + ")";
+    if (!call.response.ok()) {
+      return Status::IoError("hello to " + where + " failed: " +
+                             call.response.status().ToString());
+    }
+    const JsonValue& response = *call.response;
+    const JsonValue* ok = response.Find("ok");
+    if (ok == nullptr || !ok->bool_value()) {
+      std::string detail = "refused";
+      if (const JsonValue* error = response.Find("error")) {
+        if (const JsonValue* message = error->Find("message")) {
+          detail = message->string_value();
+        }
+      }
+      return Status::InvalidArgument("hello to " + where + ": " + detail);
+    }
+    // The shard echoes its own topology; cross-check what it reported
+    // in case the shard was started without one side of the check.
+    const JsonValue* keys = response.Find("keys");
+    if (keys != nullptr && keys->is_string() &&
+        !keys->string_value().empty() && !options_.keys_spec.empty() &&
+        keys->string_value() != options_.keys_spec) {
+      return Status::InvalidArgument(
+          where + " runs keys=" + keys->string_value() +
+          ", coordinator expects keys=" + options_.keys_spec);
+    }
+    const JsonValue* window = response.Find("window");
+    if (window != nullptr && window->is_number() &&
+        window->int_value() != 0 &&
+        static_cast<size_t>(window->int_value()) != options_.window) {
+      return Status::InvalidArgument(
+          where + " runs window=" + std::to_string(window->int_value()) +
+          ", coordinator expects window=" + std::to_string(options_.window));
+    }
+  }
+  return Status::OK();
+}
+
 Status CoordService::SeedRouter(const std::vector<Record>& sample) {
   MutexLock lock(routing_mu_);
   if (router_ != nullptr) {

@@ -71,6 +71,10 @@ struct CoordinatorOptions {
   // The shards' window size w; the boundary band replicates w-1 records
   // per cut side.
   size_t window = 10;
+  // Canonical --keys spec (protocol.h CanonicalKeysSpec) sent in the
+  // VerifyShards hello so each shard can refuse a mismatched topology.
+  // Empty skips the keys check (window is always sent).
+  std::string keys_spec;
   // Leading key characters the routing histogram considers.
   size_t histogram_depth = 3;
   // Per-shard-call retry schedule (service/client.h).
@@ -93,6 +97,15 @@ class CoordService : public RequestDispatcher {
   // that first batch, exactly like the paper fits its equi-depth
   // partition on a sample of the input.
   Status SeedRouter(const std::vector<Record>& sample);
+
+  // The startup config handshake: sends a hello carrying this
+  // coordinator's topology (options_.keys_spec / options_.window) to
+  // every shard. A shard that disagrees answers config_mismatch and
+  // this returns an error naming the shard — refuse to serve in that
+  // case, because a mismatched shard silently mis-routes records.
+  // Shards still replaying their WAL answer hello immediately, so the
+  // handshake does not wait out recovery.
+  Status VerifyShards();
 
   size_t num_shards() const { return options_.shards.size(); }
 
@@ -158,7 +171,7 @@ class CoordService : public RequestDispatcher {
 
   CoordinatorOptions options_;
 
-  mutable Mutex routing_mu_;
+  mutable Mutex routing_mu_{lockrank::kCoordRouting};
   // Immutable once built; the shared_ptr lets requests route outside
   // the mutex after a brief load. Null until the first sample arrives.
   std::shared_ptr<const ShardRouter> router_
@@ -168,13 +181,13 @@ class CoordService : public RequestDispatcher {
   std::vector<BoundaryBand> bands_ MERGEPURGE_GUARDED_BY(routing_mu_);
   Rng routing_rng_ MERGEPURGE_GUARDED_BY(routing_mu_);
 
-  mutable Mutex closure_mu_;
+  mutable Mutex closure_mu_{lockrank::kCoordClosure};
   GlobalClosure closure_ MERGEPURGE_GUARDED_BY(closure_mu_);
   // One label space per shard, indexed by shard id.
   std::vector<std::unique_ptr<ShardLabelSpace>> spaces_
       MERGEPURGE_GUARDED_BY(closure_mu_);
 
-  mutable Mutex pool_mu_;
+  mutable Mutex pool_mu_{lockrank::kCoordPool};
   // pools_[shard] is a free-list of idle connections to that shard.
   std::vector<std::vector<std::unique_ptr<PooledClient>>> pools_
       MERGEPURGE_GUARDED_BY(pool_mu_);

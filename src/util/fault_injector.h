@@ -139,7 +139,7 @@ class FaultInjector {
   std::atomic<bool> armed_{false};
   std::atomic<uint64_t> faults_injected_{0};
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kFaultInjector};
   std::map<std::string, PointState> points_ MERGEPURGE_GUARDED_BY(mu_);
 };
 

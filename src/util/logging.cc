@@ -33,7 +33,7 @@ const char* LevelName(LogLevel level) {
 // Serializes writes to stderr. Leaked so logging stays usable during
 // static destruction.
 Mutex& LogMutex() {
-  static Mutex* mu = new Mutex;
+  static Mutex* mu = new Mutex(lockrank::kLog);
   return *mu;
 }
 

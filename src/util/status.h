@@ -37,7 +37,13 @@ const char* StatusCodeName(StatusCode code);
 
 // A cheap, copyable success-or-error value. The OK status carries no
 // allocation; error statuses carry a code and a message.
-class Status {
+//
+// [[nodiscard]]: a dropped Status is a swallowed failure (the PR 7
+// checkpoint-fsync bug was exactly that), so every function returning
+// one by value must have its result checked, propagated, or discarded
+// explicitly with `(void)` and a comment. -Werror=unused-result makes
+// the warning an error repo-wide.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -91,9 +97,10 @@ class Status {
 };
 
 // A value or an error Status. Accessing the value of an errored Result is a
-// programming error and asserts in debug builds.
+// programming error and asserts in debug builds. [[nodiscard]] for the
+// same reason as Status: an unchecked Result hides its error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   // Intentionally implicit: allows `return value;` and `return status;`
   // from functions declared to return Result<T>.

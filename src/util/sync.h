@@ -39,6 +39,8 @@
 #include <mutex>
 #include <shared_mutex>
 
+#include "util/lock_ranks.h"
+
 // --- Annotation macros -------------------------------------------------------
 // Expand to clang Thread Safety Analysis attributes when the compiler
 // understands them (clang with -Wthread-safety); expand to nothing
@@ -108,39 +110,101 @@
 
 namespace mergepurge {
 
+// --- Runtime lock-order validation -------------------------------------------
+// When MERGEPURGE_LOCK_ORDER_CHECKS is defined (debug / sanitizer builds;
+// the CMake option defaults ON whenever MERGEPURGE_SANITIZE is set), each
+// thread keeps a stack of the ranks it holds and OnAcquire aborts the
+// process if the new lock's rank is not strictly greater than every held
+// rank — the dynamic twin of tools/mergepurge_deadlockcheck's static
+// check, catching orderings the static call graph cannot see (callbacks,
+// std::function indirection). Unranked locks (lockrank::kUnranked) are
+// invisible to the validator. Plain builds compile the hooks to nothing.
+
+namespace lockorder {
+#if defined(MERGEPURGE_LOCK_ORDER_CHECKS)
+// Checks rank order against the caller's held stack, then records the
+// acquire. Called BEFORE blocking on the underlying primitive so an
+// inversion aborts deterministically instead of only when it deadlocks.
+void OnAcquire(int rank);
+// Records a successful try-acquire WITHOUT the order check: a try-lock
+// never blocks, so out-of-rank try-acquisition cannot deadlock.
+void OnTryAcquire(int rank);
+// Pops the (most recent) record of `rank` from the held stack.
+void OnRelease(int rank);
+#else
+inline void OnAcquire(int) {}
+inline void OnTryAcquire(int) {}
+inline void OnRelease(int) {}
+#endif
+}  // namespace lockorder
+
 // --- Annotated lock types ----------------------------------------------------
 
 // Exclusive lock. Prefer MutexLock over manual Lock()/Unlock() pairs.
+// Construct with a lockrank:: constant (util/lock_ranks.h) — the
+// deadlockcheck tool requires every declaration in src/ to carry one.
 class MERGEPURGE_CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
+  explicit Mutex(int rank) : rank_(rank) {}
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() MERGEPURGE_ACQUIRE() { mu_.lock(); }
-  void Unlock() MERGEPURGE_RELEASE() { mu_.unlock(); }
-  bool TryLock() MERGEPURGE_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() MERGEPURGE_ACQUIRE() {
+    lockorder::OnAcquire(rank_);
+    mu_.lock();
+  }
+  void Unlock() MERGEPURGE_RELEASE() {
+    mu_.unlock();
+    lockorder::OnRelease(rank_);
+  }
+  bool TryLock() MERGEPURGE_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lockorder::OnTryAcquire(rank_);
+    return true;
+  }
+
+  int rank() const { return rank_; }
 
  private:
   friend class CondVar;
   std::mutex mu_;
+  const int rank_ = lockrank::kUnranked;
 };
 
 // Reader/writer lock. Writers use Lock/Unlock (or WriterLock), readers
 // use ReaderLock()/ReaderUnlock() (or the ReaderLock scoped type).
+// Shared and exclusive acquisition occupy the same rank: a reader
+// holding the shared side still must not wait on a lower-ranked lock.
 class MERGEPURGE_CAPABILITY("shared_mutex") SharedMutex {
  public:
   SharedMutex() = default;
+  explicit SharedMutex(int rank) : rank_(rank) {}
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() MERGEPURGE_ACQUIRE() { mu_.lock(); }
-  void Unlock() MERGEPURGE_RELEASE() { mu_.unlock(); }
-  void LockShared() MERGEPURGE_ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() MERGEPURGE_RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() MERGEPURGE_ACQUIRE() {
+    lockorder::OnAcquire(rank_);
+    mu_.lock();
+  }
+  void Unlock() MERGEPURGE_RELEASE() {
+    mu_.unlock();
+    lockorder::OnRelease(rank_);
+  }
+  void LockShared() MERGEPURGE_ACQUIRE_SHARED() {
+    lockorder::OnAcquire(rank_);
+    mu_.lock_shared();
+  }
+  void UnlockShared() MERGEPURGE_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    lockorder::OnRelease(rank_);
+  }
+
+  int rank() const { return rank_; }
 
  private:
   std::shared_mutex mu_;
+  const int rank_ = lockrank::kUnranked;
 };
 
 // Condition variable usable only with Mutex. Waits atomically release and

@@ -50,7 +50,7 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{lockrank::kThreadPool};
   CondVar task_available_;
   CondVar all_done_;
   std::deque<std::function<void()>> queue_ MERGEPURGE_GUARDED_BY(mu_);

@@ -1,0 +1,15 @@
+#include "util/sync.h"
+namespace mergepurge {
+class Pair {
+ public:
+  void Nest();
+ private:
+  Mutex a_mu_{lockrank::kA};
+  Mutex b_mu_{lockrank::kB};
+};
+// Deliberate: a_mu_ and b_mu_ are an EXCLUDES pair.
+void Pair::Nest() {
+  MutexLock a(a_mu_);
+  MutexLock b(b_mu_);
+}
+}  // namespace mergepurge

@@ -1,0 +1,11 @@
+#include "util/sync.h"
+namespace mergepurge {
+class Cy {
+ public:
+  void Work();
+ private:
+  Mutex a_mu_{lockrank::kA};
+  Mutex b_mu_{lockrank::kB};
+};
+void Cy::Work() { MutexLock a(a_mu_); }
+}  // namespace mergepurge

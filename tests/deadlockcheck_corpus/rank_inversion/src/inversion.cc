@@ -1,0 +1,15 @@
+#include "util/sync.h"
+namespace mergepurge {
+class Worker {
+ public:
+  void Backwards();
+ private:
+  Mutex outer_mu_{lockrank::kOuter};
+  Mutex inner_mu_{lockrank::kInner};
+};
+// Deliberate inversion: the rank-20 lock is taken first.
+void Worker::Backwards() {
+  MutexLock in(inner_mu_);
+  MutexLock out(outer_mu_);
+}
+}  // namespace mergepurge

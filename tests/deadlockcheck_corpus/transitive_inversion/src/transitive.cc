@@ -1,0 +1,24 @@
+#include "util/sync.h"
+namespace mergepurge {
+class Low {
+ public:
+  void Grab();
+ private:
+  Mutex mu_{lockrank::kLow};
+};
+class High {
+ public:
+  void Helper(Low& low);
+  void Work(Low& low);
+ private:
+  Mutex mu_{lockrank::kHigh};
+};
+void Low::Grab() { MutexLock lock(mu_); }
+// Helper itself holds nothing; the inversion is only visible through
+// the call graph: Work holds rank 20 and Helper reaches rank 10.
+void High::Helper(Low& low) { low.Grab(); }
+void High::Work(Low& low) {
+  MutexLock lock(mu_);
+  Helper(low);
+}
+}  // namespace mergepurge

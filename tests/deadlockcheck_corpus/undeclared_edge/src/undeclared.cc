@@ -1,0 +1,21 @@
+#include "util/sync.h"
+namespace mergepurge {
+class Inner {
+ public:
+  void Touch();
+ private:
+  Mutex mu_{lockrank::kInner};
+};
+class Outer {
+ public:
+  void Work(Inner& inner);
+ private:
+  Mutex mu_{lockrank::kOuter};
+};
+void Inner::Touch() { MutexLock lock(mu_); }
+// Rank-increasing, but the nesting is not declared in the manifest.
+void Outer::Work(Inner& inner) {
+  MutexLock lock(mu_);
+  inner.Touch();
+}
+}  // namespace mergepurge

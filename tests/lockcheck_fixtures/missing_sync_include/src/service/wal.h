@@ -1,0 +1,9 @@
+#ifndef FIXTURE_WAL_H_
+#define FIXTURE_WAL_H_
+namespace mergepurge {
+class WalWriter {
+ public:
+  void Append();
+};
+}  // namespace mergepurge
+#endif

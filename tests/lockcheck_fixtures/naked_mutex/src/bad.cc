@@ -1,0 +1,7 @@
+#include <mutex>
+namespace mergepurge {
+class Counter {
+ private:
+  std::mutex mu_;
+};
+}  // namespace mergepurge

@@ -1,0 +1,14 @@
+#include "util/sync.h"
+namespace mergepurge {
+class Counter {
+ public:
+  void Bump() {
+    mu_.lock();
+    ++n_;
+    mu_.unlock();
+  }
+ private:
+  Mutex mu_{lockrank::kLog};
+  int n_ = 0;
+};
+}  // namespace mergepurge

@@ -1,0 +1,20 @@
+// Deliberately ignores a returned Status. Must FAIL to compile under
+// -Werror=unused-result (Status is [[nodiscard]]): tests/CMakeLists.txt
+// try_compiles this at configure time and aborts if it compiles,
+// proving the error-discipline gate still rejects swallowed failures.
+#include "util/status.h"
+
+namespace mergepurge {
+
+Status Flaky() { return Status::IoError("disk unavailable"); }
+
+void Caller() {
+  Flaky();  // BUG: the failure is silently dropped.
+}
+
+}  // namespace mergepurge
+
+int main() {
+  mergepurge::Caller();
+  return 0;
+}

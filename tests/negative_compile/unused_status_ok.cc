@@ -1,0 +1,17 @@
+// The positive control for unused_status_fail.cc: handling the Status
+// must compile under the same flags, proving the negative result is the
+// [[nodiscard]] gate rejecting the bug, not a broken setup.
+#include "util/status.h"
+
+namespace mergepurge {
+
+Status Flaky() { return Status::OK(); }
+
+bool Caller() {
+  Status status = Flaky();
+  return status.ok();
+}
+
+}  // namespace mergepurge
+
+int main() { return mergepurge::Caller() ? 0 : 1; }

@@ -17,6 +17,7 @@
 #include "keys/standard_keys.h"
 #include "obs/json.h"
 #include "rules/employee_theory.h"
+#include "service/client.h"
 #include "service/match_service.h"
 #include "service/protocol.h"
 #include "service/server.h"
@@ -428,6 +429,98 @@ TEST(CoordinatorTest, TwoShardPartitionEqualsSingleEngine) {
   server1.RequestDrain();
   server0.Join();
   server1.Join();
+}
+
+// --- Config handshake: a coordinator must refuse a mismatched fleet. ---
+
+TEST(CoordinatorTest, HelloHandshakeVerifiesTopology) {
+  MatchService shard(SingleKeyEngine(), EmployeeFactory());
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.topology_keys = CanonicalKeysSpec("last-name");
+  server_options.topology_window = 8;
+  Server server(server_options, &shard);
+  Result<uint16_t> port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  CoordinatorOptions good;
+  good.shards = {{"127.0.0.1", *port}};
+  good.schema = employee::MakeSchema();
+  good.keys = {LastNameKey()};
+  good.keys_spec = CanonicalKeysSpec("Last-Name");  // Canonicalization.
+  good.window = 8;
+  {
+    CoordService coord(std::move(good));
+    EXPECT_TRUE(coord.VerifyShards().ok());
+  }
+
+  // Wrong window: the shard answers config_mismatch and the handshake
+  // surfaces it as an error naming the shard.
+  CoordinatorOptions bad_window;
+  bad_window.shards = {{"127.0.0.1", *port}};
+  bad_window.schema = employee::MakeSchema();
+  bad_window.keys = {LastNameKey()};
+  bad_window.keys_spec = CanonicalKeysSpec("last-name");
+  bad_window.window = 9;
+  bad_window.retry.max_attempts = 1;  // Mismatch is not retryable.
+  {
+    CoordService coord(std::move(bad_window));
+    Status verified = coord.VerifyShards();
+    ASSERT_FALSE(verified.ok());
+    EXPECT_NE(verified.message().find("topology mismatch"),
+              std::string::npos)
+        << verified.ToString();
+  }
+
+  // Wrong keys likewise.
+  CoordinatorOptions bad_keys;
+  bad_keys.shards = {{"127.0.0.1", *port}};
+  bad_keys.schema = employee::MakeSchema();
+  bad_keys.keys = {FirstNameKey()};
+  bad_keys.keys_spec = CanonicalKeysSpec("first-name");
+  bad_keys.window = 8;
+  bad_keys.retry.max_attempts = 1;
+  {
+    CoordService coord(std::move(bad_keys));
+    EXPECT_FALSE(coord.VerifyShards().ok());
+  }
+
+  server.RequestDrain();
+  server.Join();
+}
+
+// The hello op itself: answers the configured topology, rejects a
+// mismatched probe with config_mismatch, and (unlike match/upsert)
+// does not require the serving lifecycle.
+TEST(CoordinatorTest, HelloOpReportsAndChecksTopology) {
+  MatchService shard(SingleKeyEngine(), EmployeeFactory());
+  ServerOptions server_options;
+  server_options.port = 0;
+  server_options.topology_keys = "last-name";
+  server_options.topology_window = 8;
+  Server server(server_options, &shard);
+  Result<uint16_t> port = server.Start();
+  ASSERT_TRUE(port.ok());
+
+  ServiceClient client;
+  ASSERT_TRUE(client.Connect("127.0.0.1", *port).ok());
+
+  Result<JsonValue> bare = client.Call("{\"op\":\"hello\"}\n");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_TRUE(bare->Find("ok")->bool_value());
+  EXPECT_EQ(bare->Find("keys")->string_value(), "last-name");
+  EXPECT_EQ(bare->Find("window")->int_value(), 8);
+
+  Result<JsonValue> mismatch =
+      client.Call("{\"op\":\"hello\",\"keys\":\"last-name\",\"window\":4}\n");
+  ASSERT_TRUE(mismatch.ok());
+  EXPECT_FALSE(mismatch->Find("ok")->bool_value());
+  EXPECT_EQ(mismatch->Find("error")->Find("code")->string_value(),
+            "config_mismatch");
+
+  client.Close();
+  server.RequestDrain();
+  server.Join();
 }
 
 }  // namespace

@@ -155,5 +155,57 @@ TEST(SharedMutexTest, ReadersShareWritersExclude) {
   }
 }
 
+#if defined(MERGEPURGE_LOCK_ORDER_CHECKS)
+
+// The runtime half of the deadlock defense (docs/concurrency.md): with
+// lock-order checks compiled in, acquiring a lower rank while holding a
+// higher one must abort the process — that ordering is one half of a
+// potential deadlock cycle even if this particular run would not hang.
+TEST(LockOrderDeathTest, InversionAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Mutex high(lockrank::kWal);
+        Mutex low(lockrank::kEngine);
+        MutexLock hold_high(high);
+        MutexLock inverted(low);
+      },
+      "lock-order inversion");
+}
+
+// Declared order (strictly increasing ranks) is silent, including across
+// release: the validator tracks a stack, not a high-water mark.
+TEST(LockOrderDeathTest, DeclaredOrderIsSilent) {
+  Mutex engine(lockrank::kEngine);
+  Mutex labels(lockrank::kLabels);
+  Mutex wal(lockrank::kWal);
+  {
+    MutexLock a(engine);
+    MutexLock b(labels);
+  }
+  {
+    MutexLock a(engine);
+    MutexLock c(wal);
+  }
+  // Re-acquiring a lower rank after releasing the higher one is fine.
+  {
+    MutexLock c(wal);
+  }
+  {
+    MutexLock a(engine);
+  }
+}
+
+// Unranked locks are invisible to the validator — legacy or leaf-local
+// mutexes must not trip it in either direction.
+TEST(LockOrderDeathTest, UnrankedLocksAreInvisible) {
+  Mutex ranked(lockrank::kWal);
+  Mutex unranked;
+  MutexLock a(ranked);
+  MutexLock b(unranked);
+}
+
+#endif  // MERGEPURGE_LOCK_ORDER_CHECKS
+
 }  // namespace
 }  // namespace mergepurge

@@ -4,7 +4,9 @@
 # only) with ThreadSanitizer — so data races on the retry/speculation
 # paths and lifetime bugs in the checkpoint code surface before merge.
 # Then: a clang -Wthread-safety build (when available), the lockcheck
-# lock-discipline lint, clang-tidy over src/ (when available), the
+# lock-discipline lint, the deadlockcheck whole-program lock-order
+# verifier (clean repo + seeded-inversion rejection), clang-tidy over
+# src/ (when available), the
 # rulecheck theory lint gate, the observability + service end-to-end
 # contracts, and the latency-regression bench gates.
 #
@@ -64,6 +66,25 @@ if command -v python3 >/dev/null 2>&1; then
   python3 "${root}/tools/lockcheck.py" --root="${root}"
 else
   echo "=== python3 not installed; skipping lockcheck ==="
+fi
+
+# Whole-program lock-order verification (docs/concurrency.md): the
+# repository must be clean under mergepurge_deadlockcheck (manifest,
+# ranks header and docs table all in agreement, no undeclared nesting),
+# and the tool must still REJECT a seeded inversion — the negative
+# control proving the gate checks something. ctest runs the full
+# seeded corpus (deadlockcheck_corpus_*); this is the smoke version.
+echo "=== deadlockcheck ==="
+"${root}/build/tools/mergepurge_deadlockcheck" --root="${root}" \
+  --manifest="${root}/tools/lock_hierarchy.json"
+inv_status=0
+"${root}/build/tools/mergepurge_deadlockcheck" \
+  --root="${root}/tests/deadlockcheck_corpus/rank_inversion" \
+  --manifest="${root}/tests/deadlockcheck_corpus/rank_inversion/manifest.json" \
+  --skip-ranks --skip-docs >/dev/null 2>&1 || inv_status=$?
+if [ "${inv_status}" -ne 1 ]; then
+  echo "ci: deadlockcheck accepted a seeded rank inversion (exit ${inv_status})" >&2
+  exit 1
 fi
 
 # Static analysis over our sources (.clang-tidy pins the check set).

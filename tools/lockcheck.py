@@ -42,6 +42,10 @@ import sys
 SCAN_DIRS = ("src", "tools", "tests", "bench", "examples")
 EXTENSIONS = (".h", ".hpp", ".cc", ".cpp")
 EXEMPT = {os.path.join("src", "util", "sync.h")}
+# Deliberate-violation fixtures for this linter's own golden tests
+# (run with --root pointed at each fixture) — skipped when scanning a
+# real source tree so the seeded findings don't fail lockcheck_clean.
+EXEMPT_SUBTREES = (os.path.join("tests", "lockcheck_fixtures"),)
 
 CHECKS = [
     (
@@ -84,7 +88,10 @@ CHECKS = [
     ),
 ]
 
-ALLOW_RE = re.compile(r"lockcheck:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
+# The lookbehind keeps this from matching inside a sibling linter's
+# marker ("deadlockcheck: allow(...)" ends in the same substring).
+ALLOW_RE = re.compile(
+    r"(?<![\w-])lockcheck:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)")
 KNOWN_IDS = {check_id for check_id, _, _ in CHECKS} | {"missing-sync-include"}
 
 # Lock-owning service and introspection sources that must stay inside
@@ -260,6 +267,9 @@ def main(argv):
                     os.path.join(dirpath, filename), root
                 )
                 if rel_path in EXEMPT or rel_path == self_rel:
+                    continue
+                if any(rel_path.startswith(subtree + os.sep)
+                       for subtree in EXEMPT_SUBTREES):
                     continue
                 scanned += 1
                 findings.extend(scan_file(root, rel_path))

@@ -184,6 +184,8 @@ int main(int argc, char** argv) {
       args.GetString("keys", "last-name,first-name,address"));
   if (!keys.ok()) return UsageError(keys.status().message());
   coord_options.keys = std::move(*keys);
+  coord_options.keys_spec = CanonicalKeysSpec(
+      args.GetString("keys", "last-name,first-name,address"));
   coord_options.schema = employee::MakeSchema();
   const int64_t window = args.GetInt("window", 10);
   if (window < 2) {
@@ -243,6 +245,11 @@ int main(int argc, char** argv) {
   }
   server_options.slow_request_us = static_cast<int>(slow_request_us);
   server_options.instance_label = args.GetString("instance-label", "");
+  // The coordinator's own front door answers hello with the same
+  // topology it pushes to its shards.
+  server_options.topology_keys = CanonicalKeysSpec(
+      args.GetString("keys", "last-name,first-name,address"));
+  server_options.topology_window = static_cast<uint64_t>(window);
 
   CoordService coord(std::move(coord_options));
 
@@ -263,6 +270,16 @@ int main(int argc, char** argv) {
                  "mergepurge_coord: router fit on %zu sampled records\n",
                  sample->size());
   }
+
+  // --- Shard config handshake: refuse to serve a mismatched fleet.
+  // Retries ride out shards still binding or replaying their WAL. ---
+  Status verified = coord.VerifyShards();
+  if (!verified.ok()) {
+    return Fail("shard handshake failed: " + verified.ToString());
+  }
+  std::fprintf(stderr,
+               "mergepurge_coord: %zu shard(s) verified (keys/window)\n",
+               coord.num_shards());
 
   Server server(server_options, &coord);
   SignalDrain::Global().OnSignal(

@@ -167,6 +167,11 @@ int main(int argc, char** argv) {
                       args.GetString("window", "") + ")");
   }
   service_options.engine.window = static_cast<size_t>(window);
+  // Remembered for the hello handshake: a coordinator with a different
+  // --keys/--window gets a config_mismatch instead of silent mis-routing.
+  const std::string topology_keys = CanonicalKeysSpec(
+      args.GetString("keys", "last-name,first-name,address"));
+  const uint64_t topology_window = static_cast<uint64_t>(window);
   const int64_t batch_records = args.GetInt("batch-records", 256);
   if (batch_records < 1) {
     return UsageError("--batch-records must be >= 1 (got " +
@@ -253,6 +258,8 @@ int main(int argc, char** argv) {
   }
   server_options.slow_request_us = static_cast<int>(slow_request_us);
   server_options.instance_label = args.GetString("instance-label", "");
+  server_options.topology_keys = topology_keys;
+  server_options.topology_window = topology_window;
 
   // --- Optional theory preflight: a service with a linted-broken theory
   // (e.g. one that merges all-blank records) must refuse to start. ---
